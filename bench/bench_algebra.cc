@@ -1,0 +1,151 @@
+// PERF-3: scaling of the core algebra primitives — generate, the foreach
+// operators, selection, and the set operators — over growing spans.
+
+#include <benchmark/benchmark.h>
+
+#include "core/algebra.h"
+#include "core/generate.h"
+#include "time/time_system.h"
+
+namespace caldb {
+namespace {
+
+const TimeSystem& Ts() {
+  static const TimeSystem* ts = new TimeSystem{CivilDate{1993, 1, 1}};
+  return *ts;
+}
+
+void BM_GenerateDays(benchmark::State& state) {
+  Interval span{1, state.range(0)};
+  for (auto _ : state) {
+    auto cal = GenerateBaseCalendar(Ts(), Granularity::kDays, Granularity::kDays,
+                                    span, true);
+    benchmark::DoNotOptimize(cal);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GenerateDays)->Arg(365)->Arg(3650)->Arg(36500);
+
+void BM_GenerateMonths(benchmark::State& state) {
+  Interval span{1, state.range(0)};
+  for (auto _ : state) {
+    auto cal = GenerateBaseCalendar(Ts(), Granularity::kMonths,
+                                    Granularity::kDays, span, false);
+    benchmark::DoNotOptimize(cal);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) / 30);
+}
+BENCHMARK(BM_GenerateMonths)->Arg(365)->Arg(3650)->Arg(36500);
+
+void BM_GenerateWeeks(benchmark::State& state) {
+  Interval span{1, state.range(0)};
+  for (auto _ : state) {
+    auto cal = GenerateBaseCalendar(Ts(), Granularity::kWeeks, Granularity::kDays,
+                                    span, false);
+    benchmark::DoNotOptimize(cal);
+  }
+}
+BENCHMARK(BM_GenerateWeeks)->Arg(365)->Arg(3650)->Arg(36500);
+
+Calendar DaysCal(int64_t n) {
+  return GenerateBaseCalendar(Ts(), Granularity::kDays, Granularity::kDays,
+                              Interval{1, n}, true)
+      .value();
+}
+Calendar MonthsCal(int64_t days) {
+  return GenerateBaseCalendar(Ts(), Granularity::kMonths, Granularity::kDays,
+                              Interval{1, days}, false)
+      .value();
+}
+
+void BM_ForEachDuringCalendar(benchmark::State& state) {
+  Calendar days = DaysCal(state.range(0));
+  Calendar months = MonthsCal(state.range(0));
+  for (auto _ : state) {
+    auto r = ForEach(days, ListOp::kDuring, months, true);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ForEachDuringCalendar)->Arg(365)->Arg(3650)->Arg(36500);
+
+void BM_ForEachOverlapsInterval(benchmark::State& state) {
+  Calendar days = DaysCal(state.range(0));
+  Interval window{state.range(0) / 4, state.range(0) / 2};
+  for (auto _ : state) {
+    auto r = ForEachInterval(days, ListOp::kOverlaps, window, true);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ForEachOverlapsInterval)->Arg(365)->Arg(3650)->Arg(36500);
+
+void BM_SelectLastPerGroup(benchmark::State& state) {
+  Calendar days = DaysCal(state.range(0));
+  Calendar months = MonthsCal(state.range(0));
+  Calendar grouped = ForEach(days, ListOp::kDuring, months, true).value();
+  for (auto _ : state) {
+    auto r = Select({SelectionItem::Last()}, grouped);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SelectLastPerGroup)->Arg(365)->Arg(3650)->Arg(36500);
+
+void BM_UnionPointLists(benchmark::State& state) {
+  std::vector<Interval> a;
+  std::vector<Interval> b;
+  for (int64_t i = 1; i <= state.range(0); i += 2) {
+    a.push_back({i, i});
+    b.push_back({i + 1, i + 1});
+  }
+  Calendar ca = Calendar::Order1(Granularity::kDays, a);
+  Calendar cb = Calendar::Order1(Granularity::kDays, b);
+  for (auto _ : state) {
+    auto r = Union(ca, cb);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_UnionPointLists)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_DifferenceBusinessDays(benchmark::State& state) {
+  // All days minus weekends: the AM_BUS_DAYS derivation shape.
+  int64_t n = state.range(0);
+  Calendar days = DaysCal(n);
+  std::vector<Interval> weekend;
+  for (TimePoint d = 1; d <= n; d = PointAdd(d, 1)) {
+    Weekday wd = Ts().WeekdayOfDayPoint(d);
+    if (wd == Weekday::kSaturday || wd == Weekday::kSunday) {
+      weekend.push_back({d, d});
+    }
+  }
+  Calendar weekends = Calendar::Order1(Granularity::kDays, weekend);
+  for (auto _ : state) {
+    auto r = Difference(days, weekends);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_DifferenceBusinessDays)->Arg(365)->Arg(3650)->Arg(36500);
+
+void BM_CalOperateWeeks(benchmark::State& state) {
+  Calendar days = DaysCal(state.range(0));
+  for (auto _ : state) {
+    auto r = CalOperate(days, std::nullopt, {7});
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_CalOperateWeeks)->Arg(365)->Arg(3650)->Arg(36500);
+
+void BM_RescaleMonthsToDays(benchmark::State& state) {
+  auto months = GenerateBaseCalendar(Ts(), Granularity::kMonths,
+                                     Granularity::kMonths,
+                                     Interval{1, state.range(0)}, true)
+                    .value();
+  for (auto _ : state) {
+    auto r = Rescale(Ts(), months, Granularity::kDays);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_RescaleMonthsToDays)->Arg(12)->Arg(120)->Arg(1200);
+
+}  // namespace
+}  // namespace caldb

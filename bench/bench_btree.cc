@@ -1,0 +1,123 @@
+// Substrate ablation: the B+tree against std::multimap (the obvious
+// off-the-shelf alternative) for the index workloads the calendar system
+// generates — bulk loads of time points, range scans, mixed churn.
+
+#include <map>
+#include <random>
+
+#include <benchmark/benchmark.h>
+
+#include "db/btree.h"
+
+namespace caldb {
+namespace {
+
+std::vector<int64_t> Keys(int64_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<int64_t> keys;
+  keys.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    keys.push_back(static_cast<int64_t>(rng() % 100000) + 1);
+  }
+  return keys;
+}
+
+void BM_BTreeInsert(benchmark::State& state) {
+  std::vector<int64_t> keys = Keys(state.range(0), 42);
+  for (auto _ : state) {
+    BPlusTree tree;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      tree.Insert(keys[i], static_cast<int64_t>(i));
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BTreeInsert)->Arg(1000)->Arg(100000);
+
+void BM_MultimapInsert(benchmark::State& state) {
+  std::vector<int64_t> keys = Keys(state.range(0), 42);
+  for (auto _ : state) {
+    std::multimap<int64_t, int64_t> map;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      map.emplace(keys[i], static_cast<int64_t>(i));
+    }
+    benchmark::DoNotOptimize(map.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MultimapInsert)->Arg(1000)->Arg(100000);
+
+void BM_BTreeRangeScan(benchmark::State& state) {
+  std::vector<int64_t> keys = Keys(state.range(0), 42);
+  BPlusTree tree;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    tree.Insert(keys[i], static_cast<int64_t>(i));
+  }
+  for (auto _ : state) {
+    int64_t sum = 0;
+    tree.ScanRange(40000, 60000, [&](int64_t key, int64_t) {
+      sum += key;
+      return true;
+    });
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_BTreeRangeScan)->Arg(1000)->Arg(100000);
+
+void BM_MultimapRangeScan(benchmark::State& state) {
+  std::vector<int64_t> keys = Keys(state.range(0), 42);
+  std::multimap<int64_t, int64_t> map;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    map.emplace(keys[i], static_cast<int64_t>(i));
+  }
+  for (auto _ : state) {
+    int64_t sum = 0;
+    for (auto it = map.lower_bound(40000); it != map.end() && it->first <= 60000;
+         ++it) {
+      sum += it->first;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_MultimapRangeScan)->Arg(1000)->Arg(100000);
+
+void BM_BTreeChurn(benchmark::State& state) {
+  // The RULE-TIME workload: every firing deletes one entry and inserts
+  // the next firing point.
+  std::vector<int64_t> keys = Keys(state.range(0), 7);
+  BPlusTree tree;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    tree.Insert(keys[i], static_cast<int64_t>(i));
+  }
+  std::mt19937_64 rng(99);
+  size_t cursor = 0;
+  for (auto _ : state) {
+    int64_t victim = static_cast<int64_t>(cursor % keys.size());
+    tree.Erase(keys[static_cast<size_t>(victim)], victim);
+    keys[static_cast<size_t>(victim)] = static_cast<int64_t>(rng() % 100000) + 1;
+    tree.Insert(keys[static_cast<size_t>(victim)], victim);
+    ++cursor;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeChurn)->Arg(10000);
+
+void BM_BTreeFanoutSweep(benchmark::State& state) {
+  // Ablation over node fan-out.
+  const int fanout = static_cast<int>(state.range(0));
+  std::vector<int64_t> keys = Keys(100000, 42);
+  for (auto _ : state) {
+    BPlusTree tree(fanout);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      tree.Insert(keys[i], static_cast<int64_t>(i));
+    }
+    benchmark::DoNotOptimize(tree.height());
+  }
+  state.counters["fanout"] = fanout;
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_BTreeFanoutSweep)->Arg(8)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace caldb

@@ -1,0 +1,97 @@
+// FIG-2 / FIG-3 / PERF-1: cost of the initial vs factorized evaluation
+// plans for the paper's two parse-tree examples, swept over lifespan
+// width, with the dynamic window-hint optimization on and off.  The
+// paper's claim: after factorization "calendars need only be generated for
+// the time interval 1993".
+
+#include <benchmark/benchmark.h>
+
+#include "catalog/calendar_catalog.h"
+#include "lang/analyzer.h"
+#include "lang/optimizer.h"
+#include "lang/parser.h"
+#include "lang/planner.h"
+
+namespace caldb {
+namespace {
+
+class Fixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State&) override {
+    catalog_ = std::make_unique<CalendarCatalog>(TimeSystem{CivilDate{1993, 1, 1}});
+    (void)catalog_->DefineDerived("Mondays", "[1]/DAYS:during:WEEKS");
+    (void)catalog_->DefineDerived("Januarys", "[1]/MONTHS:during:YEARS");
+    (void)catalog_->DefineDerived("Third_Weeks", "[3]/WEEKS:overlaps:MONTHS");
+  }
+
+  Plan Compile(const std::string& text, bool factorize) {
+    Script script = ParseScript(text).value();
+    Analyzer analyzer(catalog_.get());
+    Status st = analyzer.AnalyzeScript(&script);
+    if (!st.ok()) std::abort();
+    if (factorize) (void)OptimizeScript(&script);
+    return CompileScript(script).value();
+  }
+
+  std::unique_ptr<CalendarCatalog> catalog_;
+};
+
+constexpr const char* kExample1 = "Mondays:during:Januarys:during:1993/Years";
+constexpr const char* kExample2 = "Third_Weeks:during:Januarys:during:1993/YEARS";
+
+void RunEval(benchmark::State& state, CalendarCatalog* catalog,
+             const Plan& plan, int lifespan_years, bool hints) {
+  EvalOptions opts;
+  int first = 1993 - lifespan_years / 2;
+  opts.window_days = catalog->YearWindow(first, first + lifespan_years - 1).value();
+  opts.use_window_hints = hints;
+  EvalStats stats;
+  for (auto _ : state) {
+    // A fresh evaluator per query: the paper's setting is one evaluation
+    // per rule/query, so generation is paid cold.
+    Evaluator evaluator(&catalog->time_system(), catalog);
+    stats = EvalStats{};
+    auto value = evaluator.Run(plan, opts, &stats);
+    if (!value.ok()) state.SkipWithError(value.status().ToString().c_str());
+    benchmark::DoNotOptimize(value);
+  }
+  state.counters["intervals_generated"] =
+      static_cast<double>(stats.intervals_generated);
+  state.counters["plan_steps"] = static_cast<double>(stats.steps_executed);
+  state.counters["lifespan_years"] = lifespan_years;
+}
+
+BENCHMARK_DEFINE_F(Fixture, Example1_Initial_NoHints)(benchmark::State& state) {
+  Plan plan = Compile(kExample1, /*factorize=*/false);
+  RunEval(state, catalog_.get(), plan, static_cast<int>(state.range(0)), false);
+}
+BENCHMARK_DEFINE_F(Fixture, Example1_Factorized_NoHints)(benchmark::State& state) {
+  Plan plan = Compile(kExample1, /*factorize=*/true);
+  RunEval(state, catalog_.get(), plan, static_cast<int>(state.range(0)), false);
+}
+BENCHMARK_DEFINE_F(Fixture, Example1_Initial_Hints)(benchmark::State& state) {
+  Plan plan = Compile(kExample1, /*factorize=*/false);
+  RunEval(state, catalog_.get(), plan, static_cast<int>(state.range(0)), true);
+}
+BENCHMARK_DEFINE_F(Fixture, Example1_Factorized_Hints)(benchmark::State& state) {
+  Plan plan = Compile(kExample1, /*factorize=*/true);
+  RunEval(state, catalog_.get(), plan, static_cast<int>(state.range(0)), true);
+}
+BENCHMARK_DEFINE_F(Fixture, Example2_Initial_NoHints)(benchmark::State& state) {
+  Plan plan = Compile(kExample2, /*factorize=*/false);
+  RunEval(state, catalog_.get(), plan, static_cast<int>(state.range(0)), false);
+}
+BENCHMARK_DEFINE_F(Fixture, Example2_Factorized_NoHints)(benchmark::State& state) {
+  Plan plan = Compile(kExample2, /*factorize=*/true);
+  RunEval(state, catalog_.get(), plan, static_cast<int>(state.range(0)), false);
+}
+
+BENCHMARK_REGISTER_F(Fixture, Example1_Initial_NoHints)->Arg(1)->Arg(5)->Arg(10)->Arg(30);
+BENCHMARK_REGISTER_F(Fixture, Example1_Factorized_NoHints)->Arg(1)->Arg(5)->Arg(10)->Arg(30);
+BENCHMARK_REGISTER_F(Fixture, Example1_Initial_Hints)->Arg(1)->Arg(5)->Arg(10)->Arg(30);
+BENCHMARK_REGISTER_F(Fixture, Example1_Factorized_Hints)->Arg(1)->Arg(5)->Arg(10)->Arg(30);
+BENCHMARK_REGISTER_F(Fixture, Example2_Initial_NoHints)->Arg(1)->Arg(10)->Arg(30);
+BENCHMARK_REGISTER_F(Fixture, Example2_Factorized_NoHints)->Arg(1)->Arg(10)->Arg(30);
+
+}  // namespace
+}  // namespace caldb

@@ -1,0 +1,106 @@
+// PERF-4: cost of the §3.4 parsing pipeline — lexing, parsing, analysis
+// (inlining), factorization, and plan compilation.
+
+#include <benchmark/benchmark.h>
+
+#include "catalog/calendar_catalog.h"
+#include "lang/analyzer.h"
+#include "lang/lexer.h"
+#include "lang/optimizer.h"
+#include "lang/parser.h"
+#include "lang/planner.h"
+
+namespace caldb {
+namespace {
+
+constexpr const char* kEmpDays = R"(
+  {LDOM = [n]/DAYS:during:MONTHS;
+   LDOM_HOL = LDOM:intersects:HOLIDAYS;
+   LAST_BUS_DAY = [n]/AM_BUS_DAYS:<:LDOM_HOL;
+   return (LDOM - LDOM_HOL + LAST_BUS_DAY);})";
+
+constexpr const char* kExpression = "Mondays:during:Januarys:during:1993/Years";
+
+CalendarCatalog* MakeCatalog() {
+  auto* catalog = new CalendarCatalog{TimeSystem{CivilDate{1993, 1, 1}}};
+  (void)catalog->DefineDerived("Mondays", "[1]/DAYS:during:WEEKS");
+  (void)catalog->DefineDerived("Januarys", "[1]/MONTHS:during:YEARS");
+  (void)catalog->DefineValues(
+      "HOLIDAYS", Calendar::Order1(Granularity::kDays, {{31, 31}, {90, 90}}));
+  std::vector<Interval> bus;
+  for (int64_t d = 1; d <= 365; ++d) bus.push_back({d, d});
+  (void)catalog->DefineValues("AM_BUS_DAYS",
+                              Calendar::Order1(Granularity::kDays, bus));
+  return catalog;
+}
+
+void BM_Lex(benchmark::State& state) {
+  for (auto _ : state) {
+    auto tokens = Lex(kEmpDays);
+    benchmark::DoNotOptimize(tokens);
+  }
+}
+BENCHMARK(BM_Lex);
+
+void BM_Parse(benchmark::State& state) {
+  for (auto _ : state) {
+    auto script = ParseScript(kEmpDays);
+    benchmark::DoNotOptimize(script);
+  }
+}
+BENCHMARK(BM_Parse);
+
+void BM_AnalyzeWithInlining(benchmark::State& state) {
+  CalendarCatalog* catalog = MakeCatalog();
+  for (auto _ : state) {
+    Script script = ParseScript(kExpression).value();
+    Analyzer analyzer(catalog);
+    Status st = analyzer.AnalyzeScript(&script);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    benchmark::DoNotOptimize(script);
+  }
+  delete catalog;
+}
+BENCHMARK(BM_AnalyzeWithInlining);
+
+void BM_Factorize(benchmark::State& state) {
+  CalendarCatalog* catalog = MakeCatalog();
+  Script analyzed = ParseScript(kExpression).value();
+  Analyzer analyzer(catalog);
+  (void)analyzer.AnalyzeScript(&analyzed);
+  for (auto _ : state) {
+    Script copy = analyzed;
+    auto st = OptimizeScript(&copy);
+    benchmark::DoNotOptimize(copy);
+  }
+  delete catalog;
+}
+BENCHMARK(BM_Factorize);
+
+void BM_FullPipelineToPlan(benchmark::State& state) {
+  CalendarCatalog* catalog = MakeCatalog();
+  for (auto _ : state) {
+    auto plan = catalog->CompileScriptText(kEmpDays);
+    if (!plan.ok()) state.SkipWithError(plan.status().ToString().c_str());
+    benchmark::DoNotOptimize(plan);
+  }
+  delete catalog;
+}
+BENCHMARK(BM_FullPipelineToPlan);
+
+void BM_DefineDerivedCalendar(benchmark::State& state) {
+  // The cost of one CALENDARS-catalog insertion (parse+analyze+plan), the
+  // work the paper does once per calendar definition.
+  int i = 0;
+  CalendarCatalog* catalog = MakeCatalog();
+  for (auto _ : state) {
+    Status st = catalog->DefineDerived("cal_" + std::to_string(i++),
+                                       "[2]/DAYS:during:WEEKS");
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  delete catalog;
+}
+BENCHMARK(BM_DefineDerivedCalendar);
+
+}  // namespace
+}  // namespace caldb

@@ -1,0 +1,60 @@
+// PERF-2: the §3.4 selection look-ahead ("the selection predicate
+// determines the time interval within which values of calendars are
+// generated"), realized dynamically by window hints.  Compares bounded vs
+// whole-lifespan generation for selection-restricted expressions.
+
+#include <benchmark/benchmark.h>
+
+#include "catalog/calendar_catalog.h"
+
+namespace caldb {
+namespace {
+
+void RunScript(benchmark::State& state, const char* script, bool hints) {
+  CalendarCatalog catalog{TimeSystem{CivilDate{1993, 1, 1}}};
+  int lifespan_years = static_cast<int>(state.range(0));
+  Plan plan = catalog.CompileScriptText(script).value();
+  EvalOptions opts;
+  opts.window_days =
+      catalog.YearWindow(1980, 1980 + lifespan_years - 1).value();
+  opts.use_window_hints = hints;
+  EvalStats stats;
+  for (auto _ : state) {
+    Evaluator evaluator(&catalog.time_system(), &catalog);  // cold per query
+    stats = EvalStats{};
+    auto value = evaluator.Run(plan, opts, &stats);
+    if (!value.ok()) state.SkipWithError(value.status().ToString().c_str());
+    benchmark::DoNotOptimize(value);
+  }
+  state.counters["intervals_generated"] =
+      static_cast<double>(stats.intervals_generated);
+  state.counters["lifespan_years"] = lifespan_years;
+}
+
+// Days of one selected month: the inner 1993/YEARS restriction should
+// bound DAYS/MONTHS generation regardless of lifespan.
+constexpr const char* kBounded = "DAYS:during:[4]/MONTHS:during:1993/YEARS";
+// Last day of every month over the whole lifespan: no restriction exists,
+// so generation scales with the window either way.
+constexpr const char* kUnbounded = "[n]/DAYS:during:MONTHS";
+
+void BM_Bounded_WithPushdown(benchmark::State& state) {
+  RunScript(state, kBounded, /*hints=*/true);
+}
+void BM_Bounded_NoPushdown(benchmark::State& state) {
+  RunScript(state, kBounded, /*hints=*/false);
+}
+void BM_Unbounded_WithPushdown(benchmark::State& state) {
+  RunScript(state, kUnbounded, /*hints=*/true);
+}
+void BM_Unbounded_NoPushdown(benchmark::State& state) {
+  RunScript(state, kUnbounded, /*hints=*/false);
+}
+
+BENCHMARK(BM_Bounded_WithPushdown)->Arg(1)->Arg(5)->Arg(20)->Arg(50);
+BENCHMARK(BM_Bounded_NoPushdown)->Arg(1)->Arg(5)->Arg(20)->Arg(50);
+BENCHMARK(BM_Unbounded_WithPushdown)->Arg(1)->Arg(5)->Arg(20);
+BENCHMARK(BM_Unbounded_NoPushdown)->Arg(1)->Arg(5)->Arg(20);
+
+}  // namespace
+}  // namespace caldb

@@ -1,0 +1,112 @@
+// PERF-7: valid-time maintenance for regular time series (§1's GNP case):
+// regenerating time points from the calendar vs storing them explicitly,
+// plus pattern-matching throughput (§6a).
+
+#include <benchmark/benchmark.h>
+
+#include "timeseries/pattern.h"
+#include "timeseries/time_series.h"
+
+namespace caldb {
+namespace {
+
+std::unique_ptr<CalendarCatalog> MakeCatalog() {
+  auto catalog =
+      std::make_unique<CalendarCatalog>(TimeSystem{CivilDate{1985, 1, 1}});
+  (void)catalog->DefineDerived("QUARTER_ENDS",
+                               "[n]/DAYS:during:caloperate(MONTHS, *, 3)");
+  return catalog;
+}
+
+void FillValues(size_t n, std::vector<double>* out) {
+  unsigned seed = 99;
+  double level = 4000;
+  for (size_t i = 0; i < n; ++i) {
+    seed = seed * 1103515245 + 12345;
+    level += static_cast<double>((seed >> 16) % 100) / 10.0 - 3.0;
+    out->push_back(level);
+  }
+}
+
+void BM_RegenerateTimePoints(benchmark::State& state) {
+  // Cold materialization: evaluate the calendar and pair points with
+  // values each iteration.
+  auto catalog = MakeCatalog();
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> values;
+  FillValues(n, &values);
+  for (auto _ : state) {
+    RegularTimeSeries series(catalog.get(), "QUARTER_ENDS", 1);
+    for (double v : values) series.Append(v);
+    auto pairs = series.Materialize();
+    if (!pairs.ok()) state.SkipWithError(pairs.status().ToString().c_str());
+    benchmark::DoNotOptimize(pairs);
+  }
+  state.counters["observations"] = static_cast<double>(n);
+}
+BENCHMARK(BM_RegenerateTimePoints)->Arg(8)->Arg(40)->Arg(120);
+
+void BM_StoredTimePoints(benchmark::State& state) {
+  // The conventional alternative: explicit (day, value) pairs.
+  auto catalog = MakeCatalog();
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> values;
+  FillValues(n, &values);
+  // Precompute the days once (outside timing) to fill the explicit series.
+  RegularTimeSeries reference(catalog.get(), "QUARTER_ENDS", 1);
+  for (double v : values) reference.Append(v);
+  auto days = reference.Materialize().value();
+  for (auto _ : state) {
+    IrregularTimeSeries series;
+    for (const auto& [day, value] : days) {
+      (void)series.Append(day, value);
+    }
+    benchmark::DoNotOptimize(series.points());
+  }
+  state.counters["observations"] = static_cast<double>(n);
+}
+BENCHMARK(BM_StoredTimePoints)->Arg(8)->Arg(40)->Arg(120);
+
+void BM_CachedLookup(benchmark::State& state) {
+  // Warm lookups against a regenerating series (the cache pays off).
+  auto catalog = MakeCatalog();
+  RegularTimeSeries series(catalog.get(), "QUARTER_ENDS", 1);
+  std::vector<double> values;
+  FillValues(static_cast<size_t>(state.range(0)), &values);
+  for (double v : values) series.Append(v);
+  (void)series.Materialize();  // warm
+  TimePoint probe = series.DayAt(series.size() / 2).value();
+  for (auto _ : state) {
+    auto v = series.ValueOn(probe);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_CachedLookup)->Arg(40)->Arg(120);
+
+void BM_PatternMatch(benchmark::State& state) {
+  std::vector<double> values;
+  FillValues(static_cast<size_t>(state.range(0)), &values);
+  for (auto _ : state) {
+    auto matches = MatchPatternIndices(values, "S < next(S)");
+    if (!matches.ok()) state.SkipWithError(matches.status().ToString().c_str());
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PatternMatch)->Arg(100)->Arg(10000)->Arg(1000000);
+
+void BM_PatternMatchComplex(benchmark::State& state) {
+  std::vector<double> values;
+  FillValues(static_cast<size_t>(state.range(0)), &values);
+  for (auto _ : state) {
+    auto matches = MatchPatternIndices(
+        values, "S < next(S) and next(S) < next(next(S)) or S > prev(S) * 2");
+    if (!matches.ok()) state.SkipWithError(matches.status().ToString().c_str());
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PatternMatchComplex)->Arg(10000)->Arg(1000000);
+
+}  // namespace
+}  // namespace caldb

@@ -1,0 +1,260 @@
+// caldb_shell: an interactive front end over the whole system — calendar
+// expressions, the CALENDARS catalog, the Postquel-style DB, temporal
+// rules and DBCRON on a virtual clock.
+//
+//   $ build/examples/caldb_shell
+//   caldb> \cal [3]/WEEKS:overlaps:days{(1,31)}
+//   {(11,17)}
+//   caldb> create table alerts (day int, what text)
+//   caldb> \rule tue [2]/DAYS:during:WEEKS do append alerts (day = fire_day(), what = 'tuesday')
+//   caldb> \advance 1993-02-01
+//   caldb> retrieve (a.day, a.what) from a in alerts
+//
+// Type \help for the command list.  Reads stdin; EOF exits.
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "catalog/calendar_functions.h"
+#include "catalog/catalog_io.h"
+#include "common/macros.h"
+#include "common/strings.h"
+#include "rules/dbcron.h"
+
+using namespace caldb;
+
+namespace {
+
+class Shell {
+ public:
+  Shell()
+      : catalog_(TimeSystem{CivilDate{1993, 1, 1}}),
+        clock_(1),
+        window_(Interval{1, 365}) {
+    Status st = RegisterCalendarFunctions(&db_, &catalog_);
+    if (!st.ok()) std::printf("init: %s\n", st.ToString().c_str());
+    auto rules = TemporalRuleManager::Create(&catalog_, &db_);
+    if (!rules.ok()) {
+      std::printf("init: %s\n", rules.status().ToString().c_str());
+      return;
+    }
+    rules_ = std::move(rules).value();
+    cron_ = std::make_unique<DbCron>(rules_.get(), &clock_, 7);
+  }
+
+  int Run() {
+    std::printf("caldb shell — epoch %s, window days (%lld,%lld). \\help for help.\n",
+                FormatCivil(catalog_.time_system().epoch()).c_str(),
+                static_cast<long long>(window_.lo),
+                static_cast<long long>(window_.hi));
+    std::string line;
+    while (Prompt(), std::getline(std::cin, line)) {
+      std::string trimmed(TrimWhitespace(line));
+      if (trimmed.empty()) continue;
+      if (trimmed == "\\quit" || trimmed == "\\q") break;
+      Status st = Dispatch(trimmed);
+      if (!st.ok()) std::printf("error: %s\n", st.ToString().c_str());
+    }
+    return 0;
+  }
+
+ private:
+  void Prompt() {
+    std::printf("caldb> ");
+    std::fflush(stdout);
+  }
+
+  Status Dispatch(const std::string& line) {
+    if (line[0] != '\\') {
+      // A database statement.
+      CALDB_ASSIGN_OR_RETURN(QueryResult result, db_.Execute(line));
+      std::printf("%s", result.ToString().c_str());
+      if (result.columns.empty()) std::printf("\n");
+      return Status::OK();
+    }
+    std::istringstream in(line.substr(1));
+    std::string cmd;
+    in >> cmd;
+    std::string rest;
+    std::getline(in, rest);
+    rest = std::string(TrimWhitespace(rest));
+
+    if (cmd == "help") return Help();
+    if (cmd == "cal") return EvalCalendar(rest);
+    if (cmd == "define") return Define(rest);
+    if (cmd == "cals") return ListCals();
+    if (cmd == "row") return ShowRow(rest);
+    if (cmd == "plan") return ShowPlan(rest);
+    if (cmd == "window") return SetWindow(rest);
+    if (cmd == "today") return SetToday(rest);
+    if (cmd == "rule") return DeclareRule(rest);
+    if (cmd == "rules") return ListRules();
+    if (cmd == "advance") return Advance(rest);
+    if (cmd == "dump") return Dump();
+    return Status::InvalidArgument("unknown command \\" + cmd +
+                                   " (try \\help)");
+  }
+
+  Status Help() {
+    std::printf(
+        "  \\cal <expr-or-script>     evaluate a calendar expression\n"
+        "  \\define <name> <script>   add a derived calendar to the catalog\n"
+        "  \\cals                     list user calendars\n"
+        "  \\row <name>               show the CALENDARS row (Figure 1 style)\n"
+        "  \\plan <name>              show a calendar's eval-plan\n"
+        "  \\window <y1> <y2>         set the evaluation window (civil years)\n"
+        "  \\today <YYYY-MM-DD>       set `today`\n"
+        "  \\rule <name> <expr> do <command>   declare a temporal rule\n"
+        "  \\rules                    list temporal rules + RULE-TIME\n"
+        "  \\advance <YYYY-MM-DD>     run DBCRON forward on the virtual clock\n"
+        "  \\dump                     dump the catalog\n"
+        "  anything else             executed as a database statement\n"
+        "  \\quit                     exit\n");
+    return Status::OK();
+  }
+
+  Status EvalCalendar(const std::string& text) {
+    if (text.empty()) return Status::InvalidArgument("\\cal needs a script");
+    EvalOptions opts;
+    opts.window_days = window_;
+    opts.today_day = clock_.NowDay();
+    CALDB_ASSIGN_OR_RETURN(ScriptValue value,
+                           catalog_.EvaluateScript(text, opts));
+    switch (value.kind) {
+      case ScriptValue::Kind::kCalendar:
+        std::printf("%s\n", value.calendar.ToString().c_str());
+        break;
+      case ScriptValue::Kind::kString:
+        std::printf("\"%s\"\n", value.text.c_str());
+        break;
+      case ScriptValue::Kind::kBlocked:
+        std::printf("(blocked: the script is waiting for a later day)\n");
+        break;
+      case ScriptValue::Kind::kNull:
+        std::printf("(null)\n");
+        break;
+    }
+    return Status::OK();
+  }
+
+  Status Define(const std::string& rest) {
+    size_t space = rest.find(' ');
+    if (space == std::string::npos) {
+      return Status::InvalidArgument("usage: \\define <name> <script>");
+    }
+    std::string name = rest.substr(0, space);
+    std::string script(TrimWhitespace(rest.substr(space + 1)));
+    CALDB_RETURN_IF_ERROR(catalog_.DefineDerived(name, script));
+    std::printf("defined %s\n", name.c_str());
+    return Status::OK();
+  }
+
+  Status ListCals() {
+    for (const std::string& name : catalog_.ListCalendars()) {
+      auto def = catalog_.Describe(name);
+      std::printf("  %-20s %s %s\n", name.c_str(),
+                  def.ok() ? std::string(GranularityName(def->granularity)).c_str()
+                           : "?",
+                  def.ok() && def->values.has_value() ? "(values)" : "(derived)");
+    }
+    return Status::OK();
+  }
+
+  Status ShowRow(const std::string& name) {
+    CALDB_ASSIGN_OR_RETURN(std::string row, catalog_.FormatRow(name));
+    std::printf("%s", row.c_str());
+    return Status::OK();
+  }
+
+  Status ShowPlan(const std::string& name) {
+    CALDB_ASSIGN_OR_RETURN(CalendarDef def, catalog_.Describe(name));
+    if (def.eval_plan == nullptr) {
+      return Status::NotFound("'" + name + "' has no eval-plan (values only)");
+    }
+    std::printf("%s", def.eval_plan->ToString().c_str());
+    return Status::OK();
+  }
+
+  Status SetWindow(const std::string& rest) {
+    std::istringstream in(rest);
+    int y1 = 0;
+    int y2 = 0;
+    if (!(in >> y1 >> y2)) {
+      return Status::InvalidArgument("usage: \\window <first-year> <last-year>");
+    }
+    CALDB_ASSIGN_OR_RETURN(window_, catalog_.YearWindow(y1, y2));
+    std::printf("window days (%lld,%lld)\n", static_cast<long long>(window_.lo),
+                static_cast<long long>(window_.hi));
+    return Status::OK();
+  }
+
+  Status SetToday(const std::string& rest) {
+    CALDB_ASSIGN_OR_RETURN(CivilDate date, ParseCivil(rest));
+    clock_.AdvanceTo(catalog_.time_system().DayPointFromCivil(date));
+    std::printf("today = %s (day %lld)\n", FormatCivil(date).c_str(),
+                static_cast<long long>(clock_.NowDay()));
+    return Status::OK();
+  }
+
+  Status DeclareRule(const std::string& rest) {
+    size_t name_end = rest.find(' ');
+    size_t do_pos = rest.find(" do ");
+    if (name_end == std::string::npos || do_pos == std::string::npos ||
+        do_pos < name_end) {
+      return Status::InvalidArgument(
+          "usage: \\rule <name> <calendar-expr> do <db-command>");
+    }
+    std::string name = rest.substr(0, name_end);
+    std::string expr(
+        TrimWhitespace(rest.substr(name_end + 1, do_pos - name_end - 1)));
+    TemporalAction action;
+    action.command = std::string(TrimWhitespace(rest.substr(do_pos + 4)));
+    CALDB_RETURN_IF_ERROR(
+        rules_->DeclareRule(name, expr, std::move(action), clock_.NowDay())
+            .status());
+    std::printf("declared rule %s\n", name.c_str());
+    return Status::OK();
+  }
+
+  Status ListRules() {
+    CALDB_ASSIGN_OR_RETURN(
+        QueryResult info,
+        db_.Execute("retrieve (r.rule_id, r.name, r.expression) from r in "
+                    "RULE_INFO"));
+    std::printf("%s", info.ToString().c_str());
+    CALDB_ASSIGN_OR_RETURN(
+        QueryResult times,
+        db_.Execute("retrieve (t.rule_id, t.next_fire) from t in RULE_TIME"));
+    std::printf("%s", times.ToString().c_str());
+    return Status::OK();
+  }
+
+  Status Advance(const std::string& rest) {
+    CALDB_ASSIGN_OR_RETURN(CivilDate date, ParseCivil(rest));
+    TimePoint target = catalog_.time_system().DayPointFromCivil(date);
+    CALDB_RETURN_IF_ERROR(cron_->AdvanceTo(target));
+    std::printf("advanced to %s (%lld firings so far)\n",
+                FormatCivil(date).c_str(),
+                static_cast<long long>(cron_->stats().fires));
+    return Status::OK();
+  }
+
+  Status Dump() {
+    CALDB_ASSIGN_OR_RETURN(std::string dump, DumpCatalog(catalog_));
+    std::printf("%s", dump.c_str());
+    return Status::OK();
+  }
+
+  CalendarCatalog catalog_;
+  Database db_;
+  std::unique_ptr<TemporalRuleManager> rules_;
+  VirtualClock clock_;
+  std::unique_ptr<DbCron> cron_;
+  Interval window_;
+};
+
+}  // namespace
+
+int main() { return Shell().Run(); }

@@ -1,0 +1,91 @@
+// Financial options: the motivating example of §1 — option expiration
+// dates ("the 3rd Friday ... if it is a business day, else the business
+// day preceding"), last trading days, and yield arithmetic under the
+// 30/360 convention.
+
+#include <cstdio>
+
+#include "catalog/calendar_catalog.h"
+#include "finance/day_count.h"
+#include "finance/market_calendars.h"
+
+using namespace caldb;
+
+int main() {
+  CalendarCatalog catalog{TimeSystem{CivilDate{1993, 1, 1}}};
+  const TimeSystem& ts = catalog.time_system();
+
+  // Synthetic US-style market calendars for 1993-1995 (see DESIGN.md for
+  // the substitution note).
+  Status st = InstallMarketCalendars(&catalog, 1993, 1995);
+  if (!st.ok()) {
+    std::printf("install failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("== Option expiration days, 1993 (3rd Friday rule) ==\n");
+  auto holidays = UsFederalHolidays(ts, 1993, 1995).value();
+  auto business =
+      BusinessDays(ts, catalog.YearWindow(1993, 1995).value(), holidays);
+  for (int month = 1; month <= 12; ++month) {
+    auto day = OptionExpirationDay(ts, 1993, month, *business);
+    CivilDate d = ts.CivilFromDayPoint(*day);
+    std::printf("  %2d/1993 expires %s (%s)\n", month, FormatCivil(d).c_str(),
+                std::string(WeekdayName(ts.WeekdayOfDayPoint(*day))).c_str());
+  }
+
+  // The same condition as a calendar script (the §3.3 if-example), using
+  // the catalog-installed HOLIDAYS / AM_BUS_DAYS.
+  std::printf("\n== The §3.3 expiration script for November 1993 ==\n");
+  Status def = catalog.DefineValues(
+      "Expiration-Month",
+      Calendar::Order1(Granularity::kDays,
+                       {*ts.DayIntervalFromCivil({1993, 11, 1}, {1993, 11, 30})}));
+  if (!def.ok()) {
+    std::printf("define failed: %s\n", def.ToString().c_str());
+    return 1;
+  }
+  const char* script = R"(
+    {Fridays = [5]/DAYS:during:WEEKS;
+     temp1 = [3]/Fridays:overlaps:Expiration-Month;
+     if (temp1:intersects:HOLIDAYS)
+        return([n]/AM_BUS_DAYS:<:temp1);
+     else
+        return(temp1);})";
+  auto expiry = catalog.EvaluateScript(
+      script, EvalOptions{.window_days = catalog.YearWindow(1993, 1993).value()});
+  if (!expiry.ok()) {
+    std::printf("script failed: %s\n", expiry.status().ToString().c_str());
+    return 1;
+  }
+  TimePoint day = expiry->calendar.intervals().front().lo;
+  std::printf("  script result: day %lld = %s\n", static_cast<long long>(day),
+              FormatCivil(ts.CivilFromDayPoint(day)).c_str());
+
+  std::printf("\n== Last trading day (7th business day before month end) ==\n");
+  TimePoint last_bus =
+      PrecedingBusinessDay(*business, ts.DayPointFromCivil({1993, 11, 30}))
+          .value();
+  TimePoint last_trading = AddBusinessDays(*business, last_bus, -7).value();
+  std::printf("  last business day of Nov 1993: %s\n",
+              FormatCivil(ts.CivilFromDayPoint(last_bus)).c_str());
+  std::printf("  last trading day:              %s\n",
+              FormatCivil(ts.CivilFromDayPoint(last_trading)).c_str());
+
+  std::printf("\n== 30/360 date arithmetic (§1's bond example) ==\n");
+  double accrued = AccruedInterest(1000, 0.08, DayCount::kThirty360,
+                                   {1993, 1, 1}, {1993, 7, 1})
+                       .value();
+  double fraction_30360 =
+      YearFraction(DayCount::kThirty360, {1993, 1, 1}, {1993, 7, 1}).value();
+  double fraction_act =
+      YearFraction(DayCount::kAct365, {1993, 1, 1}, {1993, 7, 1}).value();
+  std::printf("  8%% coupon, face 1000, Jan 1 -> Jul 1 1993\n");
+  std::printf("  30/360 year fraction: %.6f (accrued %.2f)\n", fraction_30360,
+              accrued);
+  std::printf("  ACT/365 year fraction: %.6f  <- a gregorian-only DB would use this\n",
+              fraction_act);
+  double yield = SimpleYield(1000, 1000, 0.08, {1993, 1, 1}, {1993, 7, 1}).value();
+  std::printf("  mixed-convention simple yield: %.6f\n", yield);
+  return 0;
+}

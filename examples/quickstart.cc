@@ -1,0 +1,73 @@
+// Quickstart: define calendars, evaluate calendar expressions, inspect the
+// CALENDARS catalog — the §3.1/§3.2 material in a dozen lines each.
+
+#include <cstdio>
+
+#include "catalog/calendar_catalog.h"
+
+using namespace caldb;
+
+int main() {
+  // A time system numbering days from Jan 1 1993 (day 1), as in §3.1 of
+  // the paper.  Day 0 does not exist: the day before is -1.
+  CalendarCatalog catalog{TimeSystem{CivilDate{1993, 1, 1}}};
+  EvalOptions year_1993;
+  year_1993.window_days = catalog.YearWindow(1993, 1993).value();
+
+  std::printf("== Calendar algebra (§3.1) ==\n");
+  auto show = [&](const char* label, const char* script) {
+    auto value = catalog.EvaluateScript(script, year_1993);
+    if (!value.ok()) {
+      std::printf("%-42s ERROR %s\n", label, value.status().ToString().c_str());
+      return;
+    }
+    std::printf("%-42s %s\n", label, value->calendar.ToString().c_str());
+  };
+  show("WEEKS:during:Jan-1993", "WEEKS:during:days{(1,31)}");
+  show("WEEKS:overlaps:Jan-1993 (strict)", "WEEKS:overlaps:days{(1,31)}");
+  show("WEEKS.overlaps.Jan-1993 (relaxed)", "WEEKS.overlaps.days{(1,31)}");
+  show("[3]/WEEKS:overlaps:Jan-1993", "[3]/WEEKS:overlaps:days{(1,31)}");
+  show("third week of every month (first 4)",
+       "[1..4]/([3]/WEEKS:overlaps:MONTHS)");
+  show("last day of every month", "[n]/DAYS:during:MONTHS");
+
+  std::printf("\n== User-defined calendars (§3.2, Figure 1) ==\n");
+  Status st = catalog.DefineDerived("Tuesdays", "[2]/DAYS:during:WEEKS",
+                                    catalog.YearWindow(1985, 2010).value());
+  if (!st.ok()) {
+    std::printf("define failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", catalog.FormatRow("Tuesdays")->c_str());
+
+  auto tuesdays = catalog.EvaluateCalendar(
+      "Tuesdays", EvalOptions{.window_days = Interval{1, 31}});
+  std::printf("Tuesdays of January 1993: %s\n",
+              tuesdays->ToString().c_str());
+  for (const Interval& i : tuesdays->intervals()) {
+    if (i.lo < 1) continue;
+    CivilDate d = catalog.time_system().CivilFromDayPoint(i.lo);
+    std::printf("  day %3lld = %s (%s)\n", static_cast<long long>(i.lo),
+                FormatCivil(d).c_str(),
+                std::string(WeekdayName(
+                    catalog.time_system().WeekdayOfDayPoint(i.lo)))
+                    .c_str());
+  }
+
+  std::printf("\n== The eval-plan stored in the catalog row ==\n");
+  auto def = catalog.Describe("Tuesdays");
+  std::printf("%s\n", def->eval_plan->ToString().c_str());
+
+  std::printf("== generate / caloperate (§3.2) ==\n");
+  CalendarCatalog catalog87{TimeSystem{CivilDate{1987, 1, 1}}};
+  auto generated = catalog87.EvaluateScript(
+      "generate(YEARS, DAYS, \"1987-01-01\", \"1992-01-03\")",
+      EvalOptions{.window_days = Interval{1, 2000}});
+  std::printf("generate(YEARS, DAYS, [Jan 1 1987, Jan 3 1992]) =\n  %s\n",
+              generated->calendar.ToString().c_str());
+  auto quarters = catalog.EvaluateScript(
+      "caloperate(MONTHS:during:1993/YEARS, *, 3)", year_1993);
+  std::printf("caloperate(MONTHS, *, 3) = %s (in MONTH units)\n",
+              quarters->calendar.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Regular time series and valid time (§1):
+//
+//   "the GNP time-series, which records the sum total of economic activity
+//    in the country in a quarter, is stored for all valid time points in
+//    the interval (Jan 1 1985, Dec 31 1993).  But the valid time points,
+//    the last day of every quarter in every year, cannot be expressed in
+//    TQUEL."
+//
+// Here the quarter-end calendar IS expressible, so the series stores only
+// values and regenerates its time points on request.  The example closes
+// with the paper's future-work pattern query (§6a).
+
+#include <cstdio>
+
+#include "timeseries/pattern.h"
+#include "timeseries/time_series.h"
+
+using namespace caldb;
+
+int main() {
+  CalendarCatalog catalog{TimeSystem{CivilDate{1985, 1, 1}}};
+  const TimeSystem& ts = catalog.time_system();
+
+  // The valid-time calendar: last day of every quarter.
+  Status st = catalog.DefineDerived("QUARTER_ENDS",
+                                    "[n]/DAYS:during:caloperate(MONTHS, *, 3)");
+  if (!st.ok()) {
+    std::printf("define failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // Synthetic US GNP-like levels (billions), 1985Q1..1993Q4: 36 values.
+  // Only these 36 doubles are stored — no time points.
+  RegularTimeSeries gnp(&catalog, "QUARTER_ENDS", /*anchor_day=*/1);
+  double level = 4200.0;
+  unsigned seed = 12345;
+  for (int q = 0; q < 36; ++q) {
+    seed = seed * 1103515245 + 12345;
+    double shock = static_cast<double>((seed >> 16) % 600) / 10.0 - 30.0;
+    level += 20.0 + shock;  // trend growth with occasional recessions
+    gnp.Append(level);
+  }
+
+  std::printf("Stored: %zu values, 0 time points.\n", gnp.size());
+  std::printf("Regenerated (first and last four observations):\n");
+  auto print_obs = [&](size_t i) {
+    TimePoint day = gnp.DayAt(i).value();
+    std::printf("  %s  GNP = %8.1f\n",
+                FormatCivil(ts.CivilFromDayPoint(day)).c_str(),
+                gnp.ValueAt(i).value());
+  };
+  for (size_t i = 0; i < 4; ++i) print_obs(i);
+  std::printf("  ...\n");
+  for (size_t i = gnp.size() - 4; i < gnp.size(); ++i) print_obs(i);
+
+  // Valid-time lookup: the value in force on a specific day.
+  TimePoint probe = ts.DayPointFromCivil({1990, 6, 30});
+  auto value = gnp.ValueOn(probe);
+  if (value.ok() && value->has_value()) {
+    std::printf("\nGNP recorded on 1990-06-30: %.1f\n", **value);
+  }
+
+  // Slice 1991 (paper: "Retrieve ... on expiration-date" style windows).
+  auto slice = gnp.Slice(*catalog.YearWindow(1991, 1991));
+  std::printf("\n1991 observations: %zu\n", slice->size());
+
+  // Future-work pattern (§6a): quarters where GNP fell.
+  auto declines = MatchPattern(gnp, "S > next(S)");
+  if (!declines.ok()) {
+    std::printf("pattern failed: %s\n", declines.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nQuarters followed by a decline ({S_t > Next(S_t)}):\n");
+  for (const Interval& i : declines->intervals()) {
+    std::printf("  %s\n", FormatCivil(ts.CivilFromDayPoint(i.lo)).c_str());
+  }
+
+  // Two consecutive rises, the paper's exact example inverted.
+  auto rises = MatchPattern(gnp, "S < next(S) and next(S) < next(next(S))");
+  std::printf("\nQuarters starting two consecutive rises: %zu of %zu\n",
+              static_cast<size_t>(rises->size()), gnp.size());
+  return 0;
+}

@@ -1,0 +1,136 @@
+// University administration (§1's second motivating query):
+//
+//   "Retrieve the names of all foreign students who worked more than 20
+//    hours in any week during the semester."
+//
+// The semester is an application-specific calendar; calendar operators
+// registered with the extensible DB make the query expressible.
+
+#include <cstdio>
+
+#include "catalog/calendar_functions.h"
+#include "common/macros.h"
+
+using namespace caldb;
+
+namespace {
+
+Status Run() {
+  CalendarCatalog catalog{TimeSystem{CivilDate{1993, 1, 1}}};
+  Database db;
+  CALDB_RETURN_IF_ERROR(RegisterCalendarFunctions(&db, &catalog));
+
+  // The Fall 1993 semester: Aug 30 (day 242) .. Dec 17 (day 351), an
+  // application-specific calendar only the university knows.
+  const TimeSystem& ts = catalog.time_system();
+  CALDB_ASSIGN_OR_RETURN(Interval semester,
+                         ts.DayIntervalFromCivil({1993, 8, 30}, {1993, 12, 17}));
+  CALDB_RETURN_IF_ERROR(catalog.DefineValues(
+      "FALL_SEMESTER", Calendar::Order1(Granularity::kDays, {semester})));
+  // Weeks of the semester (derived through the algebra).
+  CALDB_RETURN_IF_ERROR(
+      catalog.DefineDerived("SEMESTER_WEEKS", "WEEKS:overlaps:FALL_SEMESTER"));
+
+  // Tables: students and their weekly work records, keyed by the Monday
+  // (day point) of the week worked.
+  CALDB_RETURN_IF_ERROR(
+      db.Execute("create table students (name text, foreign_student bool)")
+          .status());
+  CALDB_RETURN_IF_ERROR(
+      db.Execute("create table work (name text, week_start int, hours int)")
+          .status());
+  CALDB_RETURN_IF_ERROR(db.Execute("create index on work (week_start)").status());
+
+  struct Student {
+    const char* name;
+    bool foreign_student;
+  };
+  for (const Student& s : {Student{"amara", true}, Student{"bo", true},
+                           Student{"carol", false}, Student{"dmitri", true}}) {
+    CALDB_RETURN_IF_ERROR(
+        db.Execute(std::string("append students (name = '") + s.name +
+                   "', foreign_student = " + (s.foreign_student ? "true" : "false") +
+                   ")")
+            .status());
+  }
+
+  // Work records: amara overworks during the semester; bo overworks only
+  // in the summer (outside it); dmitri stays under the limit.
+  struct WorkRow {
+    const char* name;
+    CivilDate monday;
+    int hours;
+  };
+  const WorkRow rows[] = {
+      {"amara", {1993, 9, 6}, 18},  {"amara", {1993, 10, 4}, 24},
+      {"bo", {1993, 7, 5}, 30},     {"bo", {1993, 9, 13}, 12},
+      {"carol", {1993, 9, 20}, 26}, {"dmitri", {1993, 11, 1}, 19},
+  };
+  for (const WorkRow& w : rows) {
+    CALDB_RETURN_IF_ERROR(
+        db.Execute("append work (name = '" + std::string(w.name) +
+                   "', week_start = " +
+                   std::to_string(ts.DayPointFromCivil(w.monday)) +
+                   ", hours = " + std::to_string(w.hours) + ")")
+            .status());
+  }
+
+  // The query: overworked weeks *inside the semester calendar*, via the
+  // registered cal_contains operator.
+  std::printf("Overworked weeks during the Fall 1993 semester:\n");
+  CALDB_ASSIGN_OR_RETURN(
+      QueryResult overworked,
+      db.Execute("retrieve (w.name, w.week_start, w.hours) from w in work "
+                 "where w.hours > 20 and "
+                 "cal_contains('FALL_SEMESTER', w.week_start)"));
+  for (const Row& row : overworked.rows) {
+    CALDB_ASSIGN_OR_RETURN(int64_t day, row[1].AsInt());
+    std::printf("  %-8s week of %s: %s hours\n",
+                row[0].AsText().value().c_str(),
+                FormatCivil(ts.CivilFromDayPoint(day)).c_str(),
+                row[2].ToString().c_str());
+  }
+
+  // The paper's query in one statement — a join between students and
+  // work, with the semester condition expressed through the registered
+  // calendar operator:
+  //
+  //   "Retrieve the names of all foreign students who worked more than 20
+  //    hours in any week during the semester"
+  CALDB_ASSIGN_OR_RETURN(
+      QueryResult foreigners,
+      db.Execute("retrieve (s.name, max(w.hours) as peak) "
+                 "from s in students, w in work "
+                 "where s.foreign_student = true and s.name = w.name "
+                 "and w.hours > 20 "
+                 "and cal_contains('FALL_SEMESTER', w.week_start) "
+                 "group by s.name"));
+  std::printf("\nForeign students working > 20 hours in any semester week:\n");
+  for (const Row& f : foreigners.rows) {
+    std::printf("  %s (peak %s hours)\n", f[0].AsText().value().c_str(),
+                f[1].ToString().c_str());
+  }
+
+  // The semester's weeks themselves, straight from the algebra.
+  CALDB_ASSIGN_OR_RETURN(
+      Calendar weeks,
+      catalog.EvaluateCalendar(
+          "SEMESTER_WEEKS",
+          EvalOptions{.window_days = catalog.YearWindow(1993, 1993).value()}));
+  std::printf("\nThe semester spans %zu weeks: first %s, last %s\n",
+              weeks.size(),
+              FormatInterval(weeks.intervals().front()).c_str(),
+              FormatInterval(weeks.intervals().back()).c_str());
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  Status st = Run();
+  if (!st.ok()) {
+    std::printf("ERROR: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,322 @@
+#include "catalog/calendar_catalog.h"
+
+#include "common/macros.h"
+#include "common/strings.h"
+#include "core/generate.h"
+#include "lang/analyzer.h"
+#include "lang/optimizer.h"
+#include "lang/parser.h"
+#include "lang/planner.h"
+
+namespace caldb {
+
+namespace {
+
+bool IsBaseName(const std::string& name) {
+  return ParseGranularity(name).ok();
+}
+
+}  // namespace
+
+Status CalendarCatalog::CheckNameFree(const std::string& name) const {
+  if (name.empty()) {
+    return Status::InvalidArgument("calendar name must not be empty");
+  }
+  if (IsBaseName(name)) {
+    return Status::AlreadyExists("'" + name + "' names a base calendar");
+  }
+  if (EqualsIgnoreCase(name, "today")) {
+    return Status::AlreadyExists("'today' is reserved");
+  }
+  if (defs_.count(name) > 0) {
+    return Status::AlreadyExists("calendar '" + name + "' already exists");
+  }
+  return Status::OK();
+}
+
+Status CalendarCatalog::DefineDerived(const std::string& name,
+                                      const std::string& script_text,
+                                      std::optional<Interval> lifespan_days) {
+  CALDB_RETURN_IF_ERROR(CheckNameFree(name));
+  Result<Script> parsed = ParseScript(script_text);
+  if (!parsed.ok()) {
+    return parsed.status().WithContext("defining calendar '" + name + "'");
+  }
+  Script script = std::move(parsed).value();
+  Analyzer analyzer(this);
+  CALDB_RETURN_IF_ERROR(
+      analyzer.AnalyzeScript(&script).WithContext("defining calendar '" + name +
+                                                  "'"));
+  CALDB_RETURN_IF_ERROR(OptimizeScript(&script));
+  Result<Plan> plan = CompileScript(script);
+  if (!plan.ok()) {
+    return plan.status().WithContext("defining calendar '" + name + "'");
+  }
+  CalendarDef def;
+  def.name = name;
+  def.derivation_script = script_text;
+  def.granularity = script.unit;
+  def.parsed_script = std::make_shared<const Script>(std::move(script));
+  def.eval_plan = std::make_shared<const Plan>(std::move(plan).value());
+  def.lifespan_days = lifespan_days;
+  defs_[name] = std::move(def);
+  eval_cache_.clear();
+  return Status::OK();
+}
+
+Status CalendarCatalog::DefineValues(const std::string& name, Calendar values,
+                                     std::optional<Interval> lifespan_days) {
+  CALDB_RETURN_IF_ERROR(CheckNameFree(name));
+  if (values.order() != 1) {
+    return Status::InvalidArgument(
+        "explicit calendar values must be an order-1 calendar");
+  }
+  CalendarDef def;
+  def.name = name;
+  def.granularity = values.granularity();
+  def.values = std::move(values);
+  def.lifespan_days = lifespan_days;
+  defs_[name] = std::move(def);
+  return Status::OK();
+}
+
+Status CalendarCatalog::Drop(const std::string& name) {
+  if (defs_.erase(name) == 0) {
+    return Status::NotFound("calendar '" + name + "' does not exist");
+  }
+  eval_cache_.clear();
+  return Status::OK();
+}
+
+bool CalendarCatalog::Contains(const std::string& name) const {
+  return defs_.count(name) > 0 || IsBaseName(name);
+}
+
+Result<CalendarDef> CalendarCatalog::Describe(const std::string& name) const {
+  auto it = defs_.find(name);
+  if (it == defs_.end()) {
+    return Status::NotFound("calendar '" + name + "' has no catalog row");
+  }
+  return it->second;
+}
+
+std::vector<std::string> CalendarCatalog::ListCalendars() const {
+  std::vector<std::string> names;
+  names.reserve(defs_.size());
+  for (const auto& [name, def] : defs_) names.push_back(name);
+  return names;
+}
+
+Result<std::string> CalendarCatalog::FormatRow(const std::string& name) const {
+  CALDB_ASSIGN_OR_RETURN(CalendarDef def, Describe(name));
+  std::string out;
+  out += "Name              | " + def.name + "\n";
+  out += "Derivation-Script | " +
+         (def.derivation_script.empty() ? "(none)" : def.derivation_script) +
+         "\n";
+  out += "Eval-Plan         | " +
+         std::string(def.eval_plan ? "set of procedural statements" : "(none)") +
+         "\n";
+  std::string lifespan = "(-inf, inf)";
+  if (def.lifespan_days.has_value()) {
+    lifespan = "(" + FormatCivil(time_system_.CivilFromDayPoint(def.lifespan_days->lo)) +
+               ", " +
+               FormatCivil(time_system_.CivilFromDayPoint(def.lifespan_days->hi)) +
+               ")";
+  }
+  out += "Lifespan          | " + lifespan + "\n";
+  out += "Granularity       | " + std::string(GranularityName(def.granularity)) +
+         "\n";
+  out += "Values            | " +
+         (def.values.has_value() ? def.values->ToString() : "") + "\n";
+  return out;
+}
+
+Result<ResolvedCalendar> CalendarCatalog::Resolve(const std::string& name) const {
+  Result<Granularity> base = ParseGranularity(name);
+  if (base.ok()) {
+    ResolvedCalendar resolved;
+    resolved.kind = ResolvedCalendar::Kind::kBase;
+    resolved.granularity = *base;
+    return resolved;
+  }
+  auto it = defs_.find(name);
+  if (it == defs_.end()) {
+    return Status::NotFound("unknown calendar '" + name + "'");
+  }
+  const CalendarDef& def = it->second;
+  ResolvedCalendar resolved;
+  resolved.granularity = def.granularity;
+  if (def.values.has_value()) {
+    resolved.kind = ResolvedCalendar::Kind::kValues;
+    resolved.values = *def.values;
+  } else {
+    resolved.kind = ResolvedCalendar::Kind::kDerived;
+    resolved.script = def.parsed_script;
+    resolved.plan = def.eval_plan;
+  }
+  return resolved;
+}
+
+Result<Calendar> CalendarCatalog::EvaluateCalendar(const std::string& name,
+                                                   const EvalOptions& opts_in,
+                                                   EvalStats* stats) const {
+  CALDB_ASSIGN_OR_RETURN(ResolvedCalendar resolved, Resolve(name));
+  // A calendar has no values outside its lifespan: clamp the window.
+  EvalOptions opts = opts_in;
+  auto def = defs_.find(name);
+  if (def != defs_.end() && def->second.lifespan_days.has_value()) {
+    std::optional<Interval> clamped =
+        Intersect(opts.window_days, *def->second.lifespan_days);
+    if (!clamped.has_value()) {
+      return Calendar::Order1(resolved.granularity, {});
+    }
+    opts.window_days = *clamped;
+  }
+  switch (resolved.kind) {
+    case ResolvedCalendar::Kind::kBase: {
+      CALDB_ASSIGN_OR_RETURN(
+          Interval window,
+          ConvertDayWindow(time_system_, opts.window_days, resolved.granularity));
+      return GenerateBaseCalendar(time_system_, resolved.granularity,
+                                  resolved.granularity, window, /*clip=*/false);
+    }
+    case ResolvedCalendar::Kind::kValues: {
+      CALDB_ASSIGN_OR_RETURN(
+          Interval window,
+          ConvertDayWindow(time_system_, opts.window_days, resolved.granularity));
+      return ForEachInterval(resolved.values, ListOp::kOverlaps, window,
+                             /*strict=*/false);
+    }
+    case ResolvedCalendar::Kind::kDerived: {
+      auto key = std::make_tuple(name, opts.window_days.lo, opts.window_days.hi);
+      auto cached = eval_cache_.find(key);
+      if (cached != eval_cache_.end()) return cached->second;
+      Evaluator evaluator(&time_system_, this);
+      CALDB_ASSIGN_OR_RETURN(ScriptValue value,
+                             evaluator.Run(*resolved.plan, opts, stats));
+      if (value.kind == ScriptValue::Kind::kNull) {
+        return Calendar::Order1(resolved.plan->unit, {});
+      }
+      if (value.kind != ScriptValue::Kind::kCalendar) {
+        return Status::EvalError("calendar '" + name +
+                                 "' evaluated to a non-calendar value");
+      }
+      eval_cache_[key] = value.calendar;
+      return value.calendar;
+    }
+  }
+  return Status::Internal("unknown resolved-calendar kind");
+}
+
+Result<ScriptValue> CalendarCatalog::EvaluateScript(
+    const std::string& script_text, const EvalOptions& opts,
+    EvalStats* stats) const {
+  CALDB_ASSIGN_OR_RETURN(Plan plan, CompileScriptText(script_text));
+  Evaluator evaluator(&time_system_, this);
+  return evaluator.Run(plan, opts, stats);
+}
+
+Result<Plan> CalendarCatalog::CompileScriptText(
+    const std::string& script_text) const {
+  CALDB_ASSIGN_OR_RETURN(Script script, ParseScript(script_text));
+  Analyzer analyzer(this);
+  CALDB_RETURN_IF_ERROR(analyzer.AnalyzeScript(&script));
+  CALDB_RETURN_IF_ERROR(OptimizeScript(&script));
+  return CompileScript(script);
+}
+
+namespace {
+
+// Earliest `unit` point > after covered by `cal` (granularity-converted),
+// or nullopt.
+Result<std::optional<TimePoint>> FirstPointAfter(const TimeSystem& ts,
+                                                 const Calendar& cal,
+                                                 TimePoint after,
+                                                 Granularity unit) {
+  Calendar flat = cal.order() == 1 ? cal : cal.Flattened();
+  std::optional<TimePoint> best;
+  for (const Interval& i : flat.intervals()) {
+    CALDB_ASSIGN_OR_RETURN(Interval points,
+                           IntervalToUnit(ts, flat.granularity(), i, unit));
+    if (points.hi <= after) continue;
+    TimePoint candidate = points.lo > after ? points.lo : PointAdd(after, 1);
+    if (!best.has_value() || candidate < *best) best = candidate;
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<std::optional<TimePoint>> CalendarCatalog::NextFireDay(
+    const std::string& name, TimePoint after_day, TimePoint limit_day) const {
+  CALDB_ASSIGN_OR_RETURN(ResolvedCalendar resolved, Resolve(name));
+  (void)resolved;
+  // Search in year-aligned windows of doubling width.
+  int32_t start_year =
+      time_system_.CivilFromDayPoint(PointAdd(after_day, 1)).year;
+  int32_t limit_year = time_system_.CivilFromDayPoint(limit_day).year;
+  for (int32_t span = 1;; span *= 2) {
+    int32_t end_year = std::min<int32_t>(start_year + span - 1, limit_year);
+    CALDB_ASSIGN_OR_RETURN(Interval window, YearWindow(start_year, end_year));
+    EvalOptions opts;
+    opts.window_days = window;
+    opts.today_day = PointAdd(after_day, 1);
+    CALDB_ASSIGN_OR_RETURN(Calendar cal, EvaluateCalendar(name, opts));
+    CALDB_ASSIGN_OR_RETURN(
+        std::optional<TimePoint> hit,
+        FirstPointAfter(time_system_, cal, after_day, Granularity::kDays));
+    if (hit.has_value() && *hit <= limit_day) return hit;
+    if (end_year >= limit_year) return std::optional<TimePoint>(std::nullopt);
+  }
+}
+
+Result<std::optional<TimePoint>> CalendarCatalog::NextFireDayForPlan(
+    const Plan& plan, TimePoint after_day, TimePoint limit_day) const {
+  return NextFirePointForPlan(plan, after_day, limit_day, Granularity::kDays);
+}
+
+Result<std::optional<TimePoint>> CalendarCatalog::NextFirePointForPlan(
+    const Plan& plan, TimePoint after_point, TimePoint limit_point,
+    Granularity unit) const {
+  // Convert unit points to a day anchor for the year-aligned search
+  // windows.
+  CALDB_ASSIGN_OR_RETURN(
+      Interval after_days,
+      IntervalToUnit(time_system_, unit, PointInterval(after_point),
+                     Granularity::kDays));
+  CALDB_ASSIGN_OR_RETURN(
+      Interval limit_days,
+      IntervalToUnit(time_system_, unit, PointInterval(limit_point),
+                     Granularity::kDays));
+  int32_t start_year =
+      time_system_.CivilFromDayPoint(after_days.lo).year;
+  int32_t limit_year = time_system_.CivilFromDayPoint(limit_days.hi).year;
+  Evaluator evaluator(&time_system_, this);
+  for (int32_t span = 1;; span *= 2) {
+    int32_t end_year = std::min<int32_t>(start_year + span - 1, limit_year);
+    CALDB_ASSIGN_OR_RETURN(Interval window, YearWindow(start_year, end_year));
+    EvalOptions opts;
+    opts.window_days = window;
+    opts.today_day = after_days.lo;
+    CALDB_ASSIGN_OR_RETURN(ScriptValue value, evaluator.Run(plan, opts));
+    if (value.kind == ScriptValue::Kind::kCalendar) {
+      CALDB_ASSIGN_OR_RETURN(
+          std::optional<TimePoint> hit,
+          FirstPointAfter(time_system_, value.calendar, after_point, unit));
+      if (hit.has_value() && *hit <= limit_point) return hit;
+    }
+    if (end_year >= limit_year) return std::optional<TimePoint>(std::nullopt);
+  }
+}
+
+Result<Interval> CalendarCatalog::YearWindow(int32_t first_year,
+                                             int32_t last_year) const {
+  if (last_year < first_year) {
+    return Status::InvalidArgument("year window end precedes start");
+  }
+  return time_system_.DayIntervalFromCivil(CivilDate{first_year, 1, 1},
+                                           CivilDate{last_year, 12, 31});
+}
+
+}  // namespace caldb

@@ -1,0 +1,133 @@
+// CalendarCatalog: the CALENDARS table of §3.2 (Figure 1).
+//
+//   CALENDARS(name, derivation-script, eval-plan, lifespan, granularity,
+//             values)
+//
+// A derived calendar is parsed, analyzed, factorized and compiled to its
+// eval-plan *at definition time*, exactly as the paper stores the plan in
+// the catalog row.  Explicit-value calendars (e.g. HOLIDAYS) store their
+// intervals in `values`.  The nine base calendars are implicit.
+
+#ifndef CALDB_CATALOG_CALENDAR_CATALOG_H_
+#define CALDB_CATALOG_CALENDAR_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/calendar.h"
+#include "lang/calendar_source.h"
+#include "lang/evaluator.h"
+#include "lang/plan.h"
+#include "time/time_system.h"
+
+namespace caldb {
+
+/// One row of the CALENDARS table.
+struct CalendarDef {
+  std::string name;
+  std::string derivation_script;                 // source text ("" for values)
+  std::shared_ptr<const Script> parsed_script;   // analyzed + factorized
+  std::shared_ptr<const Plan> eval_plan;
+  std::optional<Interval> lifespan_days;         // nullopt = unbounded
+  Granularity granularity = Granularity::kDays;
+  std::optional<Calendar> values;                // explicit values
+};
+
+class CalendarCatalog : public CalendarSource {
+ public:
+  explicit CalendarCatalog(TimeSystem time_system)
+      : time_system_(std::move(time_system)) {}
+
+  const TimeSystem& time_system() const { return time_system_; }
+
+  /// Defines a derived calendar.  The script is parsed, analyzed against
+  /// this catalog, factorized, and compiled; its granularity is inferred
+  /// from the script's smallest time unit (the paper: "In most cases, the
+  /// granularity can be inferred from the derivation-script").
+  /// AlreadyExists if the name is taken (including the base names).
+  Status DefineDerived(const std::string& name, const std::string& script_text,
+                       std::optional<Interval> lifespan_days = std::nullopt);
+
+  /// Defines an explicit-values calendar (values must be order-1).
+  Status DefineValues(const std::string& name, Calendar values,
+                      std::optional<Interval> lifespan_days = std::nullopt);
+
+  /// Removes a user calendar.  Calendars already inlined into other
+  /// definitions' plans are unaffected (plans are compiled at define time).
+  Status Drop(const std::string& name);
+
+  bool Contains(const std::string& name) const;
+
+  /// The stored row.  NotFound for base calendars (they have no row).
+  Result<CalendarDef> Describe(const std::string& name) const;
+
+  /// User-defined calendar names, sorted.
+  std::vector<std::string> ListCalendars() const;
+
+  /// Renders the row in the style of the paper's Figure 1.
+  Result<std::string> FormatRow(const std::string& name) const;
+
+  // --- CalendarSource -------------------------------------------------------
+  Result<ResolvedCalendar> Resolve(const std::string& name) const override;
+
+  // --- evaluation -------------------------------------------------------
+
+  /// Evaluates a named calendar over opts.window_days.  For a derived
+  /// calendar this runs its eval-plan; for a value calendar it returns the
+  /// stored intervals overlapping the window; for a base calendar it
+  /// materializes granules overlapping the window.
+  Result<Calendar> EvaluateCalendar(const std::string& name,
+                                    const EvalOptions& opts,
+                                    EvalStats* stats = nullptr) const;
+
+  /// Parses, analyzes, factorizes, compiles and runs an ad-hoc script.
+  Result<ScriptValue> EvaluateScript(const std::string& script_text,
+                                     const EvalOptions& opts,
+                                     EvalStats* stats = nullptr) const;
+
+  /// Compiles a script without running it (for inspection / DBCRON).
+  Result<Plan> CompileScriptText(const std::string& script_text) const;
+
+  /// Convenience: the DAYS window covering civil years [first, last].
+  Result<Interval> YearWindow(int32_t first_year, int32_t last_year) const;
+
+  /// The first DAY point strictly after `after_day` covered by the named
+  /// calendar, searching no further than `limit_day`.  Evaluation windows
+  /// grow in whole-year steps so that month/year-relative selections
+  /// ([n]/DAYS:during:MONTHS) stay meaningful.  nullopt when none found.
+  /// This is the primitive DBCRON uses to fill the RULE-TIME table (§4).
+  Result<std::optional<TimePoint>> NextFireDay(const std::string& name,
+                                               TimePoint after_day,
+                                               TimePoint limit_day) const;
+
+  /// Same, for an ad-hoc compiled rule expression.
+  Result<std::optional<TimePoint>> NextFireDayForPlan(const Plan& plan,
+                                                      TimePoint after_day,
+                                                      TimePoint limit_day) const;
+
+  /// Granularity-generalized next firing: points are granules of `unit`
+  /// (HOURS for process-control rules, DAYS for the paper's examples).
+  Result<std::optional<TimePoint>> NextFirePointForPlan(const Plan& plan,
+                                                        TimePoint after_point,
+                                                        TimePoint limit_point,
+                                                        Granularity unit) const;
+
+ private:
+  Status CheckNameFree(const std::string& name) const;
+
+  TimeSystem time_system_;
+  std::map<std::string, CalendarDef> defs_;
+  // Evaluated values of derived calendars, keyed by (name, window) — the
+  // caching role of the CALENDARS row's `values` column.  Invalidated on
+  // Define/Drop.  The catalog is single-threaded, like the rest of caldb.
+  mutable std::map<std::tuple<std::string, TimePoint, TimePoint>, Calendar>
+      eval_cache_;
+};
+
+}  // namespace caldb
+
+#endif  // CALDB_CATALOG_CALENDAR_CATALOG_H_

@@ -1,0 +1,36 @@
+// Registers the calendar operators with a Database's function registry —
+// the paper's integration story (§5): "The calendar expression parser,
+// procedures to generate calendars and procedures to evaluate calendar
+// expressions are declared as operators to the extensible DBMS.  Once
+// declared to the DBMS, they can be used as part of the query language."
+//
+// Registered functions (usable in retrieve/where clauses):
+//   cal_contains(name, day)      -> bool: day point inside the calendar
+//   cal_next(name, day)          -> int:  first calendar day after `day`
+//   cal_eval(script)             -> calendar: evaluate an expression
+//   cal_span(calendar)           -> interval covering the calendar
+//   cal_count(calendar)          -> int: number of intervals
+//   interval_lo(i), interval_hi(i) -> int
+//   make_interval(lo, hi)        -> interval
+//   overlaps(i, j), during(i, j), meets(i, j), before(i, j) -> bool
+//   day_of_week(day)             -> int (Monday = 1 .. Sunday = 7)
+//   date_to_day('YYYY-MM-DD')    -> int day point
+//   day_to_date(day)             -> text 'YYYY-MM-DD'
+
+#ifndef CALDB_CATALOG_CALENDAR_FUNCTIONS_H_
+#define CALDB_CATALOG_CALENDAR_FUNCTIONS_H_
+
+#include "catalog/calendar_catalog.h"
+#include "db/database.h"
+
+namespace caldb {
+
+/// `catalog` must outlive `db`.  Evaluation windows for named calendars
+/// default to the calendar's lifespan, falling back to +-`default_window`
+/// days around the probed point.
+Status RegisterCalendarFunctions(Database* db, const CalendarCatalog* catalog,
+                                 int64_t default_window_days = 800);
+
+}  // namespace caldb
+
+#endif  // CALDB_CATALOG_CALENDAR_FUNCTIONS_H_

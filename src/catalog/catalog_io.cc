@@ -1,0 +1,221 @@
+#include "catalog/catalog_io.h"
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "common/macros.h"
+#include "common/strings.h"
+#include "lang/parser.h"
+
+namespace caldb {
+
+namespace {
+
+constexpr char kHeader[] = "# caldb catalog dump v1";
+constexpr char kScriptBegin[] = "<<<SCRIPT";
+constexpr char kScriptEnd[] = "SCRIPT>>>";
+
+// Calendar names referenced by a (raw, unanalyzed) script, restricted to
+// names the catalog defines — the reload dependencies.
+void CollectIdents(const Expr& e, std::set<std::string>* out) {
+  if (e.kind == Expr::Kind::kIdent) out->insert(e.name);
+  if (e.lhs) CollectIdents(*e.lhs, out);
+  if (e.rhs) CollectIdents(*e.rhs, out);
+  if (e.child) CollectIdents(*e.child, out);
+  for (const ExprPtr& a : e.args) CollectIdents(*a, out);
+}
+
+void CollectIdents(const std::vector<Stmt>& body, std::set<std::string>* out) {
+  for (const Stmt& stmt : body) {
+    if (stmt.expr) CollectIdents(*stmt.expr, out);
+    CollectIdents(stmt.body, out);
+    CollectIdents(stmt.else_body, out);
+  }
+}
+
+std::string LifespanToString(const std::optional<Interval>& lifespan) {
+  if (!lifespan.has_value()) return "none";
+  return std::to_string(lifespan->lo) + "," + std::to_string(lifespan->hi);
+}
+
+Result<std::optional<Interval>> ParseLifespan(std::string_view text) {
+  if (text == "none") return std::optional<Interval>(std::nullopt);
+  std::vector<std::string_view> parts = StrSplit(text, ',');
+  if (parts.size() != 2) {
+    return Status::ParseError("bad lifespan '" + std::string(text) + "'");
+  }
+  CALDB_ASSIGN_OR_RETURN(int64_t lo, ParseInt64(parts[0]));
+  CALDB_ASSIGN_OR_RETURN(int64_t hi, ParseInt64(parts[1]));
+  CALDB_ASSIGN_OR_RETURN(Interval i, MakeInterval(lo, hi));
+  return std::optional<Interval>(i);
+}
+
+}  // namespace
+
+Result<std::string> DumpCatalog(const CalendarCatalog& catalog) {
+  std::string out;
+  out += kHeader;
+  out += "\nepoch ";
+  out += FormatCivil(catalog.time_system().epoch());
+  out += "\n";
+
+  // Topologically order: a derived calendar follows everything its raw
+  // script references.
+  std::vector<std::string> names = catalog.ListCalendars();
+  std::set<std::string> defined(names.begin(), names.end());
+  std::map<std::string, std::set<std::string>> deps;
+  for (const std::string& name : names) {
+    CALDB_ASSIGN_OR_RETURN(CalendarDef def, catalog.Describe(name));
+    std::set<std::string> refs;
+    if (!def.derivation_script.empty()) {
+      CALDB_ASSIGN_OR_RETURN(Script raw, ParseScript(def.derivation_script));
+      std::set<std::string> idents;
+      CollectIdents(raw.stmts, &idents);
+      for (const std::string& ident : idents) {
+        if (ident != name && defined.count(ident) > 0) refs.insert(ident);
+      }
+    }
+    deps[name] = std::move(refs);
+  }
+  std::vector<std::string> ordered;
+  std::set<std::string> emitted;
+  std::set<std::string> visiting;
+  std::function<Status(const std::string&)> visit =
+      [&](const std::string& name) -> Status {
+    if (emitted.count(name) > 0) return Status::OK();
+    if (!visiting.insert(name).second) {
+      return Status::Internal("cyclic catalog dependency at '" + name + "'");
+    }
+    for (const std::string& dep : deps[name]) {
+      CALDB_RETURN_IF_ERROR(visit(dep));
+    }
+    visiting.erase(name);
+    emitted.insert(name);
+    ordered.push_back(name);
+    return Status::OK();
+  };
+  for (const std::string& name : names) {
+    CALDB_RETURN_IF_ERROR(visit(name));
+  }
+
+  for (const std::string& name : ordered) {
+    CALDB_ASSIGN_OR_RETURN(CalendarDef def, catalog.Describe(name));
+    if (def.values.has_value()) {
+      out += "calendar " + name + " values lifespan=" +
+             LifespanToString(def.lifespan_days) + "\n";
+      out += std::string(GranularityName(def.values->granularity())) +
+             def.values->ToString() + "\n";
+    } else {
+      out += "calendar " + name + " derived lifespan=" +
+             LifespanToString(def.lifespan_days) + "\n";
+      out += kScriptBegin;
+      out += "\n";
+      out += def.derivation_script;
+      out += "\n";
+      out += kScriptEnd;
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+Status RestoreCatalog(const std::string& dump, CalendarCatalog* catalog) {
+  std::vector<std::string_view> lines = StrSplit(dump, '\n');
+  size_t i = 0;
+  auto next_line = [&]() -> std::optional<std::string_view> {
+    while (i < lines.size()) {
+      std::string_view line = TrimWhitespace(lines[i]);
+      ++i;
+      if (line.empty() || line[0] == '#') continue;
+      return line;
+    }
+    return std::nullopt;
+  };
+
+  std::optional<std::string_view> epoch_line = next_line();
+  if (!epoch_line.has_value() || epoch_line->substr(0, 6) != "epoch ") {
+    return Status::ParseError("catalog dump must start with an 'epoch' line");
+  }
+  CALDB_ASSIGN_OR_RETURN(CivilDate epoch,
+                         ParseCivil(TrimWhitespace(epoch_line->substr(6))));
+  if (!(epoch == catalog->time_system().epoch())) {
+    return Status::InvalidArgument(
+        "dump epoch " + FormatCivil(epoch) + " does not match catalog epoch " +
+        FormatCivil(catalog->time_system().epoch()));
+  }
+
+  while (true) {
+    std::optional<std::string_view> line = next_line();
+    if (!line.has_value()) break;
+    std::vector<std::string_view> fields = StrSplit(*line, ' ');
+    if (fields.size() != 4 || fields[0] != "calendar" ||
+        fields[3].substr(0, 9) != "lifespan=") {
+      return Status::ParseError("bad calendar header line: '" +
+                                std::string(*line) + "'");
+    }
+    std::string name(fields[1]);
+    CALDB_ASSIGN_OR_RETURN(std::optional<Interval> lifespan,
+                           ParseLifespan(fields[3].substr(9)));
+    if (fields[2] == "values") {
+      std::optional<std::string_view> payload = next_line();
+      if (!payload.has_value()) {
+        return Status::ParseError("missing values for calendar '" + name + "'");
+      }
+      // The payload is a granularity-tagged literal, e.g. DAYS{(1,2)}.
+      CALDB_ASSIGN_OR_RETURN(ExprPtr literal,
+                             ParseExpression(std::string(*payload)));
+      if (literal->kind != Expr::Kind::kLiteral) {
+        return Status::ParseError("values of '" + name +
+                                  "' are not an interval-list literal");
+      }
+      CALDB_RETURN_IF_ERROR(
+          catalog->DefineValues(name, literal->literal, lifespan));
+    } else if (fields[2] == "derived") {
+      // Raw lines (no trimming) between the script markers.
+      if (i >= lines.size() || TrimWhitespace(lines[i]) != kScriptBegin) {
+        return Status::ParseError("missing script block for '" + name + "'");
+      }
+      ++i;
+      std::string script;
+      bool closed = false;
+      while (i < lines.size()) {
+        if (TrimWhitespace(lines[i]) == kScriptEnd) {
+          ++i;
+          closed = true;
+          break;
+        }
+        script += std::string(lines[i]);
+        script += "\n";
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated script block for '" + name +
+                                  "'");
+      }
+      CALDB_RETURN_IF_ERROR(catalog->DefineDerived(
+          name, std::string(TrimWhitespace(script)), lifespan));
+    } else {
+      return Status::ParseError("unknown calendar kind '" +
+                                std::string(fields[2]) + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Result<CalendarCatalog> LoadCatalog(const std::string& dump) {
+  // Peek the epoch to construct the catalog.
+  for (std::string_view line : StrSplit(dump, '\n')) {
+    line = TrimWhitespace(line);
+    if (line.empty() || line[0] == '#') continue;
+    if (line.substr(0, 6) != "epoch ") break;
+    CALDB_ASSIGN_OR_RETURN(CivilDate epoch,
+                           ParseCivil(TrimWhitespace(line.substr(6))));
+    CalendarCatalog catalog{TimeSystem{epoch}};
+    CALDB_RETURN_IF_ERROR(RestoreCatalog(dump, &catalog));
+    return catalog;
+  }
+  return Status::ParseError("catalog dump must start with an 'epoch' line");
+}
+
+}  // namespace caldb

@@ -1,0 +1,29 @@
+// Textual persistence for the CALENDARS catalog: dump every user-defined
+// calendar (derivation scripts and explicit values) to a text form, and
+// restore it — the durable half of the paper's catalog table.
+
+#ifndef CALDB_CATALOG_CATALOG_IO_H_
+#define CALDB_CATALOG_CATALOG_IO_H_
+
+#include <string>
+
+#include "catalog/calendar_catalog.h"
+
+namespace caldb {
+
+/// Serializes the catalog (epoch + all user calendars).  Derived calendars
+/// are written after the calendars their scripts reference, so a restore
+/// replays cleanly.
+Result<std::string> DumpCatalog(const CalendarCatalog& catalog);
+
+/// Restores calendars from a dump into `catalog`, whose time-system epoch
+/// must match the dump's (time points are epoch-relative).  Existing
+/// calendars with clashing names cause AlreadyExists.
+Status RestoreCatalog(const std::string& dump, CalendarCatalog* catalog);
+
+/// Convenience: builds a fresh catalog from a dump.
+Result<CalendarCatalog> LoadCatalog(const std::string& dump);
+
+}  // namespace caldb
+
+#endif  // CALDB_CATALOG_CATALOG_IO_H_

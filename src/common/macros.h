@@ -1,0 +1,44 @@
+// Error-propagation and invariant-check macros.
+
+#ifndef CALDB_COMMON_MACROS_H_
+#define CALDB_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/result.h"
+#include "common/status.h"
+
+// Propagates a non-OK Status to the caller.
+#define CALDB_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::caldb::Status _caldb_status = (expr);          \
+    if (!_caldb_status.ok()) return _caldb_status;   \
+  } while (false)
+
+#define CALDB_CONCAT_IMPL(a, b) a##b
+#define CALDB_CONCAT(a, b) CALDB_CONCAT_IMPL(a, b)
+
+// Evaluates `rexpr` (a Result<T>), propagating errors; on success assigns
+// the value to `lhs` (which may include a declaration).
+#define CALDB_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  CALDB_ASSIGN_OR_RETURN_IMPL(CALDB_CONCAT(_caldb_res_, __LINE__),    \
+                              lhs, rexpr)
+
+#define CALDB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+// Internal invariant check: aborts with a message.  Used for conditions
+// that indicate caldb bugs (never for user input, which gets a Status).
+#define CALDB_DCHECK(cond, msg)                                           \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "CALDB_DCHECK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, msg);                                        \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+#endif  // CALDB_COMMON_MACROS_H_

@@ -1,0 +1,96 @@
+// Status: the error model used across the caldb public API.
+//
+// caldb does not throw exceptions across API boundaries (following the
+// Arrow / RocksDB database-engine idiom).  Every fallible operation returns
+// either a Status or a Result<T> (see result.h).
+
+#ifndef CALDB_COMMON_STATUS_H_
+#define CALDB_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace caldb {
+
+// Error categories.  kOk is the unique success code.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kParseError,
+  kTypeError,
+  kEvalError,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code ("ParseError" etc).
+std::string_view StatusCodeName(StatusCode code);
+
+/// A success-or-error value.  Cheap to copy in the success case (no
+/// allocation); errors carry a message.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status EvalError(std::string msg) {
+    return Status(StatusCode::kEvalError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Prepends context to the error message; no-op on OK statuses.
+  Status WithContext(std::string_view context) const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace caldb
+
+#endif  // CALDB_COMMON_STATUS_H_

@@ -1,0 +1,34 @@
+// Small string utilities shared across caldb modules.
+
+#ifndef CALDB_COMMON_STRINGS_H_
+#define CALDB_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace caldb {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// Splits on `sep`, keeping empty pieces.
+std::vector<std::string_view> StrSplit(std::string_view s, char sep);
+
+/// ASCII lower-casing.
+std::string AsciiToLower(std::string_view s);
+/// ASCII upper-casing.
+std::string AsciiToUpper(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Parses a base-10 signed integer occupying the whole string.
+Result<int64_t> ParseInt64(std::string_view s);
+
+}  // namespace caldb
+
+#endif  // CALDB_COMMON_STRINGS_H_

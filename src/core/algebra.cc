@@ -1,0 +1,313 @@
+#include "core/algebra.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace caldb {
+
+namespace {
+
+Status RequireOrder1(const Calendar& c, const char* what) {
+  if (c.order() != 1) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " requires an order-1 calendar, got order " +
+                                   std::to_string(c.order()));
+  }
+  return Status::OK();
+}
+
+Status RequireSameGranularity(const Calendar& a, const Calendar& b,
+                              const char* what) {
+  if (a.granularity() != b.granularity()) {
+    return Status::TypeError(
+        std::string(what) + " requires matching granularities (" +
+        std::string(GranularityName(a.granularity())) + " vs " +
+        std::string(GranularityName(b.granularity())) + ")");
+  }
+  return Status::OK();
+}
+
+// Set intersection of two sorted order-1 interval lists (two-pointer).
+std::vector<Interval> IntersectLists(const std::vector<Interval>& a,
+                                     const std::vector<Interval>& b) {
+  std::vector<Interval> out;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (std::optional<Interval> x = Intersect(a[i], b[j])) out.push_back(*x);
+    if (a[i].hi < b[j].hi) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+// The intersects listop as used by calendar scripts: always order-1.
+Result<Calendar> IntersectsOp(const Calendar& c, const Calendar& rhs,
+                              bool strict) {
+  CALDB_RETURN_IF_ERROR(RequireSameGranularity(c, rhs, "intersects"));
+  CALDB_RETURN_IF_ERROR(RequireOrder1(c, "intersects left operand"));
+  Calendar flat_rhs = rhs.order() == 1 ? rhs : rhs.Flattened();
+  if (strict) {
+    return Calendar::Order1(c.granularity(),
+                            IntersectLists(c.intervals(), flat_rhs.intervals()));
+  }
+  // Relaxed: keep whole elements of C overlapping any rhs interval.
+  std::vector<Interval> kept;
+  for (const Interval& ci : c.intervals()) {
+    for (const Interval& ri : flat_rhs.intervals()) {
+      if (ri.lo > ci.hi) break;
+      if (IntervalOverlaps(ci, ri)) {
+        kept.push_back(ci);
+        break;
+      }
+    }
+  }
+  return Calendar::Order1(c.granularity(), std::move(kept));
+}
+
+// True when upper endpoints are non-decreasing (holds for every
+// disjoint sorted calendar, in particular all generated base calendars).
+// Enables binary-search scan starts and early breaks below.
+bool HiMonotone(const std::vector<Interval>& v) {
+  for (size_t i = 1; i < v.size(); ++i) {
+    if (v[i].hi < v[i - 1].hi) return false;
+  }
+  return true;
+}
+
+// One foreach application against an interval, scanning only the slice of
+// `c` that can satisfy `op` when `hi_monotone` licenses it.
+Calendar ForEachIntervalScan(const Calendar& c, ListOp op, const Interval& rhs,
+                             bool strict, bool hi_monotone) {
+  const std::vector<Interval>& v = c.intervals();
+  const bool clip = strict && ListOpClipsUnderStrict(op);
+  std::vector<Interval> out;
+  size_t begin = 0;
+  if (hi_monotone &&
+      (op == ListOp::kDuring || op == ListOp::kOverlaps ||
+       op == ListOp::kIntersects)) {
+    // Skip elements that end before rhs starts; none can match.
+    begin = static_cast<size_t>(
+        std::lower_bound(v.begin(), v.end(), rhs.lo,
+                         [](const Interval& i, TimePoint lo) {
+                           return i.hi < lo;
+                         }) -
+        v.begin());
+  }
+  for (size_t idx = begin; idx < v.size(); ++idx) {
+    const Interval& ci = v[idx];
+    // Early exits: intervals are sorted by lo (and by hi when monotone).
+    if ((op == ListOp::kDuring || op == ListOp::kOverlaps ||
+         op == ListOp::kIntersects) &&
+        ci.lo > rhs.hi) {
+      break;
+    }
+    if (op == ListOp::kBeforeEq && ci.lo > rhs.lo) break;
+    if (hi_monotone && (op == ListOp::kBefore || op == ListOp::kMeets) &&
+        ci.hi > rhs.lo) {
+      break;
+    }
+    if (!EvalListOp(op, ci, rhs)) continue;
+    if (clip) {
+      std::optional<Interval> x = Intersect(ci, rhs);
+      if (!x) continue;  // the paper's "/{ε}"
+      out.push_back(*x);
+    } else {
+      out.push_back(ci);
+    }
+  }
+  return Calendar::Order1(c.granularity(), std::move(out));
+}
+
+// foreach with forced nesting decision (`collapse_singleton` true only at
+// the top level so that nested results stay rectangular).
+Result<Calendar> ForEachImpl(const Calendar& c, ListOp op, const Calendar& rhs,
+                             bool strict, bool collapse_singleton,
+                             bool hi_monotone) {
+  if (rhs.order() == 1) {
+    if (collapse_singleton && rhs.IsSingleton()) {
+      return ForEachIntervalScan(c, op, rhs.intervals().front(), strict,
+                                 hi_monotone);
+    }
+    std::vector<Calendar> children;
+    children.reserve(rhs.size());
+    for (const Interval& i : rhs.intervals()) {
+      children.push_back(ForEachIntervalScan(c, op, i, strict, hi_monotone));
+    }
+    return Calendar::Nested(c.granularity(), std::move(children),
+                            /*order_if_empty=*/2);
+  }
+  std::vector<Calendar> children;
+  children.reserve(rhs.children().size());
+  for (const Calendar& rc : rhs.children()) {
+    CALDB_ASSIGN_OR_RETURN(
+        Calendar child,
+        ForEachImpl(c, op, rc, strict, /*collapse_singleton=*/false,
+                    hi_monotone));
+    children.push_back(std::move(child));
+  }
+  return Calendar::Nested(c.granularity(), std::move(children),
+                          /*order_if_empty=*/rhs.order() + 1);
+}
+
+}  // namespace
+
+Result<Calendar> ForEachInterval(const Calendar& c, ListOp op,
+                                 const Interval& rhs, bool strict) {
+  CALDB_RETURN_IF_ERROR(RequireOrder1(c, "foreach left operand"));
+  return ForEachIntervalScan(c, op, rhs, strict, HiMonotone(c.intervals()));
+}
+
+Result<Calendar> ForEach(const Calendar& c, ListOp op, const Calendar& rhs,
+                         bool strict) {
+  if (op == ListOp::kIntersects) return IntersectsOp(c, rhs, strict);
+  CALDB_RETURN_IF_ERROR(RequireSameGranularity(c, rhs, "foreach"));
+  CALDB_RETURN_IF_ERROR(RequireOrder1(c, "foreach left operand"));
+  return ForEachImpl(c, op, rhs, strict, /*collapse_singleton=*/true,
+                     HiMonotone(c.intervals()));
+}
+
+namespace {
+
+// Resolves a selection predicate against an element count, producing
+// zero-based positions in listed order.  Out-of-range indices are skipped.
+std::vector<size_t> ResolvePositions(const std::vector<SelectionItem>& predicate,
+                                     size_t count) {
+  std::vector<size_t> positions;
+  const int64_t n = static_cast<int64_t>(count);
+  auto add = [&](int64_t pos_zero_based) {
+    if (pos_zero_based >= 0 && pos_zero_based < n) {
+      positions.push_back(static_cast<size_t>(pos_zero_based));
+    }
+  };
+  for (const SelectionItem& item : predicate) {
+    switch (item.kind) {
+      case SelectionItem::Kind::kIndex:
+        if (item.index > 0) {
+          add(item.index - 1);
+        } else if (item.index < 0) {
+          add(n + item.index);
+        }
+        break;
+      case SelectionItem::Kind::kLast:
+        add(n - 1);
+        break;
+      case SelectionItem::Kind::kRange: {
+        int64_t hi = item.range_hi == SelectionItem::kLastMarker ? n : item.range_hi;
+        for (int64_t i = item.range_lo; i <= hi; ++i) add(i - 1);
+        break;
+      }
+    }
+  }
+  return positions;
+}
+
+}  // namespace
+
+Result<Calendar> Select(const std::vector<SelectionItem>& predicate,
+                        const Calendar& c) {
+  if (predicate.empty()) {
+    return Status::InvalidArgument("empty selection predicate");
+  }
+  if (c.order() == 1) {
+    std::vector<Interval> out;
+    for (size_t pos : ResolvePositions(predicate, c.intervals().size())) {
+      out.push_back(c.intervals()[pos]);
+    }
+    return Calendar::Order1(c.granularity(), std::move(out));
+  }
+  // Order n >= 2: pick the selected elements of each order-(n-1) component
+  // and splice them together; the result has order n-1.
+  if (c.order() == 2) {
+    std::vector<Interval> out;
+    for (const Calendar& child : c.children()) {
+      for (size_t pos : ResolvePositions(predicate, child.intervals().size())) {
+        out.push_back(child.intervals()[pos]);
+      }
+    }
+    return Calendar::Order1(c.granularity(), std::move(out));
+  }
+  std::vector<Calendar> out_children;
+  for (const Calendar& child : c.children()) {
+    for (size_t pos : ResolvePositions(predicate, child.children().size())) {
+      out_children.push_back(child.children()[pos]);
+    }
+  }
+  return Calendar::Nested(c.granularity(), std::move(out_children),
+                          /*order_if_empty=*/c.order() - 1);
+}
+
+Result<Calendar> Union(const Calendar& a, const Calendar& b) {
+  CALDB_RETURN_IF_ERROR(RequireOrder1(a, "union"));
+  CALDB_RETURN_IF_ERROR(RequireOrder1(b, "union"));
+  CALDB_RETURN_IF_ERROR(RequireSameGranularity(a, b, "union"));
+  std::vector<Interval> merged = a.intervals();
+  merged.insert(merged.end(), b.intervals().begin(), b.intervals().end());
+  std::sort(merged.begin(), merged.end(), [](const Interval& x, const Interval& y) {
+    return x.lo != y.lo ? x.lo < y.lo : x.hi < y.hi;
+  });
+  std::vector<Interval> out;
+  for (const Interval& i : merged) {
+    if (!out.empty() && i.lo <= out.back().hi) {
+      out.back().hi = std::max(out.back().hi, i.hi);
+    } else {
+      out.push_back(i);
+    }
+  }
+  return Calendar::Order1(a.granularity(), std::move(out));
+}
+
+Result<Calendar> Difference(const Calendar& a, const Calendar& b) {
+  CALDB_RETURN_IF_ERROR(RequireOrder1(a, "difference"));
+  CALDB_RETURN_IF_ERROR(RequireOrder1(b, "difference"));
+  CALDB_RETURN_IF_ERROR(RequireSameGranularity(a, b, "difference"));
+  std::vector<Interval> out;
+  // Both lists are sorted by lo; subtrahend elements wholly before the
+  // current minuend can never matter again, so the scan start advances
+  // monotonically (two-pointer sweep).
+  size_t j_start = 0;
+  for (const Interval& ai : a.intervals()) {
+    // Remaining uncovered prefix of ai, tracked in offset space so that
+    // splitting across the zero gap stays correct.
+    int64_t lo_off = PointToOffset(ai.lo);
+    const int64_t hi_off = PointToOffset(ai.hi);
+    bool consumed = false;
+    while (j_start < b.intervals().size() &&
+           PointToOffset(b.intervals()[j_start].hi) < lo_off) {
+      ++j_start;
+    }
+    for (size_t j = j_start; j < b.intervals().size(); ++j) {
+      const Interval& bi = b.intervals()[j];
+      const int64_t blo = PointToOffset(bi.lo);
+      const int64_t bhi = PointToOffset(bi.hi);
+      if (bhi < lo_off) continue;
+      if (blo > hi_off) break;
+      if (blo > lo_off) {
+        out.push_back(Interval{OffsetToPoint(lo_off), OffsetToPoint(blo - 1)});
+      }
+      lo_off = bhi + 1;
+      if (lo_off > hi_off) {
+        consumed = true;
+        break;
+      }
+    }
+    if (!consumed) {
+      out.push_back(Interval{OffsetToPoint(lo_off), OffsetToPoint(hi_off)});
+    }
+  }
+  return Calendar::Order1(a.granularity(), std::move(out));
+}
+
+Result<Calendar> Intersection(const Calendar& a, const Calendar& b) {
+  CALDB_RETURN_IF_ERROR(RequireOrder1(a, "intersection"));
+  CALDB_RETURN_IF_ERROR(RequireOrder1(b, "intersection"));
+  CALDB_RETURN_IF_ERROR(RequireSameGranularity(a, b, "intersection"));
+  return Calendar::Order1(a.granularity(),
+                          IntersectLists(a.intervals(), b.intervals()));
+}
+
+}  // namespace caldb

@@ -1,0 +1,155 @@
+#include "core/calendar.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace caldb {
+
+Calendar Calendar::Order1(Granularity g, std::vector<Interval> intervals) {
+  Calendar c;
+  c.granularity_ = g;
+  c.order_ = 1;
+  for (const Interval& i : intervals) {
+    (void)i;
+    CALDB_DCHECK(IsValidPoint(i.lo) && IsValidPoint(i.hi) && i.lo <= i.hi,
+                 "invalid interval in Calendar::Order1");
+  }
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.lo != b.lo ? a.lo < b.lo : a.hi < b.hi;
+            });
+  c.intervals_ = std::move(intervals);
+  return c;
+}
+
+Result<Calendar> Calendar::MakeOrder1(Granularity g,
+                                      std::vector<Interval> intervals) {
+  for (const Interval& i : intervals) {
+    if (!IsValidPoint(i.lo) || !IsValidPoint(i.hi)) {
+      return Status::InvalidArgument(
+          "interval endpoint 0 is not a valid time point");
+    }
+    if (i.lo > i.hi) {
+      return Status::InvalidArgument("interval " + FormatInterval(i) +
+                                     " has lo > hi");
+    }
+  }
+  return Order1(g, std::move(intervals));
+}
+
+Calendar Calendar::Nested(Granularity g, std::vector<Calendar> children,
+                          int order_if_empty) {
+  Calendar c;
+  c.granularity_ = g;
+  CALDB_DCHECK(order_if_empty >= 2, "Nested calendars have order >= 2");
+  int child_order =
+      children.empty() ? order_if_empty - 1 : children.front().order();
+  for (Calendar& child : children) {
+    CALDB_DCHECK(child.order() == child_order,
+                 "Calendar::Nested requires children of equal order");
+    child.set_granularity(g);
+  }
+  c.order_ = child_order + 1;
+  c.children_ = std::move(children);
+  return c;
+}
+
+void Calendar::set_granularity(Granularity g) {
+  granularity_ = g;
+  for (Calendar& child : children_) child.set_granularity(g);
+}
+
+bool Calendar::IsNull() const {
+  if (order_ == 1) return intervals_.empty();
+  for (const Calendar& child : children_) {
+    if (!child.IsNull()) return false;
+  }
+  return true;
+}
+
+int64_t Calendar::TotalIntervals() const {
+  if (order_ == 1) return static_cast<int64_t>(intervals_.size());
+  int64_t total = 0;
+  for (const Calendar& child : children_) total += child.TotalIntervals();
+  return total;
+}
+
+namespace {
+void CollectLeaves(const Calendar& c, std::vector<Interval>* out) {
+  if (c.order() == 1) {
+    out->insert(out->end(), c.intervals().begin(), c.intervals().end());
+    return;
+  }
+  for (const Calendar& child : c.children()) CollectLeaves(child, out);
+}
+}  // namespace
+
+Calendar Calendar::Flattened() const {
+  std::vector<Interval> leaves;
+  CollectLeaves(*this, &leaves);
+  return Order1(granularity_, std::move(leaves));
+}
+
+std::optional<Interval> Calendar::Span() const {
+  if (order_ == 1) {
+    if (intervals_.empty()) return std::nullopt;
+    TimePoint lo = intervals_.front().lo;
+    TimePoint hi = intervals_.front().hi;
+    for (const Interval& i : intervals_) hi = std::max(hi, i.hi);
+    return Interval{lo, hi};
+  }
+  std::optional<Interval> span;
+  for (const Calendar& child : children_) {
+    std::optional<Interval> s = child.Span();
+    if (!s) continue;
+    if (!span) {
+      span = s;
+    } else {
+      span->lo = std::min(span->lo, s->lo);
+      span->hi = std::max(span->hi, s->hi);
+    }
+  }
+  return span;
+}
+
+bool Calendar::ContainsPoint(TimePoint p) const {
+  if (order_ == 1) {
+    // intervals_ sorted by lo: binary search for the last interval with
+    // lo <= p, then check span membership of candidates before it (hi is
+    // not monotone in general, so scan back conservatively).
+    for (const Interval& i : intervals_) {
+      if (i.lo > p) break;
+      if (i.Contains(p)) return true;
+    }
+    return false;
+  }
+  for (const Calendar& child : children_) {
+    if (child.ContainsPoint(p)) return true;
+  }
+  return false;
+}
+
+std::string Calendar::ToString() const {
+  std::string out = "{";
+  if (order_ == 1) {
+    for (size_t i = 0; i < intervals_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += FormatInterval(intervals_[i]);
+    }
+  } else {
+    for (size_t i = 0; i < children_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += children_[i].ToString();
+    }
+  }
+  out += "}";
+  return out;
+}
+
+bool Calendar::operator==(const Calendar& other) const {
+  return granularity_ == other.granularity_ && order_ == other.order_ &&
+         intervals_ == other.intervals_ && children_ == other.children_;
+}
+
+}  // namespace caldb

@@ -1,0 +1,100 @@
+// Calendar: a structured collection of intervals (§3.1).
+//
+// A calendar of order 1 is a list of intervals sorted by start point; a
+// calendar of order n > 1 is a list of calendars of order n-1 (all sharing
+// the calendar's granularity).  Every calendar carries the granularity its
+// points are expressed in.
+
+#ifndef CALDB_CORE_CALENDAR_H_
+#define CALDB_CORE_CALENDAR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/interval.h"
+#include "time/granularity.h"
+
+namespace caldb {
+
+class Calendar {
+ public:
+  /// An empty order-1 calendar of days.
+  Calendar() = default;
+
+  /// Builds an order-1 calendar; intervals are sorted by (lo, hi).
+  /// Intervals must be valid (nonzero endpoints, lo <= hi); this is a
+  /// library invariant, checked in debug builds.  Use MakeOrder1 for
+  /// untrusted input.
+  static Calendar Order1(Granularity g, std::vector<Interval> intervals);
+
+  /// Validating variant of Order1 for untrusted (parsed) input.
+  static Result<Calendar> MakeOrder1(Granularity g,
+                                     std::vector<Interval> intervals);
+
+  /// Builds an order-(k+1) calendar from order-k children.  All children
+  /// must share the same order; their granularity is overridden by `g`.
+  /// `order_if_empty` (>= 2) fixes the order when `children` is empty —
+  /// an empty order-3 calendar is distinct from an empty order-2 one, and
+  /// the foreach operators rely on rectangular results.
+  static Calendar Nested(Granularity g, std::vector<Calendar> children,
+                         int order_if_empty = 2);
+
+  /// A single-interval order-1 calendar.
+  static Calendar Singleton(Granularity g, Interval i) {
+    return Order1(g, {i});
+  }
+
+  int order() const { return order_; }
+  Granularity granularity() const { return granularity_; }
+  void set_granularity(Granularity g);  // recursive
+
+  /// Top-level element count (intervals for order 1, children otherwise).
+  size_t size() const {
+    return order_ == 1 ? intervals_.size() : children_.size();
+  }
+
+  /// True when the calendar contains no interval at any depth.
+  bool IsNull() const;
+
+  /// Order-1 accessors. Precondition: order() == 1.
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+  /// Nested accessors. Precondition: order() > 1.
+  const std::vector<Calendar>& children() const { return children_; }
+
+  /// True when this order-1 calendar has exactly one interval — such
+  /// calendars are treated as plain intervals by the foreach operators
+  /// (the paper's Jan-1993 = {(1,31)} "is an interval").
+  bool IsSingleton() const { return order_ == 1 && intervals_.size() == 1; }
+
+  /// Total number of intervals at all depths.
+  int64_t TotalIntervals() const;
+
+  /// Concatenates all leaf intervals into an order-1 calendar (sorted).
+  Calendar Flattened() const;
+
+  /// The covering interval (min lo, max hi), or nullopt when null.
+  std::optional<Interval> Span() const;
+
+  /// True when point `p` (in this calendar's granularity) lies inside some
+  /// leaf interval.
+  bool ContainsPoint(TimePoint p) const;
+
+  /// Paper notation: "{(1,31),(32,59)}" / "{{(4,10)},{(32,38)}}".
+  std::string ToString() const;
+
+  bool operator==(const Calendar& other) const;
+
+ private:
+  Granularity granularity_ = Granularity::kDays;
+  int order_ = 1;
+  std::vector<Interval> intervals_;  // order_ == 1
+  std::vector<Calendar> children_;   // order_ > 1
+};
+
+}  // namespace caldb
+
+#endif  // CALDB_CORE_CALENDAR_H_

@@ -1,0 +1,148 @@
+#include "core/generate.h"
+
+#include "common/macros.h"
+
+namespace caldb {
+
+Result<Calendar> GenerateBaseCalendar(const TimeSystem& ts, Granularity g,
+                                      Granularity unit, const Interval& span,
+                                      bool clip) {
+  if (FinerThan(g, unit)) {
+    return Status::InvalidArgument(
+        std::string("generate: unit ") + std::string(GranularityName(unit)) +
+        " is coarser than calendar granularity " +
+        std::string(GranularityName(g)));
+  }
+  CALDB_ASSIGN_OR_RETURN(TimePoint first,
+                         ts.GranuleContaining(g, span.lo, unit));
+  std::vector<Interval> out;
+  for (TimePoint idx = first;; idx = PointAdd(idx, 1)) {
+    CALDB_ASSIGN_OR_RETURN(Interval r, ts.GranuleToUnit(g, idx, unit));
+    if (r.lo > span.hi) break;
+    if (clip) {
+      std::optional<Interval> clipped = Intersect(r, span);
+      if (clipped) out.push_back(*clipped);
+    } else {
+      out.push_back(r);
+    }
+  }
+  return Calendar::Order1(unit, std::move(out));
+}
+
+Result<Calendar> CalOperate(const Calendar& c, std::optional<TimePoint> te,
+                            const std::vector<int64_t>& groups) {
+  if (c.order() != 1) {
+    return Status::InvalidArgument("caloperate requires an order-1 calendar");
+  }
+  if (groups.empty()) {
+    return Status::InvalidArgument("caloperate requires a nonempty group list");
+  }
+  for (int64_t x : groups) {
+    if (x <= 0) {
+      return Status::InvalidArgument("caloperate group sizes must be positive");
+    }
+  }
+  std::vector<Interval> out;
+  size_t i = 0;
+  size_t group_idx = 0;
+  const std::vector<Interval>& src = c.intervals();
+  while (i < src.size()) {
+    if (te && src[i].hi > *te) break;
+    const int64_t want = groups[group_idx % groups.size()];
+    ++group_idx;
+    const Interval first = src[i];
+    Interval last = first;
+    int64_t taken = 0;
+    while (i < src.size() && taken < want) {
+      if (te && src[i].hi > *te) break;
+      last = src[i];
+      ++i;
+      ++taken;
+    }
+    if (taken == 0) break;
+    out.push_back(Interval{first.lo, last.hi});
+  }
+  return Calendar::Order1(c.granularity(), std::move(out));
+}
+
+namespace {
+
+Result<Calendar> RescaleImpl(const TimeSystem& ts, const Calendar& c,
+                             Granularity target) {
+  if (c.order() == 1) {
+    std::vector<Interval> out;
+    out.reserve(c.intervals().size());
+    for (const Interval& i : c.intervals()) {
+      CALDB_ASSIGN_OR_RETURN(Interval lo_range,
+                             ts.GranuleToUnit(c.granularity(), i.lo, target));
+      CALDB_ASSIGN_OR_RETURN(Interval hi_range,
+                             ts.GranuleToUnit(c.granularity(), i.hi, target));
+      out.push_back(Interval{lo_range.lo, hi_range.hi});
+    }
+    return Calendar::Order1(target, std::move(out));
+  }
+  std::vector<Calendar> children;
+  children.reserve(c.children().size());
+  for (const Calendar& child : c.children()) {
+    CALDB_ASSIGN_OR_RETURN(Calendar rc, RescaleImpl(ts, child, target));
+    children.push_back(std::move(rc));
+  }
+  return Calendar::Nested(target, std::move(children),
+                          /*order_if_empty=*/c.order());
+}
+
+}  // namespace
+
+Result<Interval> IntervalToUnit(const TimeSystem& ts, Granularity from,
+                                const Interval& i, Granularity to) {
+  if (from == to) return i;
+  if (FinerThan(from, to)) {
+    CALDB_ASSIGN_OR_RETURN(TimePoint lo, ts.GranuleContaining(to, i.lo, from));
+    CALDB_ASSIGN_OR_RETURN(TimePoint hi, ts.GranuleContaining(to, i.hi, from));
+    return Interval{lo, hi};
+  }
+  CALDB_ASSIGN_OR_RETURN(Interval lo, ts.GranuleToUnit(from, i.lo, to));
+  CALDB_ASSIGN_OR_RETURN(Interval hi, ts.GranuleToUnit(from, i.hi, to));
+  return Interval{lo.lo, hi.hi};
+}
+
+Result<Interval> IntervalToDays(const TimeSystem& ts, Granularity g,
+                                const Interval& i) {
+  return IntervalToUnit(ts, g, i, Granularity::kDays);
+}
+
+Result<Calendar> Rescale(const TimeSystem& ts, const Calendar& c,
+                         Granularity target) {
+  if (c.granularity() == target) return c;
+  if (FinerThan(c.granularity(), target)) {
+    return Status::InvalidArgument(
+        std::string("cannot rescale ") +
+        std::string(GranularityName(c.granularity())) + " calendar to coarser " +
+        std::string(GranularityName(target)));
+  }
+  return RescaleImpl(ts, c, target);
+}
+
+Result<std::string> FormatCalendarCivil(const TimeSystem& ts,
+                                        const Calendar& c) {
+  if (c.order() != 1) {
+    return Status::InvalidArgument(
+        "civil rendering is defined for order-1 calendars; Flattened() first");
+  }
+  std::string out = "{";
+  for (size_t i = 0; i < c.intervals().size(); ++i) {
+    if (i > 0) out += ", ";
+    CALDB_ASSIGN_OR_RETURN(
+        Interval days, IntervalToDays(ts, c.granularity(), c.intervals()[i]));
+    if (days.lo == days.hi) {
+      out += FormatCivil(ts.CivilFromDayPoint(days.lo));
+    } else {
+      out += "[" + FormatCivil(ts.CivilFromDayPoint(days.lo)) + ".." +
+             FormatCivil(ts.CivilFromDayPoint(days.hi)) + "]";
+    }
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace caldb

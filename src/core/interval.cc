@@ -1,0 +1,104 @@
+#include "core/interval.h"
+
+#include <algorithm>
+
+namespace caldb {
+
+Result<Interval> MakeInterval(TimePoint lo, TimePoint hi) {
+  if (!IsValidPoint(lo) || !IsValidPoint(hi)) {
+    return Status::InvalidArgument("interval endpoint 0 is not a valid time point");
+  }
+  if (lo > hi) {
+    return Status::InvalidArgument("interval lower bound " + std::to_string(lo) +
+                                   " exceeds upper bound " + std::to_string(hi));
+  }
+  return Interval{lo, hi};
+}
+
+std::optional<Interval> Intersect(const Interval& a, const Interval& b) {
+  TimePoint lo = std::max(a.lo, b.lo);
+  TimePoint hi = std::min(a.hi, b.hi);
+  if (lo > hi) return std::nullopt;
+  return Interval{lo, hi};
+}
+
+std::string FormatInterval(const Interval& i) {
+  return "(" + std::to_string(i.lo) + "," + std::to_string(i.hi) + ")";
+}
+
+bool IntervalOverlaps(const Interval& a, const Interval& b) {
+  return std::max(a.lo, b.lo) <= std::min(a.hi, b.hi);
+}
+
+bool IntervalDuring(const Interval& a, const Interval& b) {
+  return a.lo >= b.lo && b.hi >= a.hi;
+}
+
+bool IntervalMeets(const Interval& a, const Interval& b) { return a.hi == b.lo; }
+
+bool IntervalBefore(const Interval& a, const Interval& b) { return a.hi <= b.lo; }
+
+bool IntervalBeforeEq(const Interval& a, const Interval& b) {
+  return a.lo <= b.lo && b.hi >= a.hi;
+}
+
+bool EvalListOp(ListOp op, const Interval& a, const Interval& b) {
+  switch (op) {
+    case ListOp::kOverlaps:
+    case ListOp::kIntersects:
+      return IntervalOverlaps(a, b);
+    case ListOp::kDuring:
+      return IntervalDuring(a, b);
+    case ListOp::kMeets:
+      return IntervalMeets(a, b);
+    case ListOp::kBefore:
+      return IntervalBefore(a, b);
+    case ListOp::kBeforeEq:
+      return IntervalBeforeEq(a, b);
+  }
+  return false;
+}
+
+bool ListOpClipsUnderStrict(ListOp op) {
+  switch (op) {
+    case ListOp::kOverlaps:
+    case ListOp::kIntersects:
+    case ListOp::kDuring:
+      return true;
+    case ListOp::kMeets:
+    case ListOp::kBefore:
+    case ListOp::kBeforeEq:
+      return false;
+  }
+  return false;
+}
+
+std::string_view ListOpName(ListOp op) {
+  switch (op) {
+    case ListOp::kOverlaps:
+      return "overlaps";
+    case ListOp::kDuring:
+      return "during";
+    case ListOp::kMeets:
+      return "meets";
+    case ListOp::kBefore:
+      return "<";
+    case ListOp::kBeforeEq:
+      return "<=";
+    case ListOp::kIntersects:
+      return "intersects";
+  }
+  return "?";
+}
+
+Result<ListOp> ParseListOp(std::string_view name) {
+  if (name == "overlaps") return ListOp::kOverlaps;
+  if (name == "during") return ListOp::kDuring;
+  if (name == "meets") return ListOp::kMeets;
+  if (name == "<" || name == "precedes") return ListOp::kBefore;
+  if (name == "<=") return ListOp::kBeforeEq;
+  if (name == "intersects") return ListOp::kIntersects;
+  return Status::InvalidArgument("unknown listop '" + std::string(name) + "'");
+}
+
+}  // namespace caldb

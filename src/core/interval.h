@@ -1,0 +1,100 @@
+// Interval: the primitive temporal entity of the calendar algebra (Allen
+// 1985, §3.1 of the paper).  An interval is a closed range [lo, hi] of
+// skip-zero time points in some granularity; by the paper's convention it
+// never contains the (nonexistent) point 0.
+
+#ifndef CALDB_CORE_INTERVAL_H_
+#define CALDB_CORE_INTERVAL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "time/timepoint.h"
+
+namespace caldb {
+
+/// A closed interval of skip-zero time points.  Invariant: lo and hi are
+/// valid points (nonzero) and lo <= hi.  Raw point comparison is
+/// order-preserving across the zero gap, so < on points is fine.
+struct Interval {
+  TimePoint lo = 1;
+  TimePoint hi = 1;
+
+  bool operator==(const Interval&) const = default;
+
+  /// Number of granules covered (e.g. (-4,3) covers 8 points).
+  int64_t length() const { return PointDistance(lo, hi) + 1; }
+
+  /// True when point `p` lies inside.
+  bool Contains(TimePoint p) const { return lo <= p && p <= hi; }
+
+  /// True when `other` lies fully inside this interval.
+  bool Covers(const Interval& other) const {
+    return lo <= other.lo && other.hi <= hi;
+  }
+};
+
+/// Validates and builds an interval (checks nonzero endpoints, lo <= hi).
+Result<Interval> MakeInterval(TimePoint lo, TimePoint hi);
+
+/// A single-point interval.
+inline Interval PointInterval(TimePoint p) { return Interval{p, p}; }
+
+/// Intersection, or nullopt when disjoint.
+std::optional<Interval> Intersect(const Interval& a, const Interval& b);
+
+/// "(lo,hi)" in the paper's notation.
+std::string FormatInterval(const Interval& i);
+
+// ---------------------------------------------------------------------------
+// The listops (§3.1).  Each is a predicate over two intervals.
+
+/// int1 overlaps int2 := int1 ∩ int2 != ∅.
+bool IntervalOverlaps(const Interval& a, const Interval& b);
+
+/// int1 during int2 := l1 >= l2 && u2 >= u1 (a inside b).
+bool IntervalDuring(const Interval& a, const Interval& b);
+
+/// int1 meets int2 := u1 == l2.
+bool IntervalMeets(const Interval& a, const Interval& b);
+
+/// int1 < int2 := u1 <= l2.
+bool IntervalBefore(const Interval& a, const Interval& b);
+
+/// int1 <= int2 := l1 <= l2 && u1 <= u2 (paper: (l1<=l2) ∧ (u2>=u1)).
+bool IntervalBeforeEq(const Interval& a, const Interval& b);
+
+/// The listop vocabulary usable with the foreach operators.  kIntersects is
+/// the scripts' `intersects` (same predicate as overlaps; under the strict
+/// foreach it yields set intersection).
+enum class ListOp {
+  kOverlaps,
+  kDuring,
+  kMeets,
+  kBefore,    // <
+  kBeforeEq,  // <=
+  kIntersects,
+};
+
+/// Evaluates a listop predicate.
+bool EvalListOp(ListOp op, const Interval& a, const Interval& b);
+
+/// True for ops where the strict foreach clips the kept interval to the
+/// right operand (overlaps / intersects / during).  For the non-overlapping
+/// ops (<, <=, meets) the intersection in the paper's strict definition is
+/// vacuous, and the paper's own §3.3 examples (AM_BUS_DAYS:<:LDOM_HOL) keep
+/// intervals whole; we follow the examples.
+bool ListOpClipsUnderStrict(ListOp op);
+
+/// Canonical spelling ("overlaps", "during", "meets", "<", "<=",
+/// "intersects").
+std::string_view ListOpName(ListOp op);
+
+/// Parses a listop spelling (also accepts "precedes" for <).
+Result<ListOp> ParseListOp(std::string_view name);
+
+}  // namespace caldb
+
+#endif  // CALDB_CORE_INTERVAL_H_

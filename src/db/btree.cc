@@ -1,0 +1,333 @@
+#include "db/btree.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace caldb {
+
+struct BPlusTree::Node {
+  bool is_leaf = true;
+  // Leaf payload, sorted by (key, rowid).
+  std::vector<Entry> entries;
+  // Internal: children[i] holds composites < seps[i] <= children[i+1].
+  // seps[i] is the smallest composite reachable under children[i+1].
+  std::vector<Entry> seps;
+  std::vector<std::unique_ptr<Node>> children;
+  Node* next = nullptr;  // leaf chain
+};
+
+BPlusTree::BPlusTree(int max_entries)
+    : max_entries_(std::max(4, max_entries)),
+      min_entries_(std::max(2, max_entries / 2)),
+      root_(std::make_unique<Node>()) {}
+
+BPlusTree::~BPlusTree() = default;
+BPlusTree::BPlusTree(BPlusTree&&) noexcept = default;
+BPlusTree& BPlusTree::operator=(BPlusTree&&) noexcept = default;
+
+int BPlusTree::height() const {
+  int h = 1;
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    node = node->children.front().get();
+    ++h;
+  }
+  return h;
+}
+
+void BPlusTree::Insert(int64_t key, int64_t rowid) {
+  Entry entry{key, rowid};
+  std::unique_ptr<SplitResult> split = InsertRec(root_.get(), entry);
+  if (split != nullptr) {
+    auto new_root = std::make_unique<Node>();
+    new_root->is_leaf = false;
+    new_root->seps.push_back(split->separator);
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split->right));
+    root_ = std::move(new_root);
+  }
+  ++size_;
+}
+
+std::unique_ptr<BPlusTree::SplitResult> BPlusTree::InsertRec(Node* node,
+                                                             const Entry& entry) {
+  if (node->is_leaf) {
+    auto pos = std::lower_bound(node->entries.begin(), node->entries.end(), entry);
+    node->entries.insert(pos, entry);
+    if (static_cast<int>(node->entries.size()) <= max_entries_) return nullptr;
+    // Split: right half moves to a new leaf.
+    auto right = std::make_unique<Node>();
+    size_t mid = node->entries.size() / 2;
+    right->entries.assign(node->entries.begin() + static_cast<int64_t>(mid),
+                          node->entries.end());
+    node->entries.resize(mid);
+    right->next = node->next;
+    node->next = right.get();
+    auto result = std::make_unique<SplitResult>();
+    result->separator = right->entries.front();
+    result->right = std::move(right);
+    return result;
+  }
+
+  size_t idx = static_cast<size_t>(
+      std::upper_bound(node->seps.begin(), node->seps.end(), entry) -
+      node->seps.begin());
+  std::unique_ptr<SplitResult> child_split =
+      InsertRec(node->children[idx].get(), entry);
+  if (child_split == nullptr) return nullptr;
+  node->seps.insert(node->seps.begin() + static_cast<int64_t>(idx),
+                    child_split->separator);
+  node->children.insert(node->children.begin() + static_cast<int64_t>(idx) + 1,
+                        std::move(child_split->right));
+  if (static_cast<int>(node->children.size()) <= max_entries_) return nullptr;
+  // Split internal node: the middle separator moves up.
+  auto right = std::make_unique<Node>();
+  right->is_leaf = false;
+  size_t mid = node->seps.size() / 2;
+  Entry up = node->seps[mid];
+  right->seps.assign(node->seps.begin() + static_cast<int64_t>(mid) + 1,
+                     node->seps.end());
+  node->seps.resize(mid);
+  right->children.reserve(node->children.size() - mid - 1);
+  for (size_t i = mid + 1; i < node->children.size(); ++i) {
+    right->children.push_back(std::move(node->children[i]));
+  }
+  node->children.resize(mid + 1);
+  auto result = std::make_unique<SplitResult>();
+  result->separator = up;
+  result->right = std::move(right);
+  return result;
+}
+
+bool BPlusTree::Erase(int64_t key, int64_t rowid) {
+  Entry entry{key, rowid};
+  if (!EraseRec(root_.get(), entry)) return false;
+  // Collapse a root with a single child.
+  if (!root_->is_leaf && root_->children.size() == 1) {
+    root_ = std::move(root_->children.front());
+  }
+  --size_;
+  return true;
+}
+
+bool BPlusTree::EraseRec(Node* node, const Entry& entry) {
+  if (node->is_leaf) {
+    auto pos = std::lower_bound(node->entries.begin(), node->entries.end(), entry);
+    if (pos == node->entries.end() || *pos != entry) return false;
+    node->entries.erase(pos);
+    return true;
+  }
+  size_t idx = static_cast<size_t>(
+      std::upper_bound(node->seps.begin(), node->seps.end(), entry) -
+      node->seps.begin());
+  if (!EraseRec(node->children[idx].get(), entry)) return false;
+  RebalanceChild(node, idx);
+  return true;
+}
+
+void BPlusTree::RebalanceChild(Node* parent, size_t idx) {
+  Node* child = parent->children[idx].get();
+  const size_t occupancy =
+      child->is_leaf ? child->entries.size() : child->children.size();
+  if (static_cast<int>(occupancy) >= min_entries_) return;
+
+  auto left_sibling = [&]() -> Node* {
+    return idx > 0 ? parent->children[idx - 1].get() : nullptr;
+  };
+  auto right_sibling = [&]() -> Node* {
+    return idx + 1 < parent->children.size() ? parent->children[idx + 1].get()
+                                             : nullptr;
+  };
+
+  Node* left = left_sibling();
+  Node* right = right_sibling();
+
+  if (child->is_leaf) {
+    // Borrow from a sibling when possible.
+    if (left != nullptr && static_cast<int>(left->entries.size()) > min_entries_) {
+      child->entries.insert(child->entries.begin(), left->entries.back());
+      left->entries.pop_back();
+      parent->seps[idx - 1] = child->entries.front();
+      return;
+    }
+    if (right != nullptr &&
+        static_cast<int>(right->entries.size()) > min_entries_) {
+      child->entries.push_back(right->entries.front());
+      right->entries.erase(right->entries.begin());
+      parent->seps[idx] = right->entries.front();
+      return;
+    }
+    // Merge with a sibling.
+    if (left != nullptr) {
+      left->entries.insert(left->entries.end(), child->entries.begin(),
+                           child->entries.end());
+      left->next = child->next;
+      parent->children.erase(parent->children.begin() + static_cast<int64_t>(idx));
+      parent->seps.erase(parent->seps.begin() + static_cast<int64_t>(idx) - 1);
+    } else if (right != nullptr) {
+      child->entries.insert(child->entries.end(), right->entries.begin(),
+                            right->entries.end());
+      child->next = right->next;
+      parent->children.erase(parent->children.begin() + static_cast<int64_t>(idx) +
+                             1);
+      parent->seps.erase(parent->seps.begin() + static_cast<int64_t>(idx));
+    }
+    return;
+  }
+
+  // Internal child.
+  if (left != nullptr && static_cast<int>(left->children.size()) > min_entries_) {
+    child->seps.insert(child->seps.begin(), parent->seps[idx - 1]);
+    child->children.insert(child->children.begin(),
+                           std::move(left->children.back()));
+    left->children.pop_back();
+    parent->seps[idx - 1] = left->seps.back();
+    left->seps.pop_back();
+    return;
+  }
+  if (right != nullptr && static_cast<int>(right->children.size()) > min_entries_) {
+    child->seps.push_back(parent->seps[idx]);
+    child->children.push_back(std::move(right->children.front()));
+    right->children.erase(right->children.begin());
+    parent->seps[idx] = right->seps.front();
+    right->seps.erase(right->seps.begin());
+    return;
+  }
+  if (left != nullptr) {
+    left->seps.push_back(parent->seps[idx - 1]);
+    left->seps.insert(left->seps.end(), child->seps.begin(), child->seps.end());
+    for (auto& c : child->children) left->children.push_back(std::move(c));
+    parent->children.erase(parent->children.begin() + static_cast<int64_t>(idx));
+    parent->seps.erase(parent->seps.begin() + static_cast<int64_t>(idx) - 1);
+  } else if (right != nullptr) {
+    child->seps.push_back(parent->seps[idx]);
+    child->seps.insert(child->seps.end(), right->seps.begin(), right->seps.end());
+    for (auto& c : right->children) child->children.push_back(std::move(c));
+    parent->children.erase(parent->children.begin() + static_cast<int64_t>(idx) + 1);
+    parent->seps.erase(parent->seps.begin() + static_cast<int64_t>(idx));
+  }
+}
+
+const BPlusTree::Node* BPlusTree::FindLeaf(int64_t key) const {
+  Entry probe{key, INT64_MIN};
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    size_t idx = static_cast<size_t>(
+        std::upper_bound(node->seps.begin(), node->seps.end(), probe) -
+        node->seps.begin());
+    node = node->children[idx].get();
+  }
+  return node;
+}
+
+void BPlusTree::ScanRange(
+    int64_t lo, int64_t hi,
+    const std::function<bool(int64_t, int64_t)>& fn) const {
+  if (lo > hi) return;
+  const Node* leaf = FindLeaf(lo);
+  Entry probe{lo, INT64_MIN};
+  while (leaf != nullptr) {
+    auto it = std::lower_bound(leaf->entries.begin(), leaf->entries.end(), probe);
+    for (; it != leaf->entries.end(); ++it) {
+      if (it->first > hi) return;
+      if (!fn(it->first, it->second)) return;
+    }
+    leaf = leaf->next;
+    probe = Entry{INT64_MIN, INT64_MIN};  // subsequent leaves scan from start
+  }
+}
+
+void BPlusTree::ScanAll(const std::function<bool(int64_t, int64_t)>& fn) const {
+  ScanRange(INT64_MIN, INT64_MAX, fn);
+}
+
+int BPlusTree::LeafDepth() const {
+  int depth = 0;
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    node = node->children.front().get();
+    ++depth;
+  }
+  return depth;
+}
+
+Status BPlusTree::CheckNode(const Node* node, int depth, int leaf_depth,
+                            bool is_root, const Entry* lower,
+                            const Entry* upper) const {
+  auto within = [&](const Entry& e) {
+    if (lower != nullptr && e < *lower) return false;
+    if (upper != nullptr && !(e < *upper)) return false;
+    return true;
+  };
+  if (node->is_leaf) {
+    if (depth != leaf_depth) {
+      return Status::Internal("leaves at non-uniform depth");
+    }
+    if (!is_root && static_cast<int>(node->entries.size()) < min_entries_) {
+      return Status::Internal("leaf underflow");
+    }
+    if (static_cast<int>(node->entries.size()) > max_entries_) {
+      return Status::Internal("leaf overflow");
+    }
+    for (size_t i = 0; i < node->entries.size(); ++i) {
+      if (i > 0 && node->entries[i] < node->entries[i - 1]) {
+        return Status::Internal("leaf entries out of order");
+      }
+      if (!within(node->entries[i])) {
+        return Status::Internal("leaf entry outside separator bounds");
+      }
+    }
+    return Status::OK();
+  }
+  if (node->children.size() != node->seps.size() + 1) {
+    return Status::Internal("internal node children/separator mismatch");
+  }
+  if (!is_root && static_cast<int>(node->children.size()) < min_entries_) {
+    return Status::Internal("internal underflow");
+  }
+  if (static_cast<int>(node->children.size()) > max_entries_) {
+    return Status::Internal("internal overflow");
+  }
+  for (size_t i = 0; i + 1 < node->seps.size(); ++i) {
+    if (!(node->seps[i] < node->seps[i + 1])) {
+      return Status::Internal("separators out of order");
+    }
+  }
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    const Entry* child_lower = i == 0 ? lower : &node->seps[i - 1];
+    const Entry* child_upper = i == node->seps.size() ? upper : &node->seps[i];
+    CALDB_RETURN_IF_ERROR(CheckNode(node->children[i].get(), depth + 1,
+                                    leaf_depth, false, child_lower, child_upper));
+  }
+  return Status::OK();
+}
+
+Status BPlusTree::CheckInvariants() const {
+  CALDB_RETURN_IF_ERROR(
+      CheckNode(root_.get(), 0, LeafDepth(), /*is_root=*/true, nullptr, nullptr));
+  // The leaf chain enumerates exactly size_ entries in order.
+  int64_t count = 0;
+  Entry prev{INT64_MIN, INT64_MIN};
+  bool first = true;
+  Status status = Status::OK();
+  ScanAll([&](int64_t key, int64_t rowid) {
+    Entry e{key, rowid};
+    if (!first && e < prev) {
+      status = Status::Internal("leaf chain out of order");
+      return false;
+    }
+    prev = e;
+    first = false;
+    ++count;
+    return true;
+  });
+  CALDB_RETURN_IF_ERROR(status);
+  if (count != size_) {
+    return Status::Internal("leaf chain count " + std::to_string(count) +
+                            " != size " + std::to_string(size_));
+  }
+  return Status::OK();
+}
+
+}  // namespace caldb

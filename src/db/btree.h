@@ -1,0 +1,79 @@
+// An in-memory B+tree mapping int64 keys to row ids.
+//
+// This is the index structure the paper relies on for "the creation of
+// indexes to optimize the performance of these operators" (§1): time
+// points are integers, so a single int64-keyed tree covers the calendar
+// use cases.  Duplicate keys are supported by treating (key, rowid) as the
+// composite search key.  Leaves are chained for range scans.
+
+#ifndef CALDB_DB_BTREE_H_
+#define CALDB_DB_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace caldb {
+
+class BPlusTree {
+ public:
+  /// `max_entries` is the node fan-out (>= 4); defaults suit in-memory use.
+  explicit BPlusTree(int max_entries = 64);
+  ~BPlusTree();  // out-of-line: Node is incomplete here
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+  BPlusTree(BPlusTree&&) noexcept;
+  BPlusTree& operator=(BPlusTree&&) noexcept;
+
+  void Insert(int64_t key, int64_t rowid);
+
+  /// Removes one (key, rowid) entry; false when absent.
+  bool Erase(int64_t key, int64_t rowid);
+
+  /// Visits entries with lo <= key <= hi in key order.  The visitor
+  /// returns false to stop early.
+  void ScanRange(int64_t lo, int64_t hi,
+                 const std::function<bool(int64_t key, int64_t rowid)>& fn) const;
+
+  /// Visits all entries in key order.
+  void ScanAll(const std::function<bool(int64_t, int64_t)>& fn) const;
+
+  int64_t size() const { return size_; }
+  int height() const;
+
+  /// Structural invariant check (sortedness, uniform depth, separator
+  /// bounds, occupancy).  Used by tests.
+  Status CheckInvariants() const;
+
+ private:
+  using Entry = std::pair<int64_t, int64_t>;  // (key, rowid)
+  struct Node;
+
+  // Insert result: set when the child split.
+  struct SplitResult {
+    Entry separator;  // smallest composite of the new right node
+    std::unique_ptr<Node> right;
+  };
+
+  std::unique_ptr<SplitResult> InsertRec(Node* node, const Entry& entry);
+  bool EraseRec(Node* node, const Entry& entry);
+  void RebalanceChild(Node* parent, size_t child_idx);
+  const Node* FindLeaf(int64_t key) const;
+  Status CheckNode(const Node* node, int depth, int leaf_depth, bool is_root,
+                   const Entry* lower, const Entry* upper) const;
+  int LeafDepth() const;
+
+  int max_entries_;
+  int min_entries_;
+  int64_t size_ = 0;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace caldb
+
+#endif  // CALDB_DB_BTREE_H_

@@ -1,0 +1,118 @@
+// Database: tables + catalogs + query execution + the event-rule system
+// ("On Event where Condition do Action", §4).
+
+#ifndef CALDB_DB_DATABASE_H_
+#define CALDB_DB_DATABASE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "db/function_registry.h"
+#include "db/query.h"
+#include "db/table.h"
+
+namespace caldb {
+
+class Database;
+
+/// Query output: column names plus rows, or a DML summary.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  int64_t affected = 0;
+  std::string message;
+
+  /// Plain-text rendering for examples and debugging.
+  std::string ToString() const;
+};
+
+/// An event rule.  Fires when `event` touches `table` and `where` (with
+/// NEW and/or CURRENT bound) holds.  The action is either a query-language
+/// command (re-executed with the same bindings) or a C++ callback.
+struct EventRule {
+  std::string name;
+  DbEvent event = DbEvent::kAppend;
+  std::string table;
+  DbExprPtr where;      // may be null (always fire)
+  std::string command;  // may be empty when callback is set
+  std::function<Status(Database&, const EvalScope&)> callback;
+};
+
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  FunctionRegistry& registry() { return registry_; }
+  const FunctionRegistry& registry() const { return registry_; }
+
+  Status CreateTable(const std::string& name, Schema schema);
+  /// Removes a table.  Refused while an event rule references it.
+  Status DropTable(const std::string& name);
+  Result<Table*> GetTable(const std::string& name);
+  Result<const Table*> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+  std::vector<std::string> ListTables() const;
+
+  /// Parses and executes one statement.  `ambient` supplies extra tuple
+  /// bindings (NEW / CURRENT) when executing rule actions.
+  Result<QueryResult> Execute(const std::string& query,
+                              const EvalScope* ambient = nullptr);
+  Result<QueryResult> ExecuteParsed(const Statement& stmt,
+                                    const EvalScope* ambient = nullptr);
+
+  // --- event rules ----------------------------------------------------------
+
+  Status DefineRule(EventRule rule);
+  Status DropRule(const std::string& name);
+  std::vector<std::string> ListRules() const;
+
+  // --- instrumentation (used by benches) -------------------------------
+
+  struct Stats {
+    int64_t rows_scanned = 0;
+    int64_t index_scans = 0;
+    int64_t full_scans = 0;
+    int64_t rules_fired = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats{}; }
+
+ private:
+  Result<QueryResult> ExecuteRetrieve(const RetrieveStmt& stmt,
+                                      const EvalScope* ambient);
+  Result<QueryResult> ExecuteAppend(const AppendStmt& stmt,
+                                    const EvalScope* ambient);
+  Result<QueryResult> ExecuteReplace(const ReplaceStmt& stmt,
+                                     const EvalScope* ambient);
+  Result<QueryResult> ExecuteDelete(const DeleteStmt& stmt,
+                                    const EvalScope* ambient);
+
+  // Collects (rowid, row) pairs of `table` matching `where` under range
+  // variable `var`, using an index when the where clause permits.
+  Status CollectMatches(Table* table, const std::string& var,
+                        const DbExpr* where, const EvalScope* ambient,
+                        std::vector<std::pair<RowId, Row>>* out);
+
+  Status FireRules(DbEvent event, const std::string& table,
+                   const Schema& schema, const Row* new_row,
+                   const Row* current_row);
+
+  EvalScope MakeScope(const EvalScope* ambient) const;
+
+  FunctionRegistry registry_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::vector<EventRule> rules_;
+  Stats stats_;
+  int fire_depth_ = 0;
+  static constexpr int kMaxRuleDepth = 16;
+};
+
+}  // namespace caldb
+
+#endif  // CALDB_DB_DATABASE_H_

@@ -1,0 +1,74 @@
+// Query-language expressions: column references, constants, comparisons,
+// boolean logic, arithmetic, and registered-function calls.
+
+#ifndef CALDB_DB_EXPRESSION_H_
+#define CALDB_DB_EXPRESSION_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "db/function_registry.h"
+#include "db/schema.h"
+
+namespace caldb {
+
+struct DbExpr;
+using DbExprPtr = std::shared_ptr<DbExpr>;
+
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class LogOp { kAnd, kOr, kNot };
+
+struct DbExpr {
+  enum class Kind { kConst, kColumnRef, kCompare, kLogical, kArith, kCall };
+
+  Kind kind = Kind::kConst;
+  Value constant;                  // kConst
+  std::string var;                 // kColumnRef: range variable (may be "")
+  std::string column;              // kColumnRef
+  CmpOp cmp = CmpOp::kEq;          // kCompare
+  LogOp log = LogOp::kAnd;         // kLogical (kNot uses lhs only)
+  char arith = '+';                // kArith: + - * /
+  std::string fn_name;             // kCall
+  std::vector<DbExprPtr> args;     // kCall
+  DbExprPtr lhs;
+  DbExprPtr rhs;
+
+  std::string ToString() const;
+};
+
+/// A named tuple visible during evaluation (the range variable, NEW,
+/// CURRENT).
+struct TupleBinding {
+  const Schema* schema = nullptr;
+  const Row* row = nullptr;
+};
+
+struct EvalScope {
+  std::map<std::string, TupleBinding> tuples;
+  const FunctionRegistry* registry = nullptr;
+};
+
+/// Evaluates an expression against bound tuples.
+Result<Value> EvalDbExpr(const DbExpr& expr, const EvalScope& scope);
+
+/// Collects the set of aggregate calls (count/sum/min/max/avg) in an
+/// expression.  Returns true when any is present.
+bool ContainsAggregate(const DbExpr& expr);
+
+/// True for the built-in aggregate function names.
+bool IsAggregateName(const std::string& name);
+
+/// Index-planning helper: when `expr` (a where clause) constrains
+/// `var.column` to a contiguous int range (via =, <, <=, >, >= conjuncts),
+/// returns that [lo, hi] range.  Conservative: returns nullopt when any
+/// disjunction or unsupported shape is involved.
+std::optional<std::pair<int64_t, int64_t>> ExtractIndexRange(
+    const DbExpr& expr, const std::string& var, const std::string& column);
+
+}  // namespace caldb
+
+#endif  // CALDB_DB_EXPRESSION_H_

@@ -1,0 +1,51 @@
+#include "db/function_registry.h"
+
+#include "common/strings.h"
+
+namespace caldb {
+
+Status FunctionRegistry::Register(const std::string& name, int min_args,
+                                  int max_args, Fn fn) {
+  std::string key = AsciiToLower(name);
+  if (key.empty()) {
+    return Status::InvalidArgument("function name must not be empty");
+  }
+  if (fns_.count(key) > 0) {
+    return Status::AlreadyExists("function '" + name + "' already registered");
+  }
+  if (min_args < 0 || (max_args >= 0 && max_args < min_args)) {
+    return Status::InvalidArgument("invalid arity bounds for '" + name + "'");
+  }
+  fns_[key] = Entry{min_args, max_args, std::move(fn)};
+  return Status::OK();
+}
+
+bool FunctionRegistry::Contains(const std::string& name) const {
+  return fns_.count(AsciiToLower(name)) > 0;
+}
+
+Result<Value> FunctionRegistry::Call(const std::string& name,
+                                     const std::vector<Value>& args) const {
+  auto it = fns_.find(AsciiToLower(name));
+  if (it == fns_.end()) {
+    return Status::NotFound("unknown function '" + name + "'");
+  }
+  const Entry& entry = it->second;
+  int argc = static_cast<int>(args.size());
+  if (argc < entry.min_args || (entry.max_args >= 0 && argc > entry.max_args)) {
+    return Status::InvalidArgument(
+        "function '" + name + "' called with " + std::to_string(argc) +
+        " arguments (expects " + std::to_string(entry.min_args) +
+        (entry.max_args < 0 ? "+" : ".." + std::to_string(entry.max_args)) + ")");
+  }
+  return entry.fn(args);
+}
+
+std::vector<std::string> FunctionRegistry::List() const {
+  std::vector<std::string> names;
+  names.reserve(fns_.size());
+  for (const auto& [name, entry] : fns_) names.push_back(name);
+  return names;
+}
+
+}  // namespace caldb

@@ -1,0 +1,44 @@
+// FunctionRegistry: the extensibility hook of the DB substrate.  User code
+// registers named functions over Values; registered functions are callable
+// from the query language — the way the paper's calendar operators are
+// "declared as operators to the extensible DBMS" (§5).
+
+#ifndef CALDB_DB_FUNCTION_REGISTRY_H_
+#define CALDB_DB_FUNCTION_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "db/value.h"
+
+namespace caldb {
+
+class FunctionRegistry {
+ public:
+  using Fn = std::function<Result<Value>(const std::vector<Value>&)>;
+
+  /// Registers a function.  `max_args` = -1 means variadic.
+  Status Register(const std::string& name, int min_args, int max_args, Fn fn);
+
+  bool Contains(const std::string& name) const;
+
+  Result<Value> Call(const std::string& name,
+                     const std::vector<Value>& args) const;
+
+  std::vector<std::string> List() const;
+
+ private:
+  struct Entry {
+    int min_args;
+    int max_args;
+    Fn fn;
+  };
+  std::map<std::string, Entry> fns_;
+};
+
+}  // namespace caldb
+
+#endif  // CALDB_DB_FUNCTION_REGISTRY_H_

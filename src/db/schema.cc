@@ -1,0 +1,69 @@
+#include "db/schema.h"
+
+#include <set>
+
+namespace caldb {
+
+Result<Schema> Schema::Make(std::vector<Column> columns) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("a schema needs at least one column");
+  }
+  std::set<std::string> names;
+  for (const Column& c : columns) {
+    if (c.name.empty()) {
+      return Status::InvalidArgument("column names must not be empty");
+    }
+    if (!names.insert(c.name).second) {
+      return Status::InvalidArgument("duplicate column name '" + c.name + "'");
+    }
+  }
+  return Schema(std::move(columns));
+}
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+bool Schema::HasColumn(const std::string& name) const {
+  return IndexOf(name).ok();
+}
+
+Status Schema::ValidateRow(const Row& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " values, schema has " +
+        std::to_string(columns_.size()) + " columns");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) continue;
+    if (row[i].type() != columns_[i].type) {
+      // Ints widen into float columns.
+      if (columns_[i].type == ValueType::kFloat &&
+          row[i].type() == ValueType::kInt) {
+        continue;
+      }
+      return Status::TypeError("column '" + columns_[i].name + "' expects " +
+                               std::string(ValueTypeName(columns_[i].type)) +
+                               ", got " +
+                               std::string(ValueTypeName(row[i].type())));
+    }
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += ValueTypeName(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace caldb

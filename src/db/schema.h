@@ -1,0 +1,52 @@
+// Schema: ordered, typed columns of a table.
+
+#ifndef CALDB_DB_SCHEMA_H_
+#define CALDB_DB_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "db/value.h"
+
+namespace caldb {
+
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kInt;
+
+  bool operator==(const Column&) const = default;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  /// Validates uniqueness and non-emptiness of column names.
+  static Result<Schema> Make(std::vector<Column> columns);
+
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t size() const { return columns_.size(); }
+
+  /// Index of a column by name, or NotFound.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  bool HasColumn(const std::string& name) const;
+
+  /// Checks that a row matches the schema (null is allowed in any column).
+  Status ValidateRow(const std::vector<Value>& row) const;
+
+  std::string ToString() const;
+
+  bool operator==(const Schema&) const = default;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+using Row = std::vector<Value>;
+
+}  // namespace caldb
+
+#endif  // CALDB_DB_SCHEMA_H_

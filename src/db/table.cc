@@ -1,0 +1,114 @@
+#include "db/table.h"
+
+#include "common/macros.h"
+
+namespace caldb {
+
+Result<RowId> Table::Insert(Row row) {
+  CALDB_RETURN_IF_ERROR(schema_.ValidateRow(row));
+  RowId id = static_cast<RowId>(rows_.size());
+  CALDB_RETURN_IF_ERROR(IndexInsert(id, row));
+  rows_.push_back(std::move(row));
+  live_.push_back(true);
+  ++live_count_;
+  return id;
+}
+
+Status Table::Delete(RowId id) {
+  if (!IsLive(id)) {
+    return Status::NotFound("row " + std::to_string(id) + " is not live");
+  }
+  IndexErase(id, rows_[static_cast<size_t>(id)]);
+  live_[static_cast<size_t>(id)] = false;
+  --live_count_;
+  return Status::OK();
+}
+
+Status Table::Update(RowId id, Row row) {
+  if (!IsLive(id)) {
+    return Status::NotFound("row " + std::to_string(id) + " is not live");
+  }
+  CALDB_RETURN_IF_ERROR(schema_.ValidateRow(row));
+  IndexErase(id, rows_[static_cast<size_t>(id)]);
+  CALDB_RETURN_IF_ERROR(IndexInsert(id, row));
+  rows_[static_cast<size_t>(id)] = std::move(row);
+  return Status::OK();
+}
+
+Result<Row> Table::Get(RowId id) const {
+  if (!IsLive(id)) {
+    return Status::NotFound("row " + std::to_string(id) + " is not live");
+  }
+  return rows_[static_cast<size_t>(id)];
+}
+
+bool Table::IsLive(RowId id) const {
+  return id >= 0 && static_cast<size_t>(id) < rows_.size() &&
+         live_[static_cast<size_t>(id)];
+}
+
+void Table::Scan(const std::function<bool(RowId, const Row&)>& fn) const {
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (!live_[i]) continue;
+    if (!fn(static_cast<RowId>(i), rows_[i])) return;
+  }
+}
+
+Status Table::CreateIndex(const std::string& column) {
+  CALDB_ASSIGN_OR_RETURN(size_t col, schema_.IndexOf(column));
+  if (schema_.columns()[col].type != ValueType::kInt) {
+    return Status::InvalidArgument("index column '" + column +
+                                   "' must have type int");
+  }
+  if (indexes_.count(column) > 0) {
+    return Status::AlreadyExists("index on '" + column + "' already exists");
+  }
+  auto tree = std::make_unique<BPlusTree>();
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (!live_[i]) continue;
+    const Value& v = rows_[i][col];
+    if (v.is_null()) continue;
+    tree->Insert(v.AsInt().value(), static_cast<RowId>(i));
+  }
+  indexes_[column] = std::move(tree);
+  return Status::OK();
+}
+
+bool Table::HasIndex(const std::string& column) const {
+  return indexes_.count(column) > 0;
+}
+
+Status Table::IndexScan(const std::string& column, int64_t lo, int64_t hi,
+                        const std::function<bool(RowId, const Row&)>& fn) const {
+  auto it = indexes_.find(column);
+  if (it == indexes_.end()) {
+    return Status::NotFound("no index on column '" + column + "'");
+  }
+  it->second->ScanRange(lo, hi, [&](int64_t, int64_t rowid) {
+    if (!IsLive(rowid)) return true;  // defensive; deletes unindex eagerly
+    return fn(rowid, rows_[static_cast<size_t>(rowid)]);
+  });
+  return Status::OK();
+}
+
+Status Table::IndexInsert(RowId id, const Row& row) {
+  for (auto& [column, tree] : indexes_) {
+    CALDB_ASSIGN_OR_RETURN(size_t col, schema_.IndexOf(column));
+    const Value& v = row[col];
+    if (v.is_null()) continue;
+    CALDB_ASSIGN_OR_RETURN(int64_t key, v.AsInt());
+    tree->Insert(key, id);
+  }
+  return Status::OK();
+}
+
+void Table::IndexErase(RowId id, const Row& row) {
+  for (auto& [column, tree] : indexes_) {
+    size_t col = schema_.IndexOf(column).value();
+    const Value& v = row[col];
+    if (v.is_null()) continue;
+    tree->Erase(v.AsInt().value(), id);
+  }
+}
+
+}  // namespace caldb

@@ -1,0 +1,78 @@
+// Table: an in-memory row store with stable row ids, tombstoned deletes,
+// and B+tree secondary indexes on int columns.
+
+#ifndef CALDB_DB_TABLE_H_
+#define CALDB_DB_TABLE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "db/btree.h"
+#include "db/schema.h"
+
+namespace caldb {
+
+using RowId = int64_t;
+
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Live row count.
+  int64_t size() const { return live_count_; }
+
+  /// Appends a row; returns its id.  Maintains indexes.
+  Result<RowId> Insert(Row row);
+
+  /// Tombstones a row.  NotFound when already deleted / out of range.
+  Status Delete(RowId id);
+
+  /// Replaces a row in place.  Maintains indexes.
+  Status Update(RowId id, Row row);
+
+  /// The row, or NotFound when deleted.
+  Result<Row> Get(RowId id) const;
+
+  bool IsLive(RowId id) const;
+
+  /// Visits live rows in insertion order; visitor returns false to stop.
+  void Scan(const std::function<bool(RowId, const Row&)>& fn) const;
+
+  // --- indexes ---------------------------------------------------------
+
+  /// Builds a B+tree index over an int column (indexes existing rows).
+  Status CreateIndex(const std::string& column);
+  bool HasIndex(const std::string& column) const;
+
+  /// Visits live rows with lo <= row[column] <= hi using the index.
+  Status IndexScan(const std::string& column, int64_t lo, int64_t hi,
+                   const std::function<bool(RowId, const Row&)>& fn) const;
+
+ private:
+  Status IndexInsert(RowId id, const Row& row);
+  void IndexErase(RowId id, const Row& row);
+
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  std::vector<bool> live_;
+  int64_t live_count_ = 0;
+  // column name -> index over that column.
+  std::map<std::string, std::unique_ptr<BPlusTree>> indexes_;
+};
+
+}  // namespace caldb
+
+#endif  // CALDB_DB_TABLE_H_

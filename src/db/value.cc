@@ -1,0 +1,188 @@
+#include "db/value.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace caldb {
+
+std::string_view ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kFloat:
+      return "float";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kText:
+      return "text";
+    case ValueType::kInterval:
+      return "interval";
+    case ValueType::kCalendar:
+      return "calendar";
+  }
+  return "?";
+}
+
+Result<ValueType> ParseValueType(std::string_view name) {
+  std::string lower = AsciiToLower(name);
+  if (lower == "int" || lower == "int8" || lower == "integer") return ValueType::kInt;
+  if (lower == "float" || lower == "float8" || lower == "double") return ValueType::kFloat;
+  if (lower == "bool" || lower == "boolean") return ValueType::kBool;
+  if (lower == "text" || lower == "string") return ValueType::kText;
+  if (lower == "interval") return ValueType::kInterval;
+  if (lower == "calendar") return ValueType::kCalendar;
+  return Status::InvalidArgument("unknown column type '" + std::string(name) + "'");
+}
+
+ValueType Value::type() const {
+  switch (payload_.index()) {
+    case 0:
+      return ValueType::kNull;
+    case 1:
+      return ValueType::kInt;
+    case 2:
+      return ValueType::kFloat;
+    case 3:
+      return ValueType::kBool;
+    case 4:
+      return ValueType::kText;
+    case 5:
+      return ValueType::kInterval;
+    case 6:
+      return ValueType::kCalendar;
+  }
+  return ValueType::kNull;
+}
+
+namespace {
+Status TypeMismatch(ValueType want, ValueType got) {
+  return Status::TypeError("expected " + std::string(ValueTypeName(want)) +
+                           ", got " + std::string(ValueTypeName(got)));
+}
+}  // namespace
+
+Result<int64_t> Value::AsInt() const {
+  if (const int64_t* v = std::get_if<int64_t>(&payload_)) return *v;
+  return TypeMismatch(ValueType::kInt, type());
+}
+
+Result<double> Value::AsFloat() const {
+  if (const double* v = std::get_if<double>(&payload_)) return *v;
+  if (const int64_t* v = std::get_if<int64_t>(&payload_)) {
+    return static_cast<double>(*v);
+  }
+  return TypeMismatch(ValueType::kFloat, type());
+}
+
+Result<bool> Value::AsBool() const {
+  if (const bool* v = std::get_if<bool>(&payload_)) return *v;
+  return TypeMismatch(ValueType::kBool, type());
+}
+
+Result<std::string> Value::AsText() const {
+  if (const std::string* v = std::get_if<std::string>(&payload_)) return *v;
+  return TypeMismatch(ValueType::kText, type());
+}
+
+Result<Interval> Value::AsInterval() const {
+  if (const Interval* v = std::get_if<Interval>(&payload_)) return *v;
+  return TypeMismatch(ValueType::kInterval, type());
+}
+
+Result<Calendar> Value::AsCalendar() const {
+  if (const Calendar* v = std::get_if<Calendar>(&payload_)) return *v;
+  return TypeMismatch(ValueType::kCalendar, type());
+}
+
+Result<bool> Value::Truthy() const {
+  if (is_null()) return false;
+  if (const bool* v = std::get_if<bool>(&payload_)) return *v;
+  return Status::TypeError("condition must be boolean, got " +
+                           std::string(ValueTypeName(type())));
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return std::to_string(std::get<int64_t>(payload_));
+    case ValueType::kFloat: {
+      double v = std::get<double>(payload_);
+      std::string s = std::to_string(v);
+      return s;
+    }
+    case ValueType::kBool:
+      return std::get<bool>(payload_) ? "true" : "false";
+    case ValueType::kText:
+      return "'" + std::get<std::string>(payload_) + "'";
+    case ValueType::kInterval:
+      return FormatInterval(std::get<Interval>(payload_));
+    case ValueType::kCalendar:
+      return std::get<Calendar>(payload_).ToString();
+  }
+  return "?";
+}
+
+bool Value::Equals(const Value& other) const {
+  ValueType a = type();
+  ValueType b = other.type();
+  if (a == ValueType::kNull || b == ValueType::kNull) return a == b;
+  // Numeric cross-type equality.
+  if ((a == ValueType::kInt || a == ValueType::kFloat) &&
+      (b == ValueType::kInt || b == ValueType::kFloat)) {
+    if (a == ValueType::kInt && b == ValueType::kInt) {
+      return std::get<int64_t>(payload_) == std::get<int64_t>(other.payload_);
+    }
+    return AsFloat().value() == other.AsFloat().value();
+  }
+  if (a != b) return false;
+  return payload_ == other.payload_;
+}
+
+Result<int> Value::Compare(const Value& other) const {
+  ValueType a = type();
+  ValueType b = other.type();
+  if ((a == ValueType::kInt || a == ValueType::kFloat) &&
+      (b == ValueType::kInt || b == ValueType::kFloat)) {
+    if (a == ValueType::kInt && b == ValueType::kInt) {
+      int64_t x = std::get<int64_t>(payload_);
+      int64_t y = std::get<int64_t>(other.payload_);
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    double x = AsFloat().value();
+    double y = other.AsFloat().value();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (a != b) {
+    return Status::TypeError("cannot compare " + std::string(ValueTypeName(a)) +
+                             " with " + std::string(ValueTypeName(b)));
+  }
+  switch (a) {
+    case ValueType::kText: {
+      const std::string& x = std::get<std::string>(payload_);
+      const std::string& y = std::get<std::string>(other.payload_);
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case ValueType::kBool: {
+      bool x = std::get<bool>(payload_);
+      bool y = std::get<bool>(other.payload_);
+      return x == y ? 0 : (x ? 1 : -1);
+    }
+    case ValueType::kInterval: {
+      const Interval& x = std::get<Interval>(payload_);
+      const Interval& y = std::get<Interval>(other.payload_);
+      if (x.lo != y.lo) return x.lo < y.lo ? -1 : 1;
+      if (x.hi != y.hi) return x.hi < y.hi ? -1 : 1;
+      return 0;
+    }
+    default:
+      return Status::TypeError("type " + std::string(ValueTypeName(a)) +
+                               " is not orderable");
+  }
+}
+
+}  // namespace caldb

@@ -1,0 +1,82 @@
+// Value: the dynamically-typed cell of the DB substrate.  The calendar
+// types (Interval, Calendar) are first-class — the extensible-database
+// premise of the paper (§1: "object support by allowing the definition and
+// manipulation of complex data types").
+
+#ifndef CALDB_DB_VALUE_H_
+#define CALDB_DB_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+#include "core/calendar.h"
+#include "core/interval.h"
+
+namespace caldb {
+
+enum class ValueType {
+  kNull,
+  kInt,
+  kFloat,
+  kBool,
+  kText,
+  kInterval,
+  kCalendar,
+};
+
+std::string_view ValueTypeName(ValueType t);
+
+/// Parses a column-type name ("int", "float", "bool", "text", "interval",
+/// "calendar").
+Result<ValueType> ParseValueType(std::string_view name);
+
+class Value {
+ public:
+  Value() = default;  // null
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(Payload(v)); }
+  static Value Float(double v) { return Value(Payload(v)); }
+  static Value Bool(bool v) { return Value(Payload(v)); }
+  static Value Text(std::string v) { return Value(Payload(std::move(v))); }
+  static Value Of(Interval v) { return Value(Payload(v)); }
+  static Value Of(Calendar v) { return Value(Payload(std::move(v))); }
+
+  ValueType type() const;
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  // Checked accessors.
+  Result<int64_t> AsInt() const;
+  Result<double> AsFloat() const;   // accepts int too (widening)
+  Result<bool> AsBool() const;
+  Result<std::string> AsText() const;
+  Result<Interval> AsInterval() const;
+  Result<Calendar> AsCalendar() const;
+
+  /// SQL-style truthiness: bool as-is; null is false; other types error.
+  Result<bool> Truthy() const;
+
+  /// Display form ("NULL", "42", "'abc'", "(1,5)", "{(1,5)}").
+  std::string ToString() const;
+
+  /// Deep equality (numeric values compare across int/float).
+  bool Equals(const Value& other) const;
+
+  /// Three-way comparison for orderable types (numbers, text, bool,
+  /// interval by (lo,hi)).  TypeError for calendars/null or mixed
+  /// non-numeric types.
+  Result<int> Compare(const Value& other) const;
+
+ private:
+  using Payload = std::variant<std::monostate, int64_t, double, bool,
+                               std::string, Interval, Calendar>;
+  explicit Value(Payload payload) : payload_(std::move(payload)) {}
+
+  Payload payload_;
+};
+
+}  // namespace caldb
+
+#endif  // CALDB_DB_VALUE_H_

@@ -1,0 +1,115 @@
+#include "finance/day_count.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace caldb {
+
+std::string_view DayCountName(DayCount convention) {
+  switch (convention) {
+    case DayCount::kThirty360:
+      return "30/360";
+    case DayCount::kAct365:
+      return "ACT/365";
+    case DayCount::kActAct:
+      return "ACT/ACT";
+  }
+  return "?";
+}
+
+namespace {
+
+Status ValidateDates(CivilDate a, CivilDate b) {
+  if (!IsValidCivil(a) || !IsValidCivil(b)) {
+    return Status::InvalidArgument("invalid civil date");
+  }
+  return Status::OK();
+}
+
+int64_t Thirty360Days(CivilDate a, CivilDate b) {
+  // US (NASD) 30/360: clamp start day to 30; clamp end day to 30 only when
+  // the start day was clamped.
+  int d1 = std::min(a.day, 30);
+  int d2 = b.day;
+  if (d1 == 30 && d2 == 31) d2 = 30;
+  return 360LL * (b.year - a.year) + 30LL * (b.month - a.month) + (d2 - d1);
+}
+
+}  // namespace
+
+Result<int64_t> DayCountDays(DayCount convention, CivilDate a, CivilDate b) {
+  CALDB_RETURN_IF_ERROR(ValidateDates(a, b));
+  switch (convention) {
+    case DayCount::kThirty360:
+      return Thirty360Days(a, b);
+    case DayCount::kAct365:
+    case DayCount::kActAct:
+      return DaysFromCivil(b) - DaysFromCivil(a);
+  }
+  return Status::Internal("unknown day count");
+}
+
+Result<double> YearFraction(DayCount convention, CivilDate a, CivilDate b) {
+  CALDB_RETURN_IF_ERROR(ValidateDates(a, b));
+  if (b < a) {
+    CALDB_ASSIGN_OR_RETURN(double inverted, YearFraction(convention, b, a));
+    return -inverted;
+  }
+  switch (convention) {
+    case DayCount::kThirty360:
+      return static_cast<double>(Thirty360Days(a, b)) / 360.0;
+    case DayCount::kAct365:
+      return static_cast<double>(DaysFromCivil(b) - DaysFromCivil(a)) / 365.0;
+    case DayCount::kActAct: {
+      // Split the span by calendar year; each piece is weighted by its own
+      // year length.
+      double fraction = 0;
+      CivilDate cursor = a;
+      while (cursor.year < b.year) {
+        CivilDate year_end{cursor.year + 1, 1, 1};
+        fraction += static_cast<double>(DaysFromCivil(year_end) -
+                                        DaysFromCivil(cursor)) /
+                    DaysInYear(cursor.year);
+        cursor = year_end;
+      }
+      fraction += static_cast<double>(DaysFromCivil(b) - DaysFromCivil(cursor)) /
+                  DaysInYear(cursor.year);
+      return fraction;
+    }
+  }
+  return Status::Internal("unknown day count");
+}
+
+Result<double> AccruedInterest(double face, double annual_rate,
+                               DayCount convention, CivilDate last_coupon,
+                               CivilDate settlement) {
+  if (settlement < last_coupon) {
+    return Status::InvalidArgument("settlement precedes last coupon date");
+  }
+  CALDB_ASSIGN_OR_RETURN(double fraction,
+                         YearFraction(convention, last_coupon, settlement));
+  return face * annual_rate * fraction;
+}
+
+Result<double> SimpleYield(double price, double face, double annual_rate,
+                           CivilDate purchase, CivilDate sale) {
+  if (price <= 0) {
+    return Status::InvalidArgument("price must be positive");
+  }
+  if (sale < purchase) {
+    return Status::InvalidArgument("sale precedes purchase");
+  }
+  // Coupon income over the holding period, on 30/360 date arithmetic.
+  CALDB_ASSIGN_OR_RETURN(double accrual_fraction,
+                         YearFraction(DayCount::kThirty360, purchase, sale));
+  double income = face * annual_rate * accrual_fraction;
+  // Annualize over actual days held, with a 365-day year.
+  int64_t actual_days = DaysFromCivil(sale) - DaysFromCivil(purchase);
+  if (actual_days == 0) {
+    return Status::InvalidArgument("holding period must be at least one day");
+  }
+  return (income / price) * (365.0 / static_cast<double>(actual_days));
+}
+
+}  // namespace caldb

@@ -1,0 +1,51 @@
+// User-defined semantics for date arithmetic (§1):
+//
+//   "the yield calculation on financial bonds uses a calendar that has 30
+//    days in every month for date arithmetic, but 365 days in the year for
+//    the actual yield calculation.  If date functions supplied by
+//    commercial databases are used, results will be incorrect because
+//    these date functions always assume the underlying calendar as the
+//    gregorian calendar."
+//
+// Day-count conventions make the underlying calendar an explicit argument
+// of date arithmetic.
+
+#ifndef CALDB_FINANCE_DAY_COUNT_H_
+#define CALDB_FINANCE_DAY_COUNT_H_
+
+#include "common/result.h"
+#include "time/civil.h"
+
+namespace caldb {
+
+enum class DayCount {
+  kThirty360,  // 30/360 US (bond basis): every month has 30 days
+  kAct365,     // actual days / 365
+  kActAct,     // actual days / actual year length (ISDA-style split)
+};
+
+std::string_view DayCountName(DayCount convention);
+
+/// Days from `a` to `b` under the convention's *date arithmetic* (for
+/// kThirty360 this is the 30-day-months count; for the ACT conventions the
+/// real day difference).  Negative when b < a.
+Result<int64_t> DayCountDays(DayCount convention, CivilDate a, CivilDate b);
+
+/// Year fraction from `a` to `b` under the convention.
+Result<double> YearFraction(DayCount convention, CivilDate a, CivilDate b);
+
+/// Accrued coupon interest from `last_coupon` to `settlement`:
+/// face * annual_rate * YearFraction(convention, ...).  The paper's bond
+/// example uses kThirty360 for the accrual arithmetic.
+Result<double> AccruedInterest(double face, double annual_rate,
+                               DayCount convention, CivilDate last_coupon,
+                               CivilDate settlement);
+
+/// The paper's mixed-convention yield: coupon income accrued on 30/360
+/// date arithmetic, annualized over actual days / 365.
+Result<double> SimpleYield(double price, double face, double annual_rate,
+                           CivilDate purchase, CivilDate sale);
+
+}  // namespace caldb
+
+#endif  // CALDB_FINANCE_DAY_COUNT_H_

@@ -1,0 +1,191 @@
+#include "finance/market_calendars.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "core/algebra.h"
+
+namespace caldb {
+
+namespace {
+
+// The civil date of the n-th (1-based) `weekday` of (year, month).
+CivilDate NthWeekday(int32_t year, int32_t month, Weekday weekday, int n) {
+  CivilDate first{year, month, 1};
+  int first_wd = static_cast<int>(WeekdayFromDays(DaysFromCivil(first)));
+  int want = static_cast<int>(weekday);
+  int offset = (want - first_wd + 7) % 7 + (n - 1) * 7;
+  return CivilFromDays(DaysFromCivil(first) + offset);
+}
+
+// The civil date of the last `weekday` of (year, month).
+CivilDate LastWeekday(int32_t year, int32_t month, Weekday weekday) {
+  CivilDate last{year, month, DaysInMonth(year, month)};
+  int last_wd = static_cast<int>(WeekdayFromDays(DaysFromCivil(last)));
+  int want = static_cast<int>(weekday);
+  int offset = (last_wd - want + 7) % 7;
+  return CivilFromDays(DaysFromCivil(last) - offset);
+}
+
+// Fixed-date holidays observed on the nearest weekday (Sat -> Fri,
+// Sun -> Mon).
+CivilDate ObservedDate(CivilDate d) {
+  Weekday wd = WeekdayFromDays(DaysFromCivil(d));
+  if (wd == Weekday::kSaturday) return CivilFromDays(DaysFromCivil(d) - 1);
+  if (wd == Weekday::kSunday) return CivilFromDays(DaysFromCivil(d) + 1);
+  return d;
+}
+
+Status RequirePointCalendar(const Calendar& c, const char* what) {
+  if (c.order() != 1) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " must be an order-1 calendar");
+  }
+  for (const Interval& i : c.intervals()) {
+    if (i.lo != i.hi) {
+      return Status::InvalidArgument(
+          std::string(what) + " must contain single-day intervals, got " +
+          FormatInterval(i));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Calendar> UsFederalHolidays(const TimeSystem& ts, int32_t first_year,
+                                   int32_t last_year) {
+  if (last_year < first_year) {
+    return Status::InvalidArgument("holiday year range is inverted");
+  }
+  std::vector<Interval> days;
+  for (int32_t year = first_year; year <= last_year; ++year) {
+    std::vector<CivilDate> dates = {
+        ObservedDate({year, 1, 1}),                       // New Year
+        NthWeekday(year, 1, Weekday::kMonday, 3),         // MLK
+        NthWeekday(year, 2, Weekday::kMonday, 3),         // Presidents
+        LastWeekday(year, 5, Weekday::kMonday),           // Memorial
+        ObservedDate({year, 7, 4}),                       // Independence
+        NthWeekday(year, 9, Weekday::kMonday, 1),         // Labor
+        NthWeekday(year, 11, Weekday::kThursday, 4),      // Thanksgiving
+        ObservedDate({year, 12, 25}),                     // Christmas
+    };
+    for (const CivilDate& d : dates) {
+      days.push_back(PointInterval(ts.DayPointFromCivil(d)));
+    }
+  }
+  // Observation shifts can step across year boundaries; sort and dedup.
+  std::sort(days.begin(), days.end(),
+            [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  days.erase(std::unique(days.begin(), days.end()), days.end());
+  return Calendar::Order1(Granularity::kDays, std::move(days));
+}
+
+Result<Calendar> WeekendDays(const TimeSystem& ts, const Interval& window_days) {
+  std::vector<Interval> days;
+  for (TimePoint d = window_days.lo; d <= window_days.hi; d = PointAdd(d, 1)) {
+    Weekday wd = ts.WeekdayOfDayPoint(d);
+    if (wd == Weekday::kSaturday || wd == Weekday::kSunday) {
+      days.push_back(PointInterval(d));
+    }
+  }
+  return Calendar::Order1(Granularity::kDays, std::move(days));
+}
+
+Result<Calendar> BusinessDays(const TimeSystem& ts, const Interval& window_days,
+                              const Calendar& holidays) {
+  CALDB_RETURN_IF_ERROR(RequirePointCalendar(holidays, "holidays"));
+  std::vector<Interval> days;
+  for (TimePoint d = window_days.lo; d <= window_days.hi; d = PointAdd(d, 1)) {
+    Weekday wd = ts.WeekdayOfDayPoint(d);
+    if (wd == Weekday::kSaturday || wd == Weekday::kSunday) continue;
+    if (holidays.ContainsPoint(d)) continue;
+    days.push_back(PointInterval(d));
+  }
+  return Calendar::Order1(Granularity::kDays, std::move(days));
+}
+
+Result<TimePoint> PrecedingBusinessDay(const Calendar& business_days,
+                                       TimePoint day) {
+  CALDB_RETURN_IF_ERROR(RequirePointCalendar(business_days, "business days"));
+  const std::vector<Interval>& points = business_days.intervals();
+  for (auto it = points.rbegin(); it != points.rend(); ++it) {
+    if (it->lo <= day) return it->lo;
+  }
+  return Status::NotFound("no business day at or before " + std::to_string(day));
+}
+
+Result<TimePoint> NextBusinessDay(const Calendar& business_days, TimePoint day) {
+  CALDB_RETURN_IF_ERROR(RequirePointCalendar(business_days, "business days"));
+  for (const Interval& i : business_days.intervals()) {
+    if (i.lo >= day) return i.lo;
+  }
+  return Status::NotFound("no business day at or after " + std::to_string(day));
+}
+
+Result<TimePoint> AddBusinessDays(const Calendar& business_days, TimePoint day,
+                                  int64_t n) {
+  CALDB_RETURN_IF_ERROR(RequirePointCalendar(business_days, "business days"));
+  const std::vector<Interval>& points = business_days.intervals();
+  if (points.empty()) return Status::NotFound("business-day calendar is empty");
+  // Anchor: for forward moves the first business day >= day; for backward
+  // moves the last business day <= day.
+  auto lower = std::lower_bound(
+      points.begin(), points.end(), day,
+      [](const Interval& i, TimePoint d) { return i.lo < d; });
+  int64_t anchor;
+  if (n >= 0) {
+    if (lower == points.end()) {
+      return Status::NotFound("no business day at or after " +
+                              std::to_string(day));
+    }
+    anchor = lower - points.begin();
+    // Moving forward n days from a non-business day counts the anchor as
+    // the first step.
+    if (points[static_cast<size_t>(anchor)].lo != day && n > 0) --n;
+  } else {
+    if (lower == points.begin() &&
+        points.front().lo != day) {
+      return Status::NotFound("no business day at or before " +
+                              std::to_string(day));
+    }
+    anchor = lower - points.begin();
+    if (lower == points.end() || points[static_cast<size_t>(anchor)].lo != day) {
+      --anchor;  // last business day before `day`
+      ++n;       // that step already moved one business day back
+    }
+  }
+  int64_t target = anchor + n;
+  if (target < 0 || target >= static_cast<int64_t>(points.size())) {
+    return Status::OutOfRange("business-day arithmetic leaves the calendar");
+  }
+  return points[static_cast<size_t>(target)].lo;
+}
+
+Result<TimePoint> OptionExpirationDay(const TimeSystem& ts, int32_t year,
+                                      int32_t month,
+                                      const Calendar& business_days) {
+  if (month < 1 || month > 12) {
+    return Status::InvalidArgument("month must be 1..12");
+  }
+  CivilDate third_friday = NthWeekday(year, month, Weekday::kFriday, 3);
+  TimePoint day = ts.DayPointFromCivil(third_friday);
+  if (business_days.ContainsPoint(day)) return day;
+  // "...else it is the business day preceding the above mentioned Friday".
+  return PrecedingBusinessDay(business_days, PointAdd(day, -1));
+}
+
+Status InstallMarketCalendars(CalendarCatalog* catalog, int32_t first_year,
+                              int32_t last_year) {
+  const TimeSystem& ts = catalog->time_system();
+  CALDB_ASSIGN_OR_RETURN(Interval window,
+                         catalog->YearWindow(first_year, last_year));
+  CALDB_ASSIGN_OR_RETURN(Calendar holidays,
+                         UsFederalHolidays(ts, first_year, last_year));
+  CALDB_ASSIGN_OR_RETURN(Calendar business, BusinessDays(ts, window, holidays));
+  CALDB_RETURN_IF_ERROR(catalog->DefineValues("HOLIDAYS", holidays, window));
+  CALDB_RETURN_IF_ERROR(catalog->DefineValues("AM_BUS_DAYS", business, window));
+  return Status::OK();
+}
+
+}  // namespace caldb

@@ -1,0 +1,62 @@
+// Synthetic market calendars: rule-generated US-style holidays, weekends,
+// and business days, built *with the calendar algebra itself*.
+//
+// Substitution note (see DESIGN.md): the paper's examples consume exchange
+// holiday files; this module generates an equivalent synthetic holiday set
+// from the standard US federal holiday rules, which exercises the same
+// code paths (HOLIDAYS / AM_BUS_DAYS value calendars, business-day
+// fallback logic).
+
+#ifndef CALDB_FINANCE_MARKET_CALENDARS_H_
+#define CALDB_FINANCE_MARKET_CALENDARS_H_
+
+#include "catalog/calendar_catalog.h"
+#include "common/result.h"
+#include "core/calendar.h"
+#include "time/time_system.h"
+
+namespace caldb {
+
+/// US federal holidays for civil years [first_year, last_year], as an
+/// order-1 DAYS calendar.  Rules: New Year (Jan 1), MLK (3rd Mon Jan),
+/// Presidents (3rd Mon Feb), Memorial (last Mon May), Independence
+/// (Jul 4), Labor (1st Mon Sep), Thanksgiving (4th Thu Nov), Christmas
+/// (Dec 25).  Fixed-date holidays falling on Saturday are observed the
+/// preceding Friday; on Sunday the following Monday.
+Result<Calendar> UsFederalHolidays(const TimeSystem& ts, int32_t first_year,
+                                   int32_t last_year);
+
+/// Saturdays and Sundays of the given day window.
+Result<Calendar> WeekendDays(const TimeSystem& ts, const Interval& window_days);
+
+/// Business days of the window: all days minus weekends minus `holidays`.
+Result<Calendar> BusinessDays(const TimeSystem& ts, const Interval& window_days,
+                              const Calendar& holidays);
+
+/// The last business day at or before `day` (searches backwards).
+Result<TimePoint> PrecedingBusinessDay(const Calendar& business_days,
+                                       TimePoint day);
+
+/// The first business day at or after `day`.
+Result<TimePoint> NextBusinessDay(const Calendar& business_days, TimePoint day);
+
+/// Moves `n` business days forward (n > 0) or backward (n < 0) from `day`
+/// (which need not itself be a business day).
+Result<TimePoint> AddBusinessDays(const Calendar& business_days, TimePoint day,
+                                  int64_t n);
+
+/// The option expiration day of (year, month): the 3rd Friday if it is a
+/// business day, else the preceding business day — §1's motivating
+/// condition.
+Result<TimePoint> OptionExpirationDay(const TimeSystem& ts, int32_t year,
+                                      int32_t month,
+                                      const Calendar& business_days);
+
+/// Installs HOLIDAYS and AM_BUS_DAYS as value calendars covering the given
+/// years (names from the paper's scripts).
+Status InstallMarketCalendars(CalendarCatalog* catalog, int32_t first_year,
+                              int32_t last_year);
+
+}  // namespace caldb
+
+#endif  // CALDB_FINANCE_MARKET_CALENDARS_H_

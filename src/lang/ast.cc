@@ -1,0 +1,190 @@
+#include "lang/ast.h"
+
+namespace caldb {
+
+namespace {
+
+std::string SelectionToString(const std::vector<SelectionItem>& items) {
+  std::string out = "[";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ",";
+    const SelectionItem& it = items[i];
+    switch (it.kind) {
+      case SelectionItem::Kind::kIndex:
+        out += std::to_string(it.index);
+        break;
+      case SelectionItem::Kind::kLast:
+        out += "n";
+        break;
+      case SelectionItem::Kind::kRange:
+        out += std::to_string(it.range_lo);
+        out += "..";
+        out += it.range_hi == SelectionItem::kLastMarker
+                   ? "n"
+                   : std::to_string(it.range_hi);
+        break;
+    }
+  }
+  out += "]";
+  return out;
+}
+
+void TreeToString(const Expr& e, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  switch (e.kind) {
+    case Expr::Kind::kIdent:
+      *out += e.name;
+      *out += "\n";
+      return;
+    case Expr::Kind::kLiteral:
+      *out += "literal ";
+      *out += e.literal.ToString();
+      *out += "\n";
+      return;
+    case Expr::Kind::kYearSelect:
+      *out += std::to_string(e.year);
+      *out += "/YEARS\n";
+      return;
+    case Expr::Kind::kForEach:
+      *out += "foreach ";
+      *out += e.strict ? ":" : ".";
+      *out += ListOpName(e.op);
+      *out += e.strict ? ":" : ".";
+      *out += "\n";
+      TreeToString(*e.lhs, depth + 1, out);
+      TreeToString(*e.rhs, depth + 1, out);
+      return;
+    case Expr::Kind::kSelect:
+      *out += "select ";
+      *out += SelectionToString(e.selection);
+      *out += "\n";
+      TreeToString(*e.child, depth + 1, out);
+      return;
+    case Expr::Kind::kSetOp:
+      *out += e.set_op;
+      *out += "\n";
+      TreeToString(*e.lhs, depth + 1, out);
+      TreeToString(*e.rhs, depth + 1, out);
+      return;
+    case Expr::Kind::kCall:
+      *out += e.name;
+      *out += "()\n";
+      for (const ExprPtr& a : e.args) TreeToString(*a, depth + 1, out);
+      return;
+    case Expr::Kind::kIntConst:
+      *out += std::to_string(e.int_value);
+      *out += "\n";
+      return;
+    case Expr::Kind::kStar:
+      *out += "*\n";
+      return;
+  }
+}
+
+void StmtToString(const Stmt& s, int depth, std::string* out);
+
+void BodyToString(const std::vector<Stmt>& body, int depth, std::string* out) {
+  for (const Stmt& s : body) StmtToString(s, depth, out);
+}
+
+void StmtToString(const Stmt& s, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  switch (s.kind) {
+    case Stmt::Kind::kAssign:
+      *out += s.var + " = " + ExprToString(*s.expr) + ";\n";
+      return;
+    case Stmt::Kind::kIf:
+      *out += "if (" + ExprToString(*s.expr) + ")\n";
+      BodyToString(s.body, depth + 1, out);
+      if (!s.else_body.empty()) {
+        out->append(static_cast<size_t>(depth) * 2, ' ');
+        *out += "else\n";
+        BodyToString(s.else_body, depth + 1, out);
+      }
+      return;
+    case Stmt::Kind::kWhile:
+      *out += "while (" + ExprToString(*s.expr) + ")\n";
+      BodyToString(s.body, depth + 1, out);
+      return;
+    case Stmt::Kind::kReturn:
+      if (s.returns_string) {
+        *out += "return (\"" + s.str + "\");\n";
+      } else {
+        *out += "return " + ExprToString(*s.expr) + ";\n";
+      }
+      return;
+    case Stmt::Kind::kBlock:
+      *out += "{\n";
+      BodyToString(s.body, depth + 1, out);
+      out->append(static_cast<size_t>(depth) * 2, ' ');
+      *out += "}\n";
+      return;
+  }
+}
+
+}  // namespace
+
+std::string ExprToString(const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::kIdent:
+      return e.name;
+    case Expr::Kind::kLiteral:
+      return std::string(GranularityName(e.literal.granularity())) +
+             e.literal.ToString();
+    case Expr::Kind::kYearSelect:
+      return std::to_string(e.year) + "/YEARS";
+    case Expr::Kind::kForEach: {
+      const char* mark = e.strict ? ":" : ".";
+      std::string lhs = ExprToString(*e.lhs);
+      if (e.lhs->kind == Expr::Kind::kForEach ||
+          e.lhs->kind == Expr::Kind::kSelect ||
+          e.lhs->kind == Expr::Kind::kSetOp) {
+        lhs = "(" + lhs + ")";
+      }
+      return lhs + mark + std::string(ListOpName(e.op)) + mark +
+             ExprToString(*e.rhs);
+    }
+    case Expr::Kind::kSelect:
+      return SelectionToString(e.selection) + "/" + ExprToString(*e.child);
+    case Expr::Kind::kSetOp:
+      return ExprToString(*e.lhs) + " " + e.set_op + " " + ExprToString(*e.rhs);
+    case Expr::Kind::kCall: {
+      std::string out = e.name + "(";
+      for (size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += ExprToString(*e.args[i]);
+      }
+      out += ")";
+      return out;
+    }
+    case Expr::Kind::kIntConst:
+      return std::to_string(e.int_value);
+    case Expr::Kind::kStar:
+      return "*";
+  }
+  return "?";
+}
+
+std::string ExprTreeToString(const Expr& e) {
+  std::string out;
+  TreeToString(e, 0, &out);
+  return out;
+}
+
+std::string ScriptToString(const Script& s) {
+  std::string out;
+  BodyToString(s.stmts, 0, &out);
+  return out;
+}
+
+ExprPtr CloneExpr(const Expr& e) {
+  ExprPtr out = std::make_shared<Expr>(e);
+  if (e.lhs) out->lhs = CloneExpr(*e.lhs);
+  if (e.rhs) out->rhs = CloneExpr(*e.rhs);
+  if (e.child) out->child = CloneExpr(*e.child);
+  out->args.clear();
+  for (const ExprPtr& a : e.args) out->args.push_back(CloneExpr(*a));
+  return out;
+}
+
+}  // namespace caldb

@@ -1,0 +1,132 @@
+// AST of the calendar expression language (§3.3).
+//
+// Grammar (right-associative foreach chains; selection binds the whole
+// chain to its right, as in the paper's "[3]/WEEKS:overlaps:Jan-1993"):
+//
+//   script   := stmt*
+//   stmt     := IDENT '=' addexpr ';'
+//             | 'if' '(' addexpr ')' block ('else' block)?
+//             | 'while' '(' addexpr ')' (stmt | ';')
+//             | 'return' addexpr ';' | 'return' '(' STRING ')' ';'
+//             | '{' stmt* '}'
+//   addexpr  := calexpr (('+' | '-') calexpr)*
+//   calexpr  := '[' selitem (',' selitem)* ']' '/' calexpr
+//             | INT '/' IDENT                     // 1993/YEARS
+//             | primary ((':' op ':' | '.' op '.') calexpr)?
+//   primary  := IDENT | IDENT '(' args ')' | IDENT '{' intervals '}'
+//             | '(' addexpr ')'
+//   op       := IDENT | '<' | '<='
+//   selitem  := INT | '-' INT | 'n' | INT '..' (INT | 'n')
+
+#ifndef CALDB_LANG_AST_H_
+#define CALDB_LANG_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/algebra.h"
+#include "core/calendar.h"
+#include "core/interval.h"
+#include "time/granularity.h"
+
+namespace caldb {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+/// How the analyzer classified an identifier leaf.
+enum class IdentClass {
+  kUnresolved,
+  kBaseCalendar,     // SECONDS..CENTURY
+  kDerivedCalendar,  // multi-statement derivation, invoked at runtime
+  kValueCalendar,    // explicit stored values
+  kVariable,         // script-local temporary
+  kToday,            // the runtime's current time point
+};
+
+struct Expr {
+  enum class Kind {
+    kIdent,       // calendar or variable reference
+    kLiteral,     // days{(31,31),(90,90)}
+    kYearSelect,  // 1993/YEARS
+    kForEach,     // lhs :op: rhs  /  lhs .op. rhs
+    kSelect,      // [items]/child
+    kSetOp,       // lhs + rhs / lhs - rhs
+    kCall,        // caloperate(...)
+    kIntConst,    // bare integer argument inside a call
+    kStar,        // '*' argument inside a call (unbounded end time)
+  };
+
+  Kind kind = Kind::kIdent;
+  int line = 0;
+
+  // kIdent (name), kCall (callee name).
+  std::string name;
+  // kLiteral.
+  Calendar literal;
+  // kYearSelect.
+  int32_t year = 0;
+  // kForEach.
+  ListOp op = ListOp::kDuring;
+  bool strict = true;
+  ExprPtr lhs;
+  ExprPtr rhs;
+  // kSelect.
+  std::vector<SelectionItem> selection;
+  ExprPtr child;
+  // kSetOp: '+' or '-'.
+  char set_op = '+';
+  // kCall: ordered arguments (kIntConst / kStar nodes for scalar args).
+  std::vector<ExprPtr> args;
+  // kIntConst.
+  int64_t int_value = 0;
+
+  // --- analysis annotations (filled by Analyzer) ---
+  IdentClass ident_class = IdentClass::kUnresolved;
+  // The node's *semantic* granularity (the paper's factorization rule
+  // compares these), independent of the unit evaluation happens in.
+  Granularity sem_granularity = Granularity::kDays;
+};
+
+struct Stmt {
+  enum class Kind { kAssign, kIf, kWhile, kReturn, kBlock };
+
+  Kind kind = Kind::kAssign;
+  int line = 0;
+
+  std::string var;   // kAssign target
+  ExprPtr expr;      // kAssign value / kIf,kWhile condition / kReturn value
+  bool returns_string = false;
+  std::string str;   // kReturn string payload
+
+  std::vector<Stmt> body;       // kIf then / kWhile body / kBlock
+  std::vector<Stmt> else_body;  // kIf else
+};
+
+struct Script {
+  std::vector<Stmt> stmts;
+
+  // --- analysis annotations ---
+  // The smallest time unit appearing in the script (§3.4): evaluation
+  // expresses every calendar in this unit.
+  Granularity unit = Granularity::kDays;
+  // Calendar names referenced more than once (generated once and cached).
+  std::vector<std::string> repeated_calendars;
+};
+
+/// Pretty-prints an expression in the paper's surface syntax.
+std::string ExprToString(const Expr& e);
+
+/// Pretty-prints a parse tree, one node per line (Figures 2 and 3).
+std::string ExprTreeToString(const Expr& e);
+
+/// Pretty-prints a whole script.
+std::string ScriptToString(const Script& s);
+
+/// Deep-copies an expression tree.
+ExprPtr CloneExpr(const Expr& e);
+
+}  // namespace caldb
+
+#endif  // CALDB_LANG_AST_H_

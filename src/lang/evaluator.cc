@@ -1,0 +1,381 @@
+#include "lang/evaluator.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/macros.h"
+#include "core/generate.h"
+#include "time/civil.h"
+
+namespace caldb {
+
+Result<Interval> ConvertDayWindow(const TimeSystem& ts, const Interval& days,
+                                  Granularity unit) {
+  if (unit == Granularity::kDays) return days;
+  if (FinerThan(unit, Granularity::kDays)) {
+    CALDB_ASSIGN_OR_RETURN(Interval lo,
+                           ts.GranuleToUnit(Granularity::kDays, days.lo, unit));
+    CALDB_ASSIGN_OR_RETURN(Interval hi,
+                           ts.GranuleToUnit(Granularity::kDays, days.hi, unit));
+    return Interval{lo.lo, hi.hi};
+  }
+  CALDB_ASSIGN_OR_RETURN(TimePoint lo, ts.GranuleContaining(unit, days.lo,
+                                                            Granularity::kDays));
+  CALDB_ASSIGN_OR_RETURN(TimePoint hi, ts.GranuleContaining(unit, days.hi,
+                                                            Granularity::kDays));
+  return Interval{lo, hi};
+}
+
+struct Evaluator::Frame {
+  const Plan* plan = nullptr;
+  const EvalOptions* opts = nullptr;
+  Interval window_unit{1, 1};  // the global window in plan-unit points
+  int depth = 0;
+  std::vector<std::optional<Calendar>> regs;
+};
+
+Result<ScriptValue> Evaluator::Run(const Plan& plan, const EvalOptions& opts,
+                                   EvalStats* stats) {
+  stats_ = stats;
+  Result<ScriptValue> result = RunPlan(plan, opts, /*depth=*/0);
+  stats_ = nullptr;
+  return result;
+}
+
+Result<ScriptValue> Evaluator::RunPlan(const Plan& plan,
+                                       const EvalOptions& opts, int depth) {
+  if (depth > opts.max_invoke_depth) {
+    return Status::EvalError("calendar invocation depth exceeds " +
+                             std::to_string(opts.max_invoke_depth) +
+                             " (cyclic derivation?)");
+  }
+  Frame frame;
+  frame.plan = &plan;
+  frame.opts = &opts;
+  frame.depth = depth;
+  frame.regs.resize(static_cast<size_t>(plan.num_registers));
+  CALDB_ASSIGN_OR_RETURN(frame.window_unit,
+                         ConvertDayWindow(*ts_, opts.window_days, plan.unit));
+  ScriptValue returned;
+  bool did_return = false;
+  CALDB_RETURN_IF_ERROR(RunSteps(plan.steps, &frame, &returned, &did_return));
+  if (!did_return) return ScriptValue::Null();
+  return returned;
+}
+
+Status Evaluator::RunSteps(const std::vector<PlanStep>& steps, Frame* frame,
+                           ScriptValue* returned, bool* did_return) {
+  for (const PlanStep& step : steps) {
+    CALDB_RETURN_IF_ERROR(RunStep(step, frame, returned, did_return));
+    if (*did_return) return Status::OK();
+  }
+  return Status::OK();
+}
+
+Result<Calendar> Evaluator::ReadReg(const Frame& frame, int reg,
+                                    int /*line_hint*/) const {
+  if (reg < 0 || static_cast<size_t>(reg) >= frame.regs.size()) {
+    return Status::Internal("plan references register r" + std::to_string(reg) +
+                            " out of range");
+  }
+  if (!frame.regs[static_cast<size_t>(reg)].has_value()) {
+    return Status::EvalError("variable read before assignment (register r" +
+                             std::to_string(reg) + ")");
+  }
+  return *frame.regs[static_cast<size_t>(reg)];
+}
+
+Result<Interval> Evaluator::WindowFor(const PlanStep& step,
+                                      const Frame& frame) const {
+  if (!frame.opts->use_window_hints) return frame.window_unit;
+  // Window hints realize the §3.4 look-ahead: a calendar being compared
+  // against an already evaluated operand is generated over that operand's
+  // actual span (which may extend past the global window where a coarse
+  // granule overlaps its edge — that is what keeps positional selections
+  // like [2]/DAYS:during:WEEKS meaningful for the boundary week).
+  switch (step.hint.mode) {
+    case WindowHint::Mode::kNone:
+      return frame.window_unit;
+    case WindowHint::Mode::kSpan: {
+      CALDB_ASSIGN_OR_RETURN(Calendar bound, ReadReg(frame, step.hint.reg, 0));
+      std::optional<Interval> span = bound.Span();
+      if (!span) return Status::NotFound("empty window");  // nothing to generate
+      return *span;
+    }
+    case WindowHint::Mode::kBefore: {
+      CALDB_ASSIGN_OR_RETURN(Calendar bound, ReadReg(frame, step.hint.reg, 0));
+      std::optional<Interval> span = bound.Span();
+      if (!span) return Status::NotFound("empty window");
+      TimePoint lo = std::min(frame.window_unit.lo, span->hi);
+      return Interval{lo, span->hi};
+    }
+  }
+  return Status::Internal("unknown window-hint mode");
+}
+
+Status Evaluator::RunStep(const PlanStep& step, Frame* frame,
+                          ScriptValue* returned, bool* did_return) {
+  if (stats_ != nullptr) ++stats_->steps_executed;
+  const Granularity unit = frame->plan->unit;
+  auto set = [frame](int reg, Calendar value) {
+    frame->regs[static_cast<size_t>(reg)] = std::move(value);
+  };
+
+  switch (step.op) {
+    case PlanOpCode::kGenerate: {
+      Result<Interval> window = WindowFor(step, *frame);
+      if (!window.ok()) {
+        if (window.status().code() == StatusCode::kNotFound) {
+          set(step.dst, Calendar::Order1(unit, {}));
+          return Status::OK();
+        }
+        return window.status();
+      }
+      auto key = std::make_tuple(static_cast<int>(step.gran_arg),
+                                 static_cast<int>(unit), window->lo, window->hi);
+      auto cached = gen_cache_.find(key);
+      if (cached != gen_cache_.end()) {
+        if (stats_ != nullptr) ++stats_->cache_hits;
+        set(step.dst, cached->second);
+        return Status::OK();
+      }
+      CALDB_ASSIGN_OR_RETURN(
+          Calendar generated,
+          GenerateBaseCalendar(*ts_, step.gran_arg, unit, *window,
+                               /*clip=*/false));
+      if (stats_ != nullptr) {
+        ++stats_->generate_calls;
+        stats_->intervals_generated += generated.TotalIntervals();
+      }
+      gen_cache_[key] = generated;
+      set(step.dst, std::move(generated));
+      return Status::OK();
+    }
+
+    case PlanOpCode::kLoadValues: {
+      if (source_ == nullptr) {
+        return Status::EvalError("no calendar source to load '" + step.name +
+                                 "' from");
+      }
+      CALDB_ASSIGN_OR_RETURN(ResolvedCalendar resolved,
+                             source_->Resolve(step.name));
+      if (resolved.kind != ResolvedCalendar::Kind::kValues) {
+        return Status::EvalError("calendar '" + step.name +
+                                 "' is not a value calendar");
+      }
+      CALDB_ASSIGN_OR_RETURN(Calendar values,
+                             Rescale(*ts_, resolved.values, unit));
+      Result<Interval> window = WindowFor(step, *frame);
+      if (!window.ok()) {
+        if (window.status().code() == StatusCode::kNotFound) {
+          set(step.dst, Calendar::Order1(unit, {}));
+          return Status::OK();
+        }
+        return window.status();
+      }
+      // Keep whole stored elements overlapping the window.
+      CALDB_ASSIGN_OR_RETURN(
+          Calendar filtered,
+          ForEachInterval(values, ListOp::kOverlaps, *window, /*strict=*/false));
+      set(step.dst, std::move(filtered));
+      return Status::OK();
+    }
+
+    case PlanOpCode::kInvoke: {
+      if (source_ == nullptr) {
+        return Status::EvalError("no calendar source to invoke '" + step.name +
+                                 "'");
+      }
+      CALDB_ASSIGN_OR_RETURN(ResolvedCalendar resolved,
+                             source_->Resolve(step.name));
+      if (resolved.kind != ResolvedCalendar::Kind::kDerived ||
+          resolved.plan == nullptr) {
+        return Status::EvalError("calendar '" + step.name +
+                                 "' has no evaluation plan");
+      }
+      EvalOptions inner_opts = *frame->opts;
+      Result<Interval> window = WindowFor(step, *frame);
+      if (window.ok()) {
+        // Convert the window back to DAYS for the nested evaluation.
+        if (unit == Granularity::kDays) {
+          inner_opts.window_days = *window;
+        } else if (FinerThan(unit, Granularity::kDays)) {
+          CALDB_ASSIGN_OR_RETURN(
+              TimePoint lo,
+              ts_->GranuleContaining(Granularity::kDays, window->lo, unit));
+          CALDB_ASSIGN_OR_RETURN(
+              TimePoint hi,
+              ts_->GranuleContaining(Granularity::kDays, window->hi, unit));
+          inner_opts.window_days = Interval{lo, hi};
+        } else {
+          CALDB_ASSIGN_OR_RETURN(
+              Interval lo, ts_->GranuleToUnit(unit, window->lo, Granularity::kDays));
+          CALDB_ASSIGN_OR_RETURN(
+              Interval hi, ts_->GranuleToUnit(unit, window->hi, Granularity::kDays));
+          inner_opts.window_days = Interval{lo.lo, hi.hi};
+        }
+      } else if (window.status().code() == StatusCode::kNotFound) {
+        set(step.dst, Calendar::Order1(unit, {}));
+        return Status::OK();
+      } else {
+        return window.status();
+      }
+      CALDB_ASSIGN_OR_RETURN(
+          ScriptValue value,
+          RunPlan(*resolved.plan, inner_opts, frame->depth + 1));
+      if (value.kind == ScriptValue::Kind::kNull) {
+        set(step.dst, Calendar::Order1(unit, {}));
+        return Status::OK();
+      }
+      if (value.kind != ScriptValue::Kind::kCalendar) {
+        return Status::EvalError("derived calendar '" + step.name +
+                                 "' returned a non-calendar value");
+      }
+      CALDB_ASSIGN_OR_RETURN(Calendar rescaled,
+                             Rescale(*ts_, value.calendar, unit));
+      set(step.dst, std::move(rescaled));
+      return Status::OK();
+    }
+
+    case PlanOpCode::kToday: {
+      const TimePoint today = frame->opts->today_day;
+      if (FinerThan(unit, Granularity::kDays) || unit == Granularity::kDays) {
+        CALDB_ASSIGN_OR_RETURN(Interval i,
+                               ts_->GranuleToUnit(Granularity::kDays, today, unit));
+        set(step.dst, Calendar::Singleton(unit, i));
+      } else {
+        CALDB_ASSIGN_OR_RETURN(
+            TimePoint p, ts_->GranuleContaining(unit, today, Granularity::kDays));
+        set(step.dst, Calendar::Singleton(unit, PointInterval(p)));
+      }
+      return Status::OK();
+    }
+
+    case PlanOpCode::kLiteral: {
+      CALDB_ASSIGN_OR_RETURN(Calendar value, Rescale(*ts_, step.literal, unit));
+      set(step.dst, std::move(value));
+      return Status::OK();
+    }
+
+    case PlanOpCode::kYearSelect: {
+      CALDB_ASSIGN_OR_RETURN(
+          Interval i,
+          ts_->GranuleToUnit(Granularity::kYears, ts_->YearIndex(step.year), unit));
+      set(step.dst, Calendar::Singleton(unit, i));
+      return Status::OK();
+    }
+
+    case PlanOpCode::kGenerateSpan: {
+      CALDB_ASSIGN_OR_RETURN(CivilDate start, ParseCivil(step.civil_start));
+      CALDB_ASSIGN_OR_RETURN(CivilDate end, ParseCivil(step.civil_end));
+      CALDB_ASSIGN_OR_RETURN(Interval days, ts_->DayIntervalFromCivil(start, end));
+      CALDB_ASSIGN_OR_RETURN(Interval span,
+                             ConvertDayWindow(*ts_, days, step.unit_arg));
+      CALDB_ASSIGN_OR_RETURN(
+          Calendar generated,
+          GenerateBaseCalendar(*ts_, step.gran_arg, step.unit_arg, span,
+                               /*clip=*/true));
+      if (stats_ != nullptr) {
+        ++stats_->generate_calls;
+        stats_->intervals_generated += generated.TotalIntervals();
+      }
+      CALDB_ASSIGN_OR_RETURN(Calendar value, Rescale(*ts_, generated, unit));
+      set(step.dst, std::move(value));
+      return Status::OK();
+    }
+
+    case PlanOpCode::kForEach: {
+      CALDB_ASSIGN_OR_RETURN(Calendar lhs, ReadReg(*frame, step.lhs, 0));
+      CALDB_ASSIGN_OR_RETURN(Calendar rhs, ReadReg(*frame, step.rhs, 0));
+      CALDB_ASSIGN_OR_RETURN(Calendar value,
+                             ForEach(lhs, step.listop, rhs, step.strict));
+      set(step.dst, std::move(value));
+      return Status::OK();
+    }
+
+    case PlanOpCode::kSelect: {
+      CALDB_ASSIGN_OR_RETURN(Calendar src, ReadReg(*frame, step.lhs, 0));
+      CALDB_ASSIGN_OR_RETURN(Calendar value, Select(step.selection, src));
+      set(step.dst, std::move(value));
+      return Status::OK();
+    }
+
+    case PlanOpCode::kUnion:
+    case PlanOpCode::kDifference: {
+      CALDB_ASSIGN_OR_RETURN(Calendar lhs, ReadReg(*frame, step.lhs, 0));
+      CALDB_ASSIGN_OR_RETURN(Calendar rhs, ReadReg(*frame, step.rhs, 0));
+      Result<Calendar> value = step.op == PlanOpCode::kUnion
+                                   ? Union(lhs, rhs)
+                                   : Difference(lhs, rhs);
+      CALDB_RETURN_IF_ERROR(value.status());
+      set(step.dst, std::move(value).value());
+      return Status::OK();
+    }
+
+    case PlanOpCode::kCalOperate: {
+      CALDB_ASSIGN_OR_RETURN(Calendar src, ReadReg(*frame, step.lhs, 0));
+      std::optional<TimePoint> te;
+      if (step.te.has_value()) te = *step.te;
+      CALDB_ASSIGN_OR_RETURN(Calendar value, CalOperate(src, te, step.groups));
+      set(step.dst, std::move(value));
+      return Status::OK();
+    }
+
+    case PlanOpCode::kCopy: {
+      CALDB_ASSIGN_OR_RETURN(Calendar value, ReadReg(*frame, step.lhs, 0));
+      set(step.dst, std::move(value));
+      return Status::OK();
+    }
+
+    case PlanOpCode::kReturn: {
+      CALDB_ASSIGN_OR_RETURN(Calendar value, ReadReg(*frame, step.lhs, 0));
+      *returned = value.IsNull() ? ScriptValue::Null()
+                                 : ScriptValue::Of(std::move(value));
+      *did_return = true;
+      return Status::OK();
+    }
+
+    case PlanOpCode::kReturnString: {
+      *returned = ScriptValue::Of(step.name);
+      *did_return = true;
+      return Status::OK();
+    }
+
+    case PlanOpCode::kIf: {
+      CALDB_RETURN_IF_ERROR(RunSteps(step.cond_steps, frame, returned, did_return));
+      if (*did_return) return Status::OK();
+      CALDB_ASSIGN_OR_RETURN(Calendar cond, ReadReg(*frame, step.lhs, 0));
+      const std::vector<PlanStep>& branch =
+          cond.IsNull() ? step.else_steps : step.body_steps;
+      return RunSteps(branch, frame, returned, did_return);
+    }
+
+    case PlanOpCode::kWhile: {
+      for (int64_t iter = 0;; ++iter) {
+        if (iter >= frame->opts->max_loop_iterations) {
+          return Status::EvalError("while loop exceeded " +
+                                   std::to_string(frame->opts->max_loop_iterations) +
+                                   " iterations");
+        }
+        CALDB_RETURN_IF_ERROR(
+            RunSteps(step.cond_steps, frame, returned, did_return));
+        if (*did_return) return Status::OK();
+        CALDB_ASSIGN_OR_RETURN(Calendar cond, ReadReg(*frame, step.lhs, 0));
+        if (cond.IsNull()) return Status::OK();
+        if (step.body_steps.empty()) {
+          // The paper's "while (today:<:temp2) ;" busy-wait: the script is
+          // blocked until the condition turns false.
+          *returned = ScriptValue::Blocked();
+          *did_return = true;
+          return Status::OK();
+        }
+        CALDB_RETURN_IF_ERROR(
+            RunSteps(step.body_steps, frame, returned, did_return));
+        if (*did_return) return Status::OK();
+      }
+    }
+  }
+  return Status::Internal("unknown plan opcode");
+}
+
+}  // namespace caldb

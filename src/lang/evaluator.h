@@ -1,0 +1,110 @@
+// Executes evaluation plans.
+
+#ifndef CALDB_LANG_EVALUATOR_H_
+#define CALDB_LANG_EVALUATOR_H_
+
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/result.h"
+#include "core/calendar.h"
+#include "lang/calendar_source.h"
+#include "lang/plan.h"
+#include "time/time_system.h"
+
+namespace caldb {
+
+/// What a script evaluation produced.
+struct ScriptValue {
+  enum class Kind {
+    kNull,      // no return executed / empty result
+    kCalendar,  // a calendar value
+    kString,    // a string alert ("LAST TRADING DAY")
+    kBlocked,   // an empty-bodied while whose condition is still true —
+                // the paper's busy-wait ("while (today:<:temp2) ;")
+  };
+  Kind kind = Kind::kNull;
+  Calendar calendar;
+  std::string text;
+
+  static ScriptValue Null() { return {}; }
+  static ScriptValue Of(Calendar c) {
+    ScriptValue v;
+    v.kind = Kind::kCalendar;
+    v.calendar = std::move(c);
+    return v;
+  }
+  static ScriptValue Of(std::string s) {
+    ScriptValue v;
+    v.kind = Kind::kString;
+    v.text = std::move(s);
+    return v;
+  }
+  static ScriptValue Blocked() {
+    ScriptValue v;
+    v.kind = Kind::kBlocked;
+    return v;
+  }
+};
+
+struct EvalOptions {
+  /// Generation window for calendars with no tighter bound, in DAYS points.
+  Interval window_days{1, 365};
+  /// The DAYS point of "today" (used by `today` and DBCRON rules).
+  TimePoint today_day = 1;
+  /// When false, window hints are ignored and every calendar is generated
+  /// over the full global window — the naive evaluation the paper's
+  /// factorization optimization is measured against (benchmarks PERF-1/2).
+  bool use_window_hints = true;
+  int64_t max_loop_iterations = 100000;
+  int max_invoke_depth = 16;
+};
+
+/// Counters used by the factorization / push-down benchmarks.
+struct EvalStats {
+  int64_t steps_executed = 0;
+  int64_t generate_calls = 0;
+  int64_t intervals_generated = 0;  // intervals materialized by GENERATE
+  int64_t cache_hits = 0;
+};
+
+class Evaluator {
+ public:
+  /// Neither pointer is owned.  `source` may be null when the plan has no
+  /// kLoadValues / kInvoke steps.
+  Evaluator(const TimeSystem* ts, const CalendarSource* source)
+      : ts_(ts), source_(source) {}
+
+  /// Runs a plan to completion.
+  Result<ScriptValue> Run(const Plan& plan, const EvalOptions& opts,
+                          EvalStats* stats = nullptr);
+
+ private:
+  struct Frame;
+
+  Result<ScriptValue> RunPlan(const Plan& plan, const EvalOptions& opts,
+                              int depth);
+  // Executes steps; sets *returned when a return fired.
+  Status RunSteps(const std::vector<PlanStep>& steps, Frame* frame,
+                  ScriptValue* returned, bool* did_return);
+  Status RunStep(const PlanStep& step, Frame* frame, ScriptValue* returned,
+                 bool* did_return);
+  Result<Interval> WindowFor(const PlanStep& step, const Frame& frame) const;
+  Result<Calendar> ReadReg(const Frame& frame, int reg, int line_hint) const;
+
+  const TimeSystem* ts_;
+  const CalendarSource* source_;
+  EvalStats* stats_ = nullptr;
+  // Cache of generated base calendars, keyed by granularity/unit/window.
+  std::map<std::tuple<int, int, TimePoint, TimePoint>, Calendar> gen_cache_;
+};
+
+/// Converts a DAYS window to a covering window in `unit` points.
+Result<Interval> ConvertDayWindow(const TimeSystem& ts, const Interval& days,
+                                  Granularity unit);
+
+}  // namespace caldb
+
+#endif  // CALDB_LANG_EVALUATOR_H_

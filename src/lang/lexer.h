@@ -1,0 +1,25 @@
+// Lexer for the calendar expression language.
+
+#ifndef CALDB_LANG_LEXER_H_
+#define CALDB_LANG_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "lang/token.h"
+
+namespace caldb {
+
+/// Tokenizes a calendar script.  Notes:
+///  - /* ... */ and // ... comments are skipped;
+///  - identifiers may embed hyphens when directly attached to an
+///    alphanumeric character (Jan-1993, EMP-DAYS), so the set-difference
+///    operator must be written with surrounding whitespace (a - b), as the
+///    paper's scripts do;
+///  - string literals use double quotes.
+Result<std::vector<Token>> Lex(std::string_view source);
+
+}  // namespace caldb
+
+#endif  // CALDB_LANG_LEXER_H_

@@ -1,0 +1,146 @@
+#include "lang/optimizer.h"
+
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace caldb {
+
+namespace {
+
+// Canonical identity of a named calendar leaf (base names fold to their
+// canonical granularity spelling).
+std::string CanonicalCalendarName(const Expr& e) {
+  if (e.kind == Expr::Kind::kIdent &&
+      (e.ident_class == IdentClass::kBaseCalendar ||
+       e.ident_class == IdentClass::kValueCalendar ||
+       e.ident_class == IdentClass::kDerivedCalendar)) {
+    if (e.ident_class == IdentClass::kBaseCalendar) {
+      return std::string(GranularityName(e.sem_granularity));
+    }
+    return e.name;
+  }
+  return "";
+}
+
+// Traces the element origin of Z through element-preserving operators:
+// selection picks elements; a strict `during` foreach and any relaxed
+// foreach keep elements of their left operand whole.
+std::string ElementOrigin(const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::kIdent:
+      return CanonicalCalendarName(e);
+    case Expr::Kind::kYearSelect:
+      return std::string(GranularityName(Granularity::kYears));
+    case Expr::Kind::kSelect:
+      return ElementOrigin(*e.child);
+    case Expr::Kind::kForEach:
+      if (!e.strict || e.op == ListOp::kDuring) return ElementOrigin(*e.lhs);
+      return "";
+    default:
+      return "";
+  }
+}
+
+// Peels selection prefixes off L, returning the innermost expression and
+// recording the chain (outermost first).
+Expr* PeelSelections(Expr* e, std::vector<Expr*>* chain) {
+  while (e->kind == Expr::Kind::kSelect) {
+    chain->push_back(e);
+    e = e->child.get();
+  }
+  return e;
+}
+
+// Attempts the factorization rewrite on a kForEach node; returns true when
+// a rewrite happened.
+bool TryFactorize(ExprPtr* node_ptr) {
+  Expr* node = node_ptr->get();
+  if (node->kind != Expr::Kind::kForEach) return false;
+  Expr* z = node->rhs.get();
+
+  std::vector<Expr*> selections;
+  Expr* inner = PeelSelections(node->lhs.get(), &selections);
+  if (inner->kind != Expr::Kind::kForEach) return false;
+
+  const Expr& y = *inner->rhs;
+  // Granularity(Y) must equal granularity(Z).
+  if (y.sem_granularity != z->sem_granularity) return false;
+  // Z ⊆ Y, established structurally.
+  std::string y_name = CanonicalCalendarName(y);
+  if (y_name.empty() || ElementOrigin(*z) != y_name) return false;
+
+  const bool both_before_eq =
+      inner->op == ListOp::kBeforeEq && node->op == ListOp::kBeforeEq;
+  if (node->op != ListOp::kDuring && !both_before_eq) return false;
+
+  // Rewrite: replace Y by Z inside the inner foreach and drop the outer
+  // foreach, keeping the selection chain.
+  if (both_before_eq) inner->op = node->op;  // the paper's <=/<= special case
+  inner->rhs = node->rhs;
+  *node_ptr = node->lhs;  // the (possibly selection-wrapped) inner chain
+  return true;
+}
+
+int FactorizeRec(ExprPtr* node_ptr) {
+  Expr* node = node_ptr->get();
+  int count = 0;
+  switch (node->kind) {
+    case Expr::Kind::kForEach:
+      count += FactorizeRec(&node->lhs);
+      count += FactorizeRec(&node->rhs);
+      break;
+    case Expr::Kind::kSelect:
+      count += FactorizeRec(&node->child);
+      break;
+    case Expr::Kind::kSetOp:
+      count += FactorizeRec(&node->lhs);
+      count += FactorizeRec(&node->rhs);
+      break;
+    case Expr::Kind::kCall:
+      for (ExprPtr& a : node->args) count += FactorizeRec(&a);
+      break;
+    default:
+      break;
+  }
+  while (TryFactorize(node_ptr)) {
+    ++count;
+    // The rewritten node may expose another factorization opportunity.
+    node_ptr->get();
+  }
+  return count;
+}
+
+int OptimizeBody(std::vector<Stmt>* body) {
+  int count = 0;
+  for (Stmt& stmt : *body) {
+    if (stmt.expr) count += FactorizeRec(&stmt.expr);
+    count += OptimizeBody(&stmt.body);
+    count += OptimizeBody(&stmt.else_body);
+  }
+  return count;
+}
+
+}  // namespace
+
+Status OptimizeScript(Script* script, OptimizeStats* stats) {
+  int count = OptimizeBody(&script->stmts);
+  if (stats != nullptr) stats->factorizations += count;
+  return Status::OK();
+}
+
+Status OptimizeExpr(ExprPtr* expr, OptimizeStats* stats) {
+  int count = FactorizeRec(expr);
+  if (stats != nullptr) stats->factorizations += count;
+  return Status::OK();
+}
+
+int CountExprNodes(const Expr& e) {
+  int count = 1;
+  if (e.lhs) count += CountExprNodes(*e.lhs);
+  if (e.rhs) count += CountExprNodes(*e.rhs);
+  if (e.child) count += CountExprNodes(*e.child);
+  for (const ExprPtr& a : e.args) count += CountExprNodes(*a);
+  return count;
+}
+
+}  // namespace caldb

@@ -1,0 +1,42 @@
+// Factorization of calendar expressions (§3.4, step 2):
+//
+//   {(X:Op1:Y):Op2:Z}  →  {X:Op1:Z}
+//
+// when granularity(Y) == granularity(Z) and Z ⊆ Y — except when Op1 and
+// Op2 are both <=, where the paper reduces to {X:Op2:Z}.  The left side
+// may carry selection prefixes, which are preserved:
+//
+//   {(sel/(X:Op1:Y)):Op2:Z}  →  {sel/(X:Op1:Z)}
+//
+// Containment Z ⊆ Y is established structurally: Z's element origin is
+// traced through selections, strict `during` foreaches and relaxed
+// foreaches (all element-preserving) down to a named calendar or a year
+// label over one, and compared with Y.  We additionally require Op2 to be
+// `during` (both of the paper's examples use it); other outer ops are left
+// untouched, which is conservative but always correct.
+
+#ifndef CALDB_LANG_OPTIMIZER_H_
+#define CALDB_LANG_OPTIMIZER_H_
+
+#include "common/status.h"
+#include "lang/ast.h"
+
+namespace caldb {
+
+struct OptimizeStats {
+  int factorizations = 0;
+};
+
+/// Factorizes every expression in the script (post-order, to fixpoint).
+/// The script must have been analyzed (granularity annotations are used).
+Status OptimizeScript(Script* script, OptimizeStats* stats = nullptr);
+
+/// Factorizes a single analyzed expression tree.
+Status OptimizeExpr(ExprPtr* expr, OptimizeStats* stats = nullptr);
+
+/// Number of nodes in an expression tree (for the Figure 2/3 comparisons).
+int CountExprNodes(const Expr& e);
+
+}  // namespace caldb
+
+#endif  // CALDB_LANG_OPTIMIZER_H_

@@ -1,0 +1,24 @@
+// Recursive-descent parser for calendar scripts and expressions (§3.3-3.4).
+
+#ifndef CALDB_LANG_PARSER_H_
+#define CALDB_LANG_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "lang/ast.h"
+
+namespace caldb {
+
+/// Parses a full calendar script.  A bare expression is accepted and
+/// wrapped as `return <expr>;`, so derivation scripts like the Tuesdays
+/// tuple's "[2]/DAYS:during:WEEKS" parse directly.  An outer pair of
+/// braces around the script (the paper's convention) is allowed.
+Result<Script> ParseScript(std::string_view source);
+
+/// Parses a single calendar expression.
+Result<ExprPtr> ParseExpression(std::string_view source);
+
+}  // namespace caldb
+
+#endif  // CALDB_LANG_PARSER_H_

@@ -1,0 +1,21 @@
+// Lowers an analyzed (and optionally factorized) script to an evaluation
+// plan (§3.4 step 5).
+
+#ifndef CALDB_LANG_PLANNER_H_
+#define CALDB_LANG_PLANNER_H_
+
+#include "common/result.h"
+#include "lang/ast.h"
+#include "lang/plan.h"
+
+namespace caldb {
+
+/// Compiles an analyzed script into a Plan.  The right operand of every
+/// foreach is compiled before the left operand, and the left subtree's
+/// materializing steps receive a window hint derived from the right
+/// operand's register — the paper's look-ahead, applied dynamically.
+Result<Plan> CompileScript(const Script& script);
+
+}  // namespace caldb
+
+#endif  // CALDB_LANG_PLANNER_H_

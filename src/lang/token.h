@@ -1,0 +1,53 @@
+// Tokens of the calendar expression language (§3.3).
+
+#ifndef CALDB_LANG_TOKEN_H_
+#define CALDB_LANG_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace caldb {
+
+enum class TokenKind {
+  kIdent,      // Tuesdays, AM_BUS_DAYS, Jan-1993 (hyphens join identifiers)
+  kInt,        // 1993
+  kString,     // "LAST TRADING DAY"
+  kLBrace,     // {
+  kRBrace,     // }
+  kLParen,     // (
+  kRParen,     // )
+  kLBracket,   // [
+  kRBracket,   // ]
+  kComma,      // ,
+  kSemicolon,  // ;
+  kAssign,     // =
+  kPlus,       // +
+  kMinus,      // -
+  kSlash,      // /
+  kColon,      // :
+  kDot,        // .
+  kDotDot,     // ..
+  kLess,       // <   (the < listop)
+  kLessEq,     // <=  (the <= listop)
+  kStar,       // *   (caloperate's unbounded end time)
+  kIf,
+  kElse,
+  kWhile,
+  kReturn,
+  kEnd,        // end of input
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;    // identifier spelling / string contents
+  int64_t int_value = 0;
+  int line = 1;
+  int column = 1;
+};
+
+/// Human-readable token-kind name for diagnostics.
+std::string_view TokenKindName(TokenKind kind);
+
+}  // namespace caldb
+
+#endif  // CALDB_LANG_TOKEN_H_

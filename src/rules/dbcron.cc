@@ -1,0 +1,90 @@
+#include "rules/dbcron.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/macros.h"
+
+namespace caldb {
+
+DbCron::DbCron(TemporalRuleManager* rules, VirtualClock* clock,
+               int64_t probe_period_days)
+    : rules_(rules),
+      clock_(clock),
+      probe_period_days_(std::max<int64_t>(1, probe_period_days)),
+      next_probe_day_(clock->NowDay()) {}
+
+Status DbCron::Probe(TimePoint now) {
+  ++stats_.probes;
+  const TimePoint window_end = PointAdd(now, probe_period_days_ - 1);
+  // Scan from the beginning of time, not from `now`: a rule declared after
+  // the previous probe may have its first firing inside the already-probed
+  // window.  Such overdue entries fire late, with their original firing
+  // day, like cron catching up.  RULE-TIME normally holds only future
+  // points, so this costs nothing extra on the index.
+  CALDB_ASSIGN_OR_RETURN(auto due,
+                         rules_->DueBetween(INT64_MIN + 1, window_end));
+  // The heap may already hold entries for this window (e.g. a rule fired
+  // earlier in the window and its next firing landed inside it again);
+  // avoid duplicates.
+  std::set<HeapEntry> pending;
+  {
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> copy =
+        heap_;
+    while (!copy.empty()) {
+      pending.insert(copy.top());
+      copy.pop();
+    }
+  }
+  for (const auto& entry : due) {
+    if (pending.count(entry) == 0) heap_.push(entry);
+  }
+  stats_.max_heap_size = std::max<int64_t>(
+      stats_.max_heap_size, static_cast<int64_t>(heap_.size()));
+  return Status::OK();
+}
+
+Status DbCron::AdvanceTo(TimePoint day) {
+  TimePoint now = clock_->NowDay();
+  if (day < now) return Status::OK();
+  while (true) {
+    // Next event: the earliest of (scheduled probe, earliest heap firing).
+    TimePoint next_event = next_probe_day_;
+    bool is_fire = false;
+    if (!heap_.empty() && heap_.top().first <= next_event) {
+      next_event = heap_.top().first;
+      is_fire = true;
+    }
+    if (next_event > day) break;
+
+    clock_->AdvanceTo(next_event);
+    now = next_event;
+
+    if (is_fire) {
+      HeapEntry entry = heap_.top();
+      heap_.pop();
+      ++stats_.fires;
+      Result<std::optional<TimePoint>> next =
+          rules_->FireRule(entry.second, entry.first);
+      // A dropped rule may still sit in the heap: ignore NotFound.
+      if (!next.ok() && next.status().code() != StatusCode::kNotFound) {
+        return next.status();
+      }
+      // If the rule's next firing lands inside the already probed window,
+      // schedule it directly (RULE-TIME was updated, but this window's
+      // probe has passed).
+      if (next.ok() && next->has_value() && **next < next_probe_day_) {
+        heap_.push(HeapEntry{**next, entry.second});
+        stats_.max_heap_size = std::max<int64_t>(
+            stats_.max_heap_size, static_cast<int64_t>(heap_.size()));
+      }
+    } else {
+      CALDB_RETURN_IF_ERROR(Probe(now));
+      next_probe_day_ = PointAdd(now, probe_period_days_);
+    }
+  }
+  clock_->AdvanceTo(day);
+  return Status::OK();
+}
+
+}  // namespace caldb

@@ -1,0 +1,69 @@
+// DBCRON (§4, Figure 4): the daemon that triggers temporal rules.
+//
+//   "RULE-TIME is probed by a daemon process, DBCRON, every T units of
+//    time to determine the temporal rules that trigger in the next T time
+//    units.  DBCRON creates a main memory data structure that stores this
+//    information and is responsible for triggering rules at appropriate
+//    time points.  It is modeled on the UNIX utility, CRON."
+//
+// The reproduction drives DBCRON from a virtual clock: AdvanceTo(day)
+// plays time forward, probing RULE-TIME every `probe_period` days (via
+// the B+tree index on next_fire) and firing due rules in time order from
+// a min-heap.
+
+#ifndef CALDB_RULES_DBCRON_H_
+#define CALDB_RULES_DBCRON_H_
+
+#include <queue>
+#include <vector>
+
+#include "rules/clock.h"
+#include "rules/temporal_rules.h"
+
+namespace caldb {
+
+class DbCron {
+ public:
+  /// `rules` and `clock` must outlive the daemon.  `probe_period_days` is
+  /// the paper's T.
+  DbCron(TemporalRuleManager* rules, VirtualClock* clock,
+         int64_t probe_period_days = 7);
+
+  /// Plays virtual time forward to `day` inclusive, probing and firing as
+  /// time passes.  Rules becoming due are fired in (fire_day, rule_id)
+  /// order; a rule declared mid-window is picked up at the next probe.
+  Status AdvanceTo(TimePoint day);
+
+  /// Convenience: advance by `days`.
+  Status Advance(int64_t days) {
+    return AdvanceTo(PointAdd(clock_->NowDay(), days));
+  }
+
+  int64_t probe_period_days() const { return probe_period_days_; }
+
+  struct CronStats {
+    int64_t probes = 0;
+    int64_t fires = 0;
+    int64_t max_heap_size = 0;
+  };
+  const CronStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = CronStats{}; }
+
+ private:
+  // Probes RULE-TIME for rules due in [now, now + T) and loads them into
+  // the in-memory heap.
+  Status Probe(TimePoint now);
+
+  using HeapEntry = std::pair<TimePoint, int64_t>;  // (fire_day, rule_id)
+
+  TemporalRuleManager* rules_;
+  VirtualClock* clock_;
+  int64_t probe_period_days_;
+  TimePoint next_probe_day_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+  CronStats stats_;
+};
+
+}  // namespace caldb
+
+#endif  // CALDB_RULES_DBCRON_H_

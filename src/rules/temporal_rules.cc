@@ -1,0 +1,215 @@
+#include "rules/temporal_rules.h"
+
+#include "common/macros.h"
+
+namespace caldb {
+
+namespace {
+constexpr char kRuleInfoTable[] = "RULE_INFO";
+constexpr char kRuleTimeTable[] = "RULE_TIME";
+}  // namespace
+
+Result<std::unique_ptr<TemporalRuleManager>> TemporalRuleManager::Create(
+    const CalendarCatalog* catalog, Database* db, TimePoint horizon,
+    Granularity unit) {
+  auto manager = std::unique_ptr<TemporalRuleManager>(
+      new TemporalRuleManager(catalog, db, horizon, unit));
+  if (!db->HasTable(kRuleInfoTable)) {
+    CALDB_ASSIGN_OR_RETURN(
+        Schema info_schema,
+        Schema::Make({{"rule_id", ValueType::kInt},
+                      {"name", ValueType::kText},
+                      {"expression", ValueType::kText},
+                      {"declared_at", ValueType::kInt}}));
+    CALDB_RETURN_IF_ERROR(db->CreateTable(kRuleInfoTable, std::move(info_schema)));
+  }
+  if (!db->HasTable(kRuleTimeTable)) {
+    CALDB_ASSIGN_OR_RETURN(Schema time_schema,
+                           Schema::Make({{"rule_id", ValueType::kInt},
+                                         {"next_fire", ValueType::kInt}}));
+    CALDB_RETURN_IF_ERROR(db->CreateTable(kRuleTimeTable, std::move(time_schema)));
+    CALDB_ASSIGN_OR_RETURN(Table * time_table, db->GetTable(kRuleTimeTable));
+    CALDB_RETURN_IF_ERROR(time_table->CreateIndex("next_fire"));
+  }
+  // The action-command escape hatch: fire_day() reads the day the firing
+  // rule triggered at.
+  TemporalRuleManager* raw = manager.get();
+  if (!db->registry().Contains("fire_day")) {
+    CALDB_RETURN_IF_ERROR(db->registry().Register(
+        "fire_day", 0, 0, [raw](const std::vector<Value>&) -> Result<Value> {
+          return Value::Int(raw->current_fire_day_);
+        }));
+  }
+  return manager;
+}
+
+Result<int64_t> TemporalRuleManager::DeclareRule(
+    const std::string& name, const std::string& expression,
+    TemporalAction action, TimePoint now_day,
+    const std::string& condition_query) {
+  if (name.empty()) {
+    return Status::InvalidArgument("rule name must not be empty");
+  }
+  for (const auto& [id, rule] : rules_) {
+    if (rule.name == name) {
+      return Status::AlreadyExists("temporal rule '" + name + "' already exists");
+    }
+  }
+  if (!action.callback && action.command.empty()) {
+    return Status::InvalidArgument("temporal rule '" + name + "' has no action");
+  }
+  // Parse the calendar expression with the §3.4 algorithm (inlining,
+  // factorization, planning).
+  Result<Plan> plan = catalog_->CompileScriptText(expression);
+  if (!plan.ok()) {
+    return plan.status().WithContext("declaring temporal rule '" + name + "'");
+  }
+
+  if (!condition_query.empty()) {
+    // Validate the condition's syntax now, at declaration time.
+    CALDB_ASSIGN_OR_RETURN(Statement parsed, ParseStatement(condition_query));
+    if (!std::holds_alternative<RetrieveStmt>(parsed)) {
+      return Status::InvalidArgument("temporal rule '" + name +
+                                     "' condition must be a retrieve");
+    }
+  }
+
+  TemporalRule rule;
+  rule.id = next_id_++;
+  rule.name = name;
+  rule.expression = expression;
+  rule.plan = std::make_shared<const Plan>(std::move(plan).value());
+  rule.action = std::move(action);
+  rule.condition_query = condition_query;
+
+  // First firing strictly after `now_day`.
+  CALDB_ASSIGN_OR_RETURN(
+      std::optional<TimePoint> first_fire,
+      catalog_->NextFirePointForPlan(*rule.plan, now_day, horizon_day_, unit_));
+
+  // Durable rows.
+  CALDB_ASSIGN_OR_RETURN(Table * info, db_->GetTable(kRuleInfoTable));
+  CALDB_RETURN_IF_ERROR(info->Insert({Value::Int(rule.id), Value::Text(name),
+                                      Value::Text(expression),
+                                      Value::Int(now_day)})
+                            .status());
+  CALDB_ASSIGN_OR_RETURN(Table * time_table, db_->GetTable(kRuleTimeTable));
+  if (first_fire.has_value()) {
+    CALDB_RETURN_IF_ERROR(
+        time_table->Insert({Value::Int(rule.id), Value::Int(*first_fire)})
+            .status());
+  }
+  int64_t id = rule.id;
+  rules_[id] = std::move(rule);
+  return id;
+}
+
+Status TemporalRuleManager::DropRule(const std::string& name) {
+  for (auto it = rules_.begin(); it != rules_.end(); ++it) {
+    if (it->second.name != name) continue;
+    int64_t id = it->first;
+    rules_.erase(it);
+    // Remove catalog rows.
+    CALDB_ASSIGN_OR_RETURN(Table * info, db_->GetTable(kRuleInfoTable));
+    std::vector<RowId> dead;
+    info->Scan([&](RowId row_id, const Row& row) {
+      if (row[0].AsInt().value_or(-1) == id) dead.push_back(row_id);
+      return true;
+    });
+    for (RowId row_id : dead) CALDB_RETURN_IF_ERROR(info->Delete(row_id));
+    CALDB_RETURN_IF_ERROR(UpdateRuleTime(id, std::nullopt));
+    return Status::OK();
+  }
+  return Status::NotFound("no temporal rule named '" + name + "'");
+}
+
+std::vector<std::string> TemporalRuleManager::ListRules() const {
+  std::vector<std::string> names;
+  names.reserve(rules_.size());
+  for (const auto& [id, rule] : rules_) names.push_back(rule.name);
+  return names;
+}
+
+Result<TemporalRule> TemporalRuleManager::GetRule(int64_t id) const {
+  auto it = rules_.find(id);
+  if (it == rules_.end()) {
+    return Status::NotFound("no temporal rule with id " + std::to_string(id));
+  }
+  return it->second;
+}
+
+Result<TemporalRule> TemporalRuleManager::GetRuleByName(
+    const std::string& name) const {
+  for (const auto& [id, rule] : rules_) {
+    if (rule.name == name) return rule;
+  }
+  return Status::NotFound("no temporal rule named '" + name + "'");
+}
+
+Result<std::vector<std::pair<TimePoint, int64_t>>>
+TemporalRuleManager::DueBetween(TimePoint lo, TimePoint hi) const {
+  CALDB_ASSIGN_OR_RETURN(const Table* time_table, static_cast<const Database*>(db_)->GetTable(kRuleTimeTable));
+  std::vector<std::pair<TimePoint, int64_t>> due;
+  CALDB_RETURN_IF_ERROR(time_table->IndexScan(
+      "next_fire", lo, hi, [&](RowId, const Row& row) {
+        due.emplace_back(row[1].AsInt().value(), row[0].AsInt().value());
+        return true;
+      }));
+  return due;
+}
+
+Status TemporalRuleManager::UpdateRuleTime(int64_t id,
+                                           std::optional<TimePoint> next_fire) {
+  CALDB_ASSIGN_OR_RETURN(Table * time_table, db_->GetTable(kRuleTimeTable));
+  std::vector<RowId> existing;
+  time_table->Scan([&](RowId row_id, const Row& row) {
+    if (row[0].AsInt().value_or(-1) == id) existing.push_back(row_id);
+    return true;
+  });
+  for (RowId row_id : existing) {
+    CALDB_RETURN_IF_ERROR(time_table->Delete(row_id));
+  }
+  if (next_fire.has_value()) {
+    CALDB_RETURN_IF_ERROR(
+        time_table->Insert({Value::Int(id), Value::Int(*next_fire)}).status());
+  }
+  return Status::OK();
+}
+
+Result<std::optional<TimePoint>> TemporalRuleManager::FireRule(
+    int64_t id, TimePoint fire_day) {
+  auto it = rules_.find(id);
+  if (it == rules_.end()) {
+    return Status::NotFound("no temporal rule with id " + std::to_string(id));
+  }
+  TemporalRule& rule = it->second;
+  current_fire_day_ = fire_day;
+  bool condition_holds = true;
+  if (!rule.condition_query.empty()) {
+    Result<QueryResult> cond = db_->Execute(rule.condition_query);
+    CALDB_RETURN_IF_ERROR(
+        cond.status().WithContext("temporal rule " + rule.name + " condition"));
+    condition_holds = !cond->rows.empty();
+  }
+  if (condition_holds) {
+    ++fire_stats_.fired;
+    if (rule.action.callback) {
+      CALDB_RETURN_IF_ERROR(rule.action.callback(fire_day)
+                                .WithContext("temporal rule " + rule.name));
+    }
+    if (!rule.action.command.empty()) {
+      Result<QueryResult> r = db_->Execute(rule.action.command);
+      CALDB_RETURN_IF_ERROR(
+          r.status().WithContext("temporal rule " + rule.name + " action"));
+    }
+  } else {
+    ++fire_stats_.suppressed_by_condition;
+  }
+  CALDB_ASSIGN_OR_RETURN(
+      std::optional<TimePoint> next,
+      catalog_->NextFirePointForPlan(*rule.plan, fire_day, horizon_day_, unit_));
+  CALDB_RETURN_IF_ERROR(UpdateRuleTime(id, next));
+  return next;
+}
+
+}  // namespace caldb

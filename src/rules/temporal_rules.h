@@ -1,0 +1,120 @@
+// Time-based rules (§4): "On Calendar-Expression do Action".
+//
+// When a temporal rule is declared it is parsed by the calendar-expression
+// parsing algorithm; the expression, parse tree and evaluation plan are
+// stored in the table RULE-INFO, and the next time point at which the rule
+// should trigger is evaluated and stored in RULE-TIME (indexed on the
+// firing point).  DBCRON (see dbcron.h) probes RULE-TIME every T time
+// units — exactly the structure of the paper's Figure 4.
+
+#ifndef CALDB_RULES_TEMPORAL_RULES_H_
+#define CALDB_RULES_TEMPORAL_RULES_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/calendar_catalog.h"
+#include "db/database.h"
+
+namespace caldb {
+
+/// What a temporal rule does when it fires.  Either (or both) of:
+///  - `command`: a query-language statement executed against the database
+///    (the fire day is readable through the registered fire_day()
+///    function);
+///  - `callback`: a C++ function receiving the fire day.
+struct TemporalAction {
+  std::string command;
+  std::function<Status(TimePoint fire_day)> callback;
+};
+
+/// A declared rule, as held in memory (RULE-INFO keeps the durable part).
+struct TemporalRule {
+  int64_t id = 0;
+  std::string name;
+  std::string expression;            // calendar-expression text
+  std::shared_ptr<const Plan> plan;  // compiled eval-plan
+  TemporalAction action;
+  // Optional database Condition (the paper's §6b future work): a retrieve
+  // statement evaluated at firing time; the action runs only when it
+  // returns at least one row.  The next firing is scheduled either way.
+  std::string condition_query;
+};
+
+class TemporalRuleManager {
+ public:
+  /// `catalog` and `db` must outlive the manager.  Creates the RULE-INFO
+  /// and RULE-TIME tables in `db` (with a B+tree index on the firing
+  /// point) and registers the fire_day() function.
+  ///
+  /// `unit` is the granularity of rule time points: DAYS for the paper's
+  /// examples, HOURS (or finer) for process-control rules.  All points
+  /// passed to and returned from this manager — and the virtual clock
+  /// driving its DBCRON — are granules of that unit.  `horizon` is in the
+  /// same unit.
+  static Result<std::unique_ptr<TemporalRuleManager>> Create(
+      const CalendarCatalog* catalog, Database* db, TimePoint horizon = 20000,
+      Granularity unit = Granularity::kDays);
+
+  Granularity unit() const { return unit_; }
+
+  /// Declares "On <expression> [where <condition>] do <action>".  Compiles
+  /// the expression, inserts the RULE-INFO row, computes the first firing
+  /// strictly after `now_day` and inserts the RULE-TIME row.
+  /// `condition_query`, when nonempty, is a retrieve statement gating the
+  /// action (it may call fire_day()).
+  Result<int64_t> DeclareRule(const std::string& name,
+                              const std::string& expression,
+                              TemporalAction action, TimePoint now_day,
+                              const std::string& condition_query = "");
+
+  struct FireStats {
+    int64_t fired = 0;
+    int64_t suppressed_by_condition = 0;
+  };
+  const FireStats& fire_stats() const { return fire_stats_; }
+
+  Status DropRule(const std::string& name);
+
+  std::vector<std::string> ListRules() const;
+
+  Result<TemporalRule> GetRule(int64_t id) const;
+  Result<TemporalRule> GetRuleByName(const std::string& name) const;
+
+  /// Rules with next-fire day in [lo, hi], as (fire_day, rule_id) —
+  /// the probe query DBCRON issues against RULE-TIME (uses the index).
+  Result<std::vector<std::pair<TimePoint, int64_t>>> DueBetween(
+      TimePoint lo, TimePoint hi) const;
+
+  /// Executes the rule's action at `fire_day`, recomputes its next firing
+  /// and updates RULE-TIME.  Returns the new next-fire day (nullopt when
+  /// the rule went dormant past the horizon).
+  Result<std::optional<TimePoint>> FireRule(int64_t id, TimePoint fire_day);
+
+  const CalendarCatalog& catalog() const { return *catalog_; }
+  TimePoint horizon_day() const { return horizon_day_; }
+
+ private:
+  TemporalRuleManager(const CalendarCatalog* catalog, Database* db,
+                      TimePoint horizon_day, Granularity unit)
+      : catalog_(catalog), db_(db), horizon_day_(horizon_day), unit_(unit) {}
+
+  Status UpdateRuleTime(int64_t id, std::optional<TimePoint> next_fire);
+
+  const CalendarCatalog* catalog_;
+  Database* db_;
+  TimePoint horizon_day_;
+  Granularity unit_ = Granularity::kDays;
+  int64_t next_id_ = 1;
+  std::map<int64_t, TemporalRule> rules_;
+  TimePoint current_fire_day_ = 1;  // exposed via fire_day()
+  FireStats fire_stats_;
+};
+
+}  // namespace caldb
+
+#endif  // CALDB_RULES_TEMPORAL_RULES_H_

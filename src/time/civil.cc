@@ -1,0 +1,107 @@
+#include "time/civil.h"
+
+#include <cstdio>
+
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace caldb {
+
+bool IsLeapYear(int32_t year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int DaysInMonth(int32_t year, int32_t month) {
+  static constexpr int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDays[month - 1];
+}
+
+int DaysInYear(int32_t year) { return IsLeapYear(year) ? 366 : 365; }
+
+// Howard Hinnant's days_from_civil / civil_from_days algorithms.
+int64_t DaysFromCivil(CivilDate d) {
+  int64_t y = d.year;
+  const int64_t m = d.month;
+  const int64_t dd = d.day;
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const int64_t yoe = y - era * 400;                                   // [0, 399]
+  const int64_t doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + dd - 1;  // [0, 365]
+  const int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;           // [0, 146096]
+  return era * 146097 + doe - 719468;
+}
+
+CivilDate CivilFromDays(int64_t z) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const int64_t doe = z - era * 146097;                                    // [0, 146096]
+  const int64_t yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;  // [0, 399]
+  const int64_t y = yoe + era * 400;
+  const int64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);  // [0, 365]
+  const int64_t mp = (5 * doy + 2) / 153;                       // [0, 11]
+  const int64_t d = doy - (153 * mp + 2) / 5 + 1;               // [1, 31]
+  const int64_t m = mp + (mp < 10 ? 3 : -9);                    // [1, 12]
+  return CivilDate{static_cast<int32_t>(y + (m <= 2)), static_cast<int32_t>(m),
+                   static_cast<int32_t>(d)};
+}
+
+Weekday WeekdayFromDays(int64_t days) {
+  // 1970-01-01 was a Thursday (=4).
+  int64_t w = (days + 3) % 7;  // 0 => Monday
+  if (w < 0) w += 7;
+  return static_cast<Weekday>(w + 1);
+}
+
+bool IsValidCivil(CivilDate d) {
+  return d.month >= 1 && d.month <= 12 && d.day >= 1 &&
+         d.day <= DaysInMonth(d.year, d.month);
+}
+
+std::string FormatCivil(CivilDate d) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", d.year, d.month, d.day);
+  return buf;
+}
+
+Result<CivilDate> ParseCivil(std::string_view s) {
+  // Allow a leading '-' on the year.
+  bool negative_year = !s.empty() && s[0] == '-';
+  std::string_view body = negative_year ? s.substr(1) : s;
+  std::vector<std::string_view> parts = StrSplit(body, '-');
+  if (parts.size() != 3) {
+    return Status::ParseError("expected YYYY-MM-DD, got '" + std::string(s) + "'");
+  }
+  CALDB_ASSIGN_OR_RETURN(int64_t year, ParseInt64(parts[0]));
+  CALDB_ASSIGN_OR_RETURN(int64_t month, ParseInt64(parts[1]));
+  CALDB_ASSIGN_OR_RETURN(int64_t day, ParseInt64(parts[2]));
+  if (negative_year) year = -year;
+  CivilDate d{static_cast<int32_t>(year), static_cast<int32_t>(month),
+              static_cast<int32_t>(day)};
+  if (!IsValidCivil(d)) {
+    return Status::InvalidArgument("invalid civil date '" + std::string(s) + "'");
+  }
+  return d;
+}
+
+std::string_view WeekdayName(Weekday w) {
+  switch (w) {
+    case Weekday::kMonday:
+      return "Mon";
+    case Weekday::kTuesday:
+      return "Tue";
+    case Weekday::kWednesday:
+      return "Wed";
+    case Weekday::kThursday:
+      return "Thu";
+    case Weekday::kFriday:
+      return "Fri";
+    case Weekday::kSaturday:
+      return "Sat";
+    case Weekday::kSunday:
+      return "Sun";
+  }
+  return "?";
+}
+
+}  // namespace caldb

@@ -1,0 +1,69 @@
+// Proleptic-Gregorian civil-date arithmetic.
+//
+// Day serial numbers here are *zero-based offsets* from 1970-01-01 (the
+// classic days-from-civil encoding); the paper's 1-based skip-zero time
+// points are layered on top by TimeSystem (see time_system.h).
+
+#ifndef CALDB_TIME_CIVIL_H_
+#define CALDB_TIME_CIVIL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace caldb {
+
+/// A calendar date in the proleptic Gregorian calendar.
+struct CivilDate {
+  int32_t year = 1970;
+  int32_t month = 1;  // 1..12
+  int32_t day = 1;    // 1..DaysInMonth(year, month)
+
+  bool operator==(const CivilDate&) const = default;
+  auto operator<=>(const CivilDate&) const = default;
+};
+
+/// Day of week; numbering follows the paper (Monday = 1 ... Sunday = 7).
+enum class Weekday : int {
+  kMonday = 1,
+  kTuesday = 2,
+  kWednesday = 3,
+  kThursday = 4,
+  kFriday = 5,
+  kSaturday = 6,
+  kSunday = 7,
+};
+
+bool IsLeapYear(int32_t year);
+
+/// Number of days in `month` of `year` (handles leap February).
+int DaysInMonth(int32_t year, int32_t month);
+
+/// Number of days in `year` (365 or 366).
+int DaysInYear(int32_t year);
+
+/// Days since 1970-01-01 (negative before).  `d` must be a valid date.
+int64_t DaysFromCivil(CivilDate d);
+
+/// Inverse of DaysFromCivil.
+CivilDate CivilFromDays(int64_t days);
+
+/// Day of week of a day serial number.
+Weekday WeekdayFromDays(int64_t days);
+
+/// True when year/month/day form a real Gregorian date.
+bool IsValidCivil(CivilDate d);
+
+/// "YYYY-MM-DD".
+std::string FormatCivil(CivilDate d);
+
+/// Parses "YYYY-MM-DD" (also accepts negative years).
+Result<CivilDate> ParseCivil(std::string_view s);
+
+/// Short weekday name ("Mon".."Sun").
+std::string_view WeekdayName(Weekday w);
+
+}  // namespace caldb
+
+#endif  // CALDB_TIME_CIVIL_H_

@@ -1,0 +1,79 @@
+#include "time/granularity.h"
+
+#include "common/strings.h"
+
+namespace caldb {
+
+std::string_view GranularityName(Granularity g) {
+  switch (g) {
+    case Granularity::kSeconds:
+      return "SECONDS";
+    case Granularity::kMinutes:
+      return "MINUTES";
+    case Granularity::kHours:
+      return "HOURS";
+    case Granularity::kDays:
+      return "DAYS";
+    case Granularity::kWeeks:
+      return "WEEKS";
+    case Granularity::kMonths:
+      return "MONTHS";
+    case Granularity::kYears:
+      return "YEARS";
+    case Granularity::kDecades:
+      return "DECADES";
+    case Granularity::kCenturies:
+      return "CENTURY";
+  }
+  return "?";
+}
+
+Result<Granularity> ParseGranularity(std::string_view name) {
+  std::string upper = AsciiToUpper(name);
+  if (upper == "SECONDS" || upper == "SECOND") return Granularity::kSeconds;
+  if (upper == "MINUTES" || upper == "MINUTE") return Granularity::kMinutes;
+  if (upper == "HOURS" || upper == "HOUR") return Granularity::kHours;
+  if (upper == "DAYS" || upper == "DAY") return Granularity::kDays;
+  if (upper == "WEEKS" || upper == "WEEK") return Granularity::kWeeks;
+  if (upper == "MONTHS" || upper == "MONTH") return Granularity::kMonths;
+  if (upper == "YEARS" || upper == "YEAR") return Granularity::kYears;
+  if (upper == "DECADES" || upper == "DECADE") return Granularity::kDecades;
+  if (upper == "CENTURY" || upper == "CENTURIES") return Granularity::kCenturies;
+  return Status::InvalidArgument("unknown granularity '" + std::string(name) + "'");
+}
+
+bool IsUniform(Granularity g) {
+  return static_cast<int>(g) <= static_cast<int>(Granularity::kWeeks);
+}
+
+int64_t SecondsPerGranule(Granularity g) {
+  switch (g) {
+    case Granularity::kSeconds:
+      return 1;
+    case Granularity::kMinutes:
+      return 60;
+    case Granularity::kHours:
+      return 3600;
+    case Granularity::kDays:
+      return 86400;
+    case Granularity::kWeeks:
+      return 7 * 86400;
+    default:
+      return -1;  // non-uniform; guarded by precondition
+  }
+}
+
+int64_t GranulesPerDay(Granularity g) {
+  switch (g) {
+    case Granularity::kSeconds:
+      return 86400;
+    case Granularity::kMinutes:
+      return 1440;
+    case Granularity::kHours:
+      return 24;
+    default:
+      return -1;  // guarded by precondition
+  }
+}
+
+}  // namespace caldb

@@ -1,0 +1,64 @@
+// The nine base granularities of the paper's calendar system (§3.2):
+// SECONDS, MINUTES, HOURS, DAYS, WEEKS, MONTHS, YEARS, DECADES, CENTURY.
+
+#ifndef CALDB_TIME_GRANULARITY_H_
+#define CALDB_TIME_GRANULARITY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace caldb {
+
+/// Ordered finest-to-coarsest; the integer values are used for "smaller
+/// time unit" comparisons during expression analysis (§3.4).
+enum class Granularity : int {
+  kSeconds = 0,
+  kMinutes = 1,
+  kHours = 2,
+  kDays = 3,
+  kWeeks = 4,
+  kMonths = 5,
+  kYears = 6,
+  kDecades = 7,
+  kCenturies = 8,
+};
+
+/// Canonical (upper-case plural) name, e.g. "DAYS".
+std::string_view GranularityName(Granularity g);
+
+/// Parses a granularity name (case-insensitive; accepts "CENTURY" too).
+Result<Granularity> ParseGranularity(std::string_view name);
+
+/// True if `a` is strictly finer than `b` (e.g. DAYS finer than MONTHS).
+inline bool FinerThan(Granularity a, Granularity b) {
+  return static_cast<int>(a) < static_cast<int>(b);
+}
+
+/// The finer of the two granularities.
+inline Granularity Finest(Granularity a, Granularity b) {
+  return FinerThan(a, b) ? a : b;
+}
+
+/// True for units whose granules all have the same length in seconds
+/// (SECONDS..WEEKS); false for MONTHS and coarser.
+bool IsUniform(Granularity g);
+
+/// Length in seconds of a granule of a uniform granularity.
+/// Precondition: IsUniform(g).
+int64_t SecondsPerGranule(Granularity g);
+
+/// True for sub-day uniform units (SECONDS, MINUTES, HOURS).
+inline bool IsSubDay(Granularity g) {
+  return static_cast<int>(g) < static_cast<int>(Granularity::kDays);
+}
+
+/// Number of granules of sub-day unit `g` per day (86400 / 1440 / 24).
+/// Precondition: IsSubDay(g).
+int64_t GranulesPerDay(Granularity g);
+
+}  // namespace caldb
+
+#endif  // CALDB_TIME_GRANULARITY_H_

@@ -1,0 +1,205 @@
+#include "time/time_system.h"
+
+#include "common/macros.h"
+
+namespace caldb {
+
+namespace {
+
+int CoarsenessOf(Granularity g) { return static_cast<int>(g); }
+
+}  // namespace
+
+TimeSystem::TimeSystem(CivilDate epoch) : epoch_(epoch) {
+  CALDB_DCHECK(IsValidCivil(epoch), "TimeSystem epoch must be a valid civil date");
+  epoch_serial_ = DaysFromCivil(epoch_);
+  int weekday = static_cast<int>(WeekdayFromDays(epoch_serial_));  // Mon=1..Sun=7
+  epoch_monday_offset_ = -(weekday - 1);
+  decade_start_year_ =
+      epoch_.year - static_cast<int32_t>(FloorMod(epoch_.year, 10));
+  century_start_year_ =
+      epoch_.year - static_cast<int32_t>(FloorMod(epoch_.year, 100));
+}
+
+TimePoint TimeSystem::DayPointFromCivil(CivilDate d) const {
+  return OffsetToPoint(DaysFromCivil(d) - epoch_serial_);
+}
+
+CivilDate TimeSystem::CivilFromDayPoint(TimePoint p) const {
+  return CivilFromDays(epoch_serial_ + PointToOffset(p));
+}
+
+Weekday TimeSystem::WeekdayOfDayPoint(TimePoint p) const {
+  return WeekdayFromDays(epoch_serial_ + PointToOffset(p));
+}
+
+void TimeSystem::DayRangeOfGranule(Granularity g, int64_t j, int64_t* lo,
+                                   int64_t* hi) const {
+  switch (g) {
+    case Granularity::kDays:
+      *lo = j;
+      *hi = j;
+      return;
+    case Granularity::kWeeks:
+      *lo = epoch_monday_offset_ + 7 * j;
+      *hi = *lo + 6;
+      return;
+    case Granularity::kMonths: {
+      const int64_t ym0 = static_cast<int64_t>(epoch_.year) * 12 + (epoch_.month - 1);
+      const int64_t ym = ym0 + j;
+      const int32_t y = static_cast<int32_t>(FloorDiv(ym, 12));
+      const int32_t m = static_cast<int32_t>(FloorMod(ym, 12)) + 1;
+      *lo = DaysFromCivil(CivilDate{y, m, 1}) - epoch_serial_;
+      *hi = *lo + DaysInMonth(y, m) - 1;
+      return;
+    }
+    case Granularity::kYears: {
+      const int32_t y = epoch_.year + static_cast<int32_t>(j);
+      *lo = DaysFromCivil(CivilDate{y, 1, 1}) - epoch_serial_;
+      *hi = DaysFromCivil(CivilDate{y, 12, 31}) - epoch_serial_;
+      return;
+    }
+    case Granularity::kDecades: {
+      const int32_t y = decade_start_year_ + static_cast<int32_t>(10 * j);
+      *lo = DaysFromCivil(CivilDate{y, 1, 1}) - epoch_serial_;
+      *hi = DaysFromCivil(CivilDate{y + 9, 12, 31}) - epoch_serial_;
+      return;
+    }
+    case Granularity::kCenturies: {
+      const int32_t y = century_start_year_ + static_cast<int32_t>(100 * j);
+      *lo = DaysFromCivil(CivilDate{y, 1, 1}) - epoch_serial_;
+      *hi = DaysFromCivil(CivilDate{y + 99, 12, 31}) - epoch_serial_;
+      return;
+    }
+    default:
+      CALDB_DCHECK(false, "DayRangeOfGranule requires DAYS or coarser");
+  }
+}
+
+int64_t TimeSystem::GranuleOffsetContainingDay(Granularity g, int64_t d) const {
+  switch (g) {
+    case Granularity::kDays:
+      return d;
+    case Granularity::kWeeks:
+      return FloorDiv(d - epoch_monday_offset_, 7);
+    case Granularity::kMonths: {
+      const CivilDate c = CivilFromDays(epoch_serial_ + d);
+      const int64_t ym0 = static_cast<int64_t>(epoch_.year) * 12 + (epoch_.month - 1);
+      const int64_t ym = static_cast<int64_t>(c.year) * 12 + (c.month - 1);
+      return ym - ym0;
+    }
+    case Granularity::kYears: {
+      const CivilDate c = CivilFromDays(epoch_serial_ + d);
+      return static_cast<int64_t>(c.year) - epoch_.year;
+    }
+    case Granularity::kDecades: {
+      const CivilDate c = CivilFromDays(epoch_serial_ + d);
+      return FloorDiv(static_cast<int64_t>(c.year) - decade_start_year_, 10);
+    }
+    case Granularity::kCenturies: {
+      const CivilDate c = CivilFromDays(epoch_serial_ + d);
+      return FloorDiv(static_cast<int64_t>(c.year) - century_start_year_, 100);
+    }
+    default:
+      CALDB_DCHECK(false, "GranuleOffsetContainingDay requires DAYS or coarser");
+      return 0;
+  }
+}
+
+Result<Interval> TimeSystem::GranuleToUnit(Granularity g, TimePoint index,
+                                           Granularity unit) const {
+  if (!IsValidPoint(index)) {
+    return Status::InvalidArgument("granule index 0 is not a valid time point");
+  }
+  if (CoarsenessOf(unit) > CoarsenessOf(g)) {
+    return Status::InvalidArgument(
+        std::string("cannot express ") + std::string(GranularityName(g)) +
+        " granules in coarser unit " + std::string(GranularityName(unit)));
+  }
+  if (unit == g) return Interval{index, index};
+
+  const int64_t j = PointToOffset(index);
+  int64_t lo_off = 0;
+  int64_t hi_off = 0;
+  if (IsSubDay(g)) {
+    // Both g and unit are sub-day; ratios divide exactly (86400/1440/24).
+    const int64_t ratio = GranulesPerDay(unit) / GranulesPerDay(g);
+    lo_off = j * ratio;
+    hi_off = (j + 1) * ratio - 1;
+  } else {
+    int64_t dlo = 0;
+    int64_t dhi = 0;
+    DayRangeOfGranule(g, j, &dlo, &dhi);
+    if (unit == Granularity::kDays) {
+      lo_off = dlo;
+      hi_off = dhi;
+    } else if (IsSubDay(unit)) {
+      const int64_t per_day = GranulesPerDay(unit);
+      lo_off = dlo * per_day;
+      hi_off = (dhi + 1) * per_day - 1;
+    } else {
+      // unit strictly between DAYS and g (e.g. months of a year): the range
+      // of unit-granules overlapping the g-granule.
+      lo_off = GranuleOffsetContainingDay(unit, dlo);
+      hi_off = GranuleOffsetContainingDay(unit, dhi);
+    }
+  }
+  return Interval{OffsetToPoint(lo_off), OffsetToPoint(hi_off)};
+}
+
+Result<TimePoint> TimeSystem::GranuleContaining(Granularity g, TimePoint p,
+                                                Granularity unit) const {
+  if (!IsValidPoint(p)) {
+    return Status::InvalidArgument("point 0 is not a valid time point");
+  }
+  if (CoarsenessOf(g) < CoarsenessOf(unit)) {
+    return Status::InvalidArgument(
+        std::string("granularity ") + std::string(GranularityName(g)) +
+        " is finer than unit " + std::string(GranularityName(unit)));
+  }
+  if (g == unit) return p;
+
+  const int64_t off = PointToOffset(p);
+  if (IsSubDay(unit)) {
+    if (IsSubDay(g)) {
+      const int64_t ratio = GranulesPerDay(unit) / GranulesPerDay(g);
+      return OffsetToPoint(FloorDiv(off, ratio));
+    }
+    const int64_t d = FloorDiv(off, GranulesPerDay(unit));
+    return OffsetToPoint(GranuleOffsetContainingDay(g, d));
+  }
+  int64_t day = 0;
+  if (unit == Granularity::kDays) {
+    day = off;
+  } else {
+    int64_t dhi = 0;
+    DayRangeOfGranule(unit, off, &day, &dhi);  // start day of the unit granule
+  }
+  return OffsetToPoint(GranuleOffsetContainingDay(g, day));
+}
+
+TimePoint TimeSystem::YearIndex(int32_t civil_year) const {
+  return OffsetToPoint(static_cast<int64_t>(civil_year) - epoch_.year);
+}
+
+int32_t TimeSystem::CivilYearOfIndex(TimePoint year_index) const {
+  return epoch_.year + static_cast<int32_t>(PointToOffset(year_index));
+}
+
+TimePoint TimeSystem::MonthIndex(int32_t civil_year, int32_t month) const {
+  const int64_t ym0 = static_cast<int64_t>(epoch_.year) * 12 + (epoch_.month - 1);
+  const int64_t ym = static_cast<int64_t>(civil_year) * 12 + (month - 1);
+  return OffsetToPoint(ym - ym0);
+}
+
+Result<Interval> TimeSystem::DayIntervalFromCivil(CivilDate a, CivilDate b) const {
+  if (!IsValidCivil(a) || !IsValidCivil(b)) {
+    return Status::InvalidArgument("invalid civil date");
+  }
+  if (b < a) {
+    return Status::InvalidArgument("civil range end precedes start");
+  }
+  return Interval{DayPointFromCivil(a), DayPointFromCivil(b)};
+}
+
+}  // namespace caldb

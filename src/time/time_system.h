@@ -1,0 +1,101 @@
+// TimeSystem: maps granules of the base calendars (SECONDS..CENTURY) to
+// skip-zero time points relative to a configurable system epoch (§3.2 uses
+// Jan 1 1987; the §3.1 worked examples use Jan 1 1993).
+//
+// Granule index 1 of every granularity is the granule *containing* the
+// epoch instant (epoch date at 00:00:00); index -1 is the granule just
+// before it.  Week granules start on Monday (the paper numbers Monday = 1).
+// Decades and centuries align to civil boundaries (years divisible by
+// 10/100).  Sub-day granules subdivide days from midnight; a day is a fixed
+// 86400 seconds (no leap seconds).
+
+#ifndef CALDB_TIME_TIME_SYSTEM_H_
+#define CALDB_TIME_TIME_SYSTEM_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "core/interval.h"
+#include "time/civil.h"
+#include "time/granularity.h"
+#include "time/timepoint.h"
+
+namespace caldb {
+
+class TimeSystem {
+ public:
+  /// Epoch defaults to the paper's system start date, January 1 1987.
+  explicit TimeSystem(CivilDate epoch = CivilDate{1987, 1, 1});
+
+  const CivilDate& epoch() const { return epoch_; }
+
+  // --- Day-level conversions ------------------------------------------------
+
+  /// The DAYS point of a civil date (point 1 == the epoch date).
+  TimePoint DayPointFromCivil(CivilDate d) const;
+
+  /// Inverse of DayPointFromCivil.
+  CivilDate CivilFromDayPoint(TimePoint p) const;
+
+  /// Day of week of a DAYS point.
+  Weekday WeekdayOfDayPoint(TimePoint p) const;
+
+  // --- Granule geometry -----------------------------------------------------
+
+  /// The interval of `unit` points covered by granule `index` of
+  /// granularity `g`.  `unit` must be finer than or equal to `g`
+  /// (e.g. the days of a month, the months of a year, the seconds of an
+  /// hour).  For `unit` coarser than DAYS but finer than `g`, the result is
+  /// the range of unit-granules whose *start* lies within the g-granule.
+  Result<Interval> GranuleToUnit(Granularity g, TimePoint index,
+                                 Granularity unit) const;
+
+  /// Index of the granule of `g` containing the *start* of unit-granule
+  /// `p`.  `g` must be coarser than or equal to `unit`.
+  Result<TimePoint> GranuleContaining(Granularity g, TimePoint p,
+                                      Granularity unit) const;
+
+  // --- Civil-labelled lookups ----------------------------------------------
+
+  /// YEARS granule index of a civil year (e.g. 1993 -> 7 when the epoch is
+  /// Jan 1 1987).
+  TimePoint YearIndex(int32_t civil_year) const;
+
+  /// Civil year of a YEARS granule index.
+  int32_t CivilYearOfIndex(TimePoint year_index) const;
+
+  /// MONTHS granule index of a civil (year, month).
+  TimePoint MonthIndex(int32_t civil_year, int32_t month) const;
+
+  /// The DAYS interval covering civil dates [a, b].
+  Result<Interval> DayIntervalFromCivil(CivilDate a, CivilDate b) const;
+
+ private:
+  // Zero-based day-offset range [lo, hi] of granule offset `j` of
+  // granularity g (g must be DAYS or coarser).
+  void DayRangeOfGranule(Granularity g, int64_t j, int64_t* lo, int64_t* hi) const;
+
+  // Zero-based granule offset of g containing zero-based day offset d
+  // (g must be DAYS or coarser).
+  int64_t GranuleOffsetContainingDay(Granularity g, int64_t d) const;
+
+  CivilDate epoch_;
+  int64_t epoch_serial_;        // DaysFromCivil(epoch_)
+  int64_t epoch_monday_offset_;  // day-offset of the Monday of the epoch week (<= 0)
+  int32_t decade_start_year_;   // first year of the decade containing the epoch
+  int32_t century_start_year_;  // first year of the century containing the epoch
+};
+
+/// Floor division (rounds toward negative infinity).
+constexpr int64_t FloorDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+/// Floor modulus (result has the sign of b).
+constexpr int64_t FloorMod(int64_t a, int64_t b) { return a - FloorDiv(a, b) * b; }
+
+}  // namespace caldb
+
+#endif  // CALDB_TIME_TIME_SYSTEM_H_

@@ -1,0 +1,46 @@
+// The paper's skip-zero time-point convention (§3.1):
+//
+//   "we adopt the convention that an interval will never contain 0"
+//
+// Time points are nonzero integers.  Point 1 is the first granule at/after
+// the system epoch; point -1 the granule just before it.  Internally we map
+// points to ordinary zero-based offsets so arithmetic stays simple:
+//
+//   point:   ... -3 -2 -1  1  2  3 ...
+//   offset:  ... -3 -2 -1  0  1  2 ...
+
+#ifndef CALDB_TIME_TIMEPOINT_H_
+#define CALDB_TIME_TIMEPOINT_H_
+
+#include <cstdint>
+
+namespace caldb {
+
+/// A skip-zero time point in some granularity.  0 is not a valid point.
+using TimePoint = int64_t;
+
+/// Converts a skip-zero point to its zero-based offset.
+constexpr int64_t PointToOffset(TimePoint p) { return p > 0 ? p - 1 : p; }
+
+/// Converts a zero-based offset to the skip-zero point covering it.
+constexpr TimePoint OffsetToPoint(int64_t offset) {
+  return offset >= 0 ? offset + 1 : offset;
+}
+
+/// True for representable points (anything nonzero).
+constexpr bool IsValidPoint(TimePoint p) { return p != 0; }
+
+/// The point `delta` granules after `p`, skipping zero correctly
+/// (e.g. PointAdd(-1, 1) == 1, not 0).
+constexpr TimePoint PointAdd(TimePoint p, int64_t delta) {
+  return OffsetToPoint(PointToOffset(p) + delta);
+}
+
+/// Number of granules from `a` to `b` (b - a in offset space).
+constexpr int64_t PointDistance(TimePoint a, TimePoint b) {
+  return PointToOffset(b) - PointToOffset(a);
+}
+
+}  // namespace caldb
+
+#endif  // CALDB_TIME_TIMEPOINT_H_

@@ -1,0 +1,41 @@
+// Pattern selection predicates over time series — the paper's future-work
+// item (a) in §6:
+//
+//   "Retrieve the time points at which the end-of-day closing prices for
+//    two successive days showed an increase.  The selection predicate in
+//    this case takes the form of a pattern: {S_t < Next(S_t)}."
+//
+// The pattern language:  S refers to the value at the current observation;
+// next(e) / prev(e) shift every series reference in e by +-1; numeric
+// literals, + - * /, comparisons (< <= > >= = !=) and and/or/not compose.
+// A pattern matches at observation t when it evaluates to true; references
+// outside the series make the comparison false.
+
+#ifndef CALDB_TIMESERIES_PATTERN_H_
+#define CALDB_TIMESERIES_PATTERN_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/calendar.h"
+#include "timeseries/time_series.h"
+
+namespace caldb {
+
+/// Indices of observations in `values` where the pattern holds.
+Result<std::vector<size_t>> MatchPatternIndices(const std::vector<double>& values,
+                                                std::string_view pattern);
+
+/// Day points (an order-1 DAYS calendar) of the matching observations of a
+/// calendar-bound series.
+Result<Calendar> MatchPattern(const RegularTimeSeries& series,
+                              std::string_view pattern);
+
+/// Day points of the matching observations of an explicit series.
+Result<Calendar> MatchPattern(const IrregularTimeSeries& series,
+                              std::string_view pattern);
+
+}  // namespace caldb
+
+#endif  // CALDB_TIMESERIES_PATTERN_H_

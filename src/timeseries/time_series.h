@@ -1,0 +1,91 @@
+// Time series bound to calendars — the valid-time maintenance story of §1:
+//
+//   "If these sets of future time points could be expressed by a database
+//    query language, it would be unnecessary to store the time points
+//    associated with time-series observations, since they could be
+//    generated on request."
+//
+// A RegularTimeSeries stores only values; the time points come from
+// re-evaluating the associated calendar (e.g. the GNP series bound to a
+// last-day-of-quarter calendar).  An IrregularTimeSeries stores explicit
+// (day, value) pairs for comparison.
+
+#ifndef CALDB_TIMESERIES_TIME_SERIES_H_
+#define CALDB_TIMESERIES_TIME_SERIES_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/calendar_catalog.h"
+
+namespace caldb {
+
+class RegularTimeSeries {
+ public:
+  /// Observation i is associated with the i-th interval of calendar
+  /// `calendar_name` starting at/after `anchor_day`.  `catalog` must
+  /// outlive the series.
+  RegularTimeSeries(const CalendarCatalog* catalog, std::string calendar_name,
+                    TimePoint anchor_day);
+
+  const std::string& calendar_name() const { return calendar_name_; }
+  TimePoint anchor_day() const { return anchor_day_; }
+  size_t size() const { return values_.size(); }
+
+  /// Appends the next observation.
+  void Append(double value) { values_.push_back(value); }
+
+  Result<double> ValueAt(size_t i) const;
+
+  /// The DAYS interval of observation i, regenerated from the calendar.
+  Result<Interval> IntervalAt(size_t i) const;
+
+  /// The representative day of observation i (the interval's last day —
+  /// GNP is recorded on the last day of the quarter).
+  Result<TimePoint> DayAt(size_t i) const;
+
+  /// Materializes (day, value) pairs — what a conventional system would
+  /// have stored explicitly.
+  Result<std::vector<std::pair<TimePoint, double>>> Materialize() const;
+
+  /// The value whose interval contains `day`, if any.
+  Result<std::optional<double>> ValueOn(TimePoint day) const;
+
+  /// Observations whose representative day lies in [window.lo, window.hi].
+  Result<std::vector<std::pair<TimePoint, double>>> Slice(
+      const Interval& window) const;
+
+ private:
+  // Ensures intervals_cache_ holds at least `count` day intervals.
+  Status EnsureIntervals(size_t count) const;
+
+  const CalendarCatalog* catalog_;
+  std::string calendar_name_;
+  TimePoint anchor_day_;
+  std::vector<double> values_;
+  mutable std::vector<Interval> intervals_cache_;  // day intervals
+};
+
+class IrregularTimeSeries {
+ public:
+  /// Appends an observation; days must be strictly increasing.
+  Status Append(TimePoint day, double value);
+
+  size_t size() const { return points_.size(); }
+  const std::vector<std::pair<TimePoint, double>>& points() const {
+    return points_;
+  }
+
+  Result<std::optional<double>> ValueOn(TimePoint day) const;
+
+  /// The observation days as an order-1 DAYS calendar.
+  Calendar AsCalendar() const;
+
+ private:
+  std::vector<std::pair<TimePoint, double>> points_;
+};
+
+}  // namespace caldb
+
+#endif  // CALDB_TIMESERIES_TIME_SERIES_H_

@@ -1,0 +1,135 @@
+// The §5 integration: calendar operators registered with the extensible
+// DBMS and used from the query language.
+
+#include "catalog/calendar_functions.h"
+
+#include <gtest/gtest.h>
+
+namespace caldb {
+namespace {
+
+class CalendarFunctionsTest : public ::testing::Test {
+ protected:
+  CalendarFunctionsTest() : catalog_(TimeSystem{CivilDate{1993, 1, 1}}) {
+    EXPECT_TRUE(RegisterCalendarFunctions(&db_, &catalog_).ok());
+    EXPECT_TRUE(catalog_
+                    .DefineDerived("MONTH_ENDS", "[n]/DAYS:during:MONTHS",
+                                   catalog_.YearWindow(1993, 1995).value())
+                    .ok());
+  }
+
+  Value Call(const std::string& name, std::vector<Value> args) {
+    auto r = db_.registry().Call(name, args);
+    EXPECT_TRUE(r.ok()) << name << ": " << r.status();
+    return r.value_or(Value::Null());
+  }
+
+  CalendarCatalog catalog_;
+  Database db_;
+};
+
+TEST_F(CalendarFunctionsTest, CalContains) {
+  EXPECT_TRUE(Call("cal_contains", {Value::Text("MONTH_ENDS"), Value::Int(31)})
+                  .AsBool()
+                  .value());
+  EXPECT_FALSE(Call("cal_contains", {Value::Text("MONTH_ENDS"), Value::Int(30)})
+                   .AsBool()
+                   .value());
+  EXPECT_FALSE(
+      db_.registry()
+          .Call("cal_contains", {Value::Text("MONTH_ENDS"), Value::Int(0)})
+          .ok());
+  EXPECT_FALSE(
+      db_.registry()
+          .Call("cal_contains", {Value::Text("NoSuch"), Value::Int(5)})
+          .ok());
+}
+
+TEST_F(CalendarFunctionsTest, CalContainsCoarserGranularity) {
+  // A months-granularity calendar probed with a day point.
+  ASSERT_TRUE(catalog_
+                  .DefineDerived("Q1", "MONTHS:during:1993/YEARS",
+                                 catalog_.YearWindow(1993, 1993).value())
+                  .ok());
+  EXPECT_TRUE(Call("cal_contains", {Value::Text("Q1"), Value::Int(45)})
+                  .AsBool()
+                  .value());  // Feb 14 is inside the months of 1993
+}
+
+TEST_F(CalendarFunctionsTest, CalNext) {
+  EXPECT_EQ(Call("cal_next", {Value::Text("MONTH_ENDS"), Value::Int(1)})
+                .AsInt()
+                .value(),
+            31);
+  EXPECT_EQ(Call("cal_next", {Value::Text("MONTH_ENDS"), Value::Int(31)})
+                .AsInt()
+                .value(),
+            59);
+  // Past the lifespan: null.
+  EXPECT_TRUE(
+      Call("cal_next", {Value::Text("MONTH_ENDS"), Value::Int(5000)}).is_null());
+}
+
+TEST_F(CalendarFunctionsTest, CalEvalAndInspection) {
+  Value cal = Call("cal_eval", {Value::Text("[1,2]/DAYS:during:MONTHS"),
+                                Value::Int(1), Value::Int(59)});
+  ASSERT_EQ(cal.type(), ValueType::kCalendar);
+  EXPECT_EQ(cal.AsCalendar().value().ToString(), "{(1,1),(2,2),(32,32),(33,33)}");
+  EXPECT_EQ(Call("cal_count", {cal}).AsInt().value(), 4);
+  Value span = Call("cal_span", {cal});
+  EXPECT_EQ(span.AsInterval().value(), (Interval{1, 33}));
+}
+
+TEST_F(CalendarFunctionsTest, IntervalHelpersAndListops) {
+  Value i = Call("make_interval", {Value::Int(4), Value::Int(10)});
+  EXPECT_EQ(Call("interval_lo", {i}).AsInt().value(), 4);
+  EXPECT_EQ(Call("interval_hi", {i}).AsInt().value(), 10);
+  Value j = Call("make_interval", {Value::Int(1), Value::Int(31)});
+  EXPECT_TRUE(Call("during", {i, j}).AsBool().value());
+  EXPECT_TRUE(Call("overlaps", {i, j}).AsBool().value());
+  EXPECT_FALSE(Call("before", {j, i}).AsBool().value());
+  Value k = Call("make_interval", {Value::Int(10), Value::Int(12)});
+  EXPECT_TRUE(Call("meets", {i, k}).AsBool().value());
+  EXPECT_FALSE(db_.registry().Call("make_interval", {Value::Int(5), Value::Int(1)}).ok());
+}
+
+TEST_F(CalendarFunctionsTest, DateConversions) {
+  EXPECT_EQ(
+      Call("date_to_day", {Value::Text("1993-01-05")}).AsInt().value(), 5);
+  EXPECT_EQ(Call("day_to_date", {Value::Int(5)}).AsText().value(), "1993-01-05");
+  EXPECT_EQ(Call("day_of_week", {Value::Int(5)}).AsInt().value(), 2);  // Tuesday
+  EXPECT_FALSE(db_.registry().Call("date_to_day", {Value::Text("93/01/05")}).ok());
+}
+
+TEST_F(CalendarFunctionsTest, UsableFromQueries) {
+  ASSERT_TRUE(db_.Execute("create table prices (day int, price float)").ok());
+  for (int d : {30, 31, 59, 60}) {
+    ASSERT_TRUE(db_.Execute("append prices (day = " + std::to_string(d) +
+                            ", price = " + std::to_string(100 + d) + ")")
+                    .ok());
+  }
+  // "Retrieve (stock.price) on expiration-date" — here: on month ends.
+  auto r = db_.Execute(
+      "retrieve (p.day, p.price) from p in prices "
+      "where cal_contains('MONTH_ENDS', p.day)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->rows[0][0].AsInt().value(), 31);
+  EXPECT_EQ(r->rows[1][0].AsInt().value(), 59);
+
+  // day_of_week in a predicate: Fridays only.
+  auto fridays = db_.Execute(
+      "retrieve (p.day) from p in prices where day_of_week(p.day) = 5");
+  ASSERT_TRUE(fridays.ok());
+  // Day 29? not in table. Of 30,31,59,60: Jan30=Sat(6), Jan31=Sun(7),
+  // Feb28=Sun(7), Mar1=Mon(1): none are Fridays.
+  EXPECT_TRUE(fridays->rows.empty());
+}
+
+TEST_F(CalendarFunctionsTest, DoubleRegistrationFails) {
+  EXPECT_EQ(RegisterCalendarFunctions(&db_, &catalog_).code(),
+            StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace caldb

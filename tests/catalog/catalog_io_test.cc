@@ -1,0 +1,140 @@
+#include "catalog/catalog_io.h"
+
+#include <gtest/gtest.h>
+
+namespace caldb {
+namespace {
+
+class CatalogIoTest : public ::testing::Test {
+ protected:
+  CatalogIoTest() : catalog_(TimeSystem{CivilDate{1993, 1, 1}}) {}
+  CalendarCatalog catalog_;
+};
+
+TEST_F(CatalogIoTest, RoundTripValuesAndDerived) {
+  ASSERT_TRUE(catalog_
+                  .DefineValues("HOLIDAYS", Calendar::Order1(Granularity::kDays,
+                                                             {{31, 31}, {90, 90}}),
+                                Interval{1, 365})
+                  .ok());
+  ASSERT_TRUE(catalog_.DefineDerived("Tuesdays", "[2]/DAYS:during:WEEKS").ok());
+  ASSERT_TRUE(catalog_
+                  .DefineDerived("EMP-DAYS", R"({LDOM = [n]/DAYS:during:MONTHS;
+LDOM_HOL = LDOM:intersects:HOLIDAYS;
+return (LDOM - LDOM_HOL);})")
+                  .ok());
+
+  auto dump = DumpCatalog(catalog_);
+  ASSERT_TRUE(dump.ok()) << dump.status();
+  EXPECT_NE(dump->find("epoch 1993-01-01"), std::string::npos);
+  EXPECT_NE(dump->find("DAYS{(31,31),(90,90)}"), std::string::npos);
+
+  auto restored = LoadCatalog(*dump);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->ListCalendars(), catalog_.ListCalendars());
+
+  // Evaluations agree between original and restored catalogs.
+  EvalOptions opts;
+  opts.window_days = Interval{1, 120};
+  for (const char* name : {"Tuesdays", "EMP-DAYS", "HOLIDAYS"}) {
+    auto a = catalog_.EvaluateCalendar(name, opts);
+    auto b = restored->EvaluateCalendar(name, opts);
+    ASSERT_TRUE(a.ok()) << name << ": " << a.status();
+    ASSERT_TRUE(b.ok()) << name << ": " << b.status();
+    EXPECT_EQ(a->ToString(), b->ToString()) << name;
+  }
+
+  // Lifespans survive.
+  auto def = restored->Describe("HOLIDAYS");
+  ASSERT_TRUE(def.ok());
+  ASSERT_TRUE(def->lifespan_days.has_value());
+  EXPECT_EQ(*def->lifespan_days, (Interval{1, 365}));
+}
+
+TEST_F(CatalogIoTest, DependenciesAreOrderedForReload) {
+  // Define dependents before dependencies alphabetically: "A_Uses_Z" would
+  // dump before "Z_Base" in name order, so the dump must topo-sort.
+  ASSERT_TRUE(catalog_
+                  .DefineValues("Z_Base", Calendar::Order1(Granularity::kDays,
+                                                           {{5, 5}}))
+                  .ok());
+  // Multi-statement so Z_Base stays a runtime reference (not inlined text
+  // dependent, but the *text* references it either way).
+  ASSERT_TRUE(catalog_
+                  .DefineDerived("A_Uses_Z",
+                                 "{t = DAYS:intersects:Z_Base; return t;}")
+                  .ok());
+  auto dump = DumpCatalog(catalog_);
+  ASSERT_TRUE(dump.ok()) << dump.status();
+  EXPECT_LT(dump->find("calendar Z_Base"), dump->find("calendar A_Uses_Z"));
+  auto restored = LoadCatalog(*dump);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EvalOptions opts;
+  opts.window_days = Interval{1, 31};
+  auto value = restored->EvaluateCalendar("A_Uses_Z", opts);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value->ToString(), "{(5,5)}");
+}
+
+TEST_F(CatalogIoTest, EmptyCatalogRoundTrips) {
+  auto dump = DumpCatalog(catalog_);
+  ASSERT_TRUE(dump.ok());
+  auto restored = LoadCatalog(*dump);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->ListCalendars().empty());
+}
+
+TEST_F(CatalogIoTest, EpochMismatchRejected) {
+  auto dump = DumpCatalog(catalog_);
+  ASSERT_TRUE(dump.ok());
+  CalendarCatalog other{TimeSystem{CivilDate{1987, 1, 1}}};
+  Status st = RestoreCatalog(*dump, &other);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("epoch"), std::string::npos);
+}
+
+TEST_F(CatalogIoTest, NameClashRejected) {
+  ASSERT_TRUE(catalog_.DefineDerived("X", "[1]/DAYS:during:WEEKS").ok());
+  auto dump = DumpCatalog(catalog_);
+  ASSERT_TRUE(dump.ok());
+  // Restoring into the same catalog clashes on X.
+  EXPECT_EQ(RestoreCatalog(*dump, &catalog_).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(CatalogIoTest, MalformedDumps) {
+  CalendarCatalog c{TimeSystem{CivilDate{1993, 1, 1}}};
+  EXPECT_FALSE(RestoreCatalog("", &c).ok());
+  EXPECT_FALSE(RestoreCatalog("calendar X values lifespan=none\n", &c).ok());
+  EXPECT_FALSE(
+      RestoreCatalog("epoch 1993-01-01\ncalendar X bogus lifespan=none\n", &c)
+          .ok());
+  EXPECT_FALSE(RestoreCatalog(
+                   "epoch 1993-01-01\ncalendar X derived lifespan=none\n"
+                   "<<<SCRIPT\nnever closed\n",
+                   &c)
+                   .ok());
+  EXPECT_FALSE(RestoreCatalog(
+                   "epoch 1993-01-01\ncalendar X values lifespan=1,\n"
+                   "DAYS{(1,1)}\n",
+                   &c)
+                   .ok());
+  EXPECT_FALSE(LoadCatalog("no epoch here").ok());
+}
+
+TEST_F(CatalogIoTest, CommentsAndBlankLinesIgnored) {
+  const char* dump =
+      "# caldb catalog dump v1\n"
+      "\n"
+      "epoch 1993-01-01\n"
+      "\n"
+      "# a values calendar\n"
+      "calendar H values lifespan=none\n"
+      "DAYS{(7,7)}\n";
+  CalendarCatalog c{TimeSystem{CivilDate{1993, 1, 1}}};
+  ASSERT_TRUE(RestoreCatalog(dump, &c).ok());
+  EXPECT_TRUE(c.Contains("H"));
+}
+
+}  // namespace
+}  // namespace caldb

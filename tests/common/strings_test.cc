@@ -1,0 +1,48 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace caldb {
+namespace {
+
+TEST(StringsTest, TrimWhitespace) {
+  EXPECT_EQ(TrimWhitespace("  abc  "), "abc");
+  EXPECT_EQ(TrimWhitespace("abc"), "abc");
+  EXPECT_EQ(TrimWhitespace("\t\n abc \r\n"), "abc");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+  EXPECT_EQ(TrimWhitespace(""), "");
+}
+
+TEST(StringsTest, StrSplit) {
+  auto parts = StrSplit("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+  // Empty pieces are kept.
+  EXPECT_EQ(StrSplit(",a,", ',').size(), 3u);
+  EXPECT_EQ(StrSplit("", ',').size(), 1u);
+  EXPECT_EQ(StrSplit("abc", ',').size(), 1u);
+}
+
+TEST(StringsTest, CaseConversion) {
+  EXPECT_EQ(AsciiToLower("MiXeD_123"), "mixed_123");
+  EXPECT_EQ(AsciiToUpper("MiXeD_123"), "MIXED_123");
+  EXPECT_TRUE(EqualsIgnoreCase("WEEKS", "weeks"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("week", "weeks"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "b"));
+}
+
+TEST(StringsTest, ParseInt64) {
+  EXPECT_EQ(ParseInt64("42").value(), 42);
+  EXPECT_EQ(ParseInt64("-17").value(), -17);
+  EXPECT_EQ(ParseInt64("0").value(), 0);
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("x12").ok());
+  EXPECT_FALSE(ParseInt64("1.5").ok());
+  EXPECT_FALSE(ParseInt64(" 1").ok());
+}
+
+}  // namespace
+}  // namespace caldb

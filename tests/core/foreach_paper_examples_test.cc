@@ -1,0 +1,164 @@
+// EX-A / EX-B of the experiment index: the §3.1 worked examples, verified
+// against the exact interval lists printed in the paper.
+
+#include <gtest/gtest.h>
+
+#include "core/algebra.h"
+#include "core/calendar.h"
+#include "core/generate.h"
+#include "time/time_system.h"
+
+namespace caldb {
+namespace {
+
+class PaperExamples : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Day numbering from Jan 1 1993, as in §3.1.
+    ts_ = std::make_unique<TimeSystem>(CivilDate{1993, 1, 1});
+    // WEEKS of 1993 (whole weeks overlapping the year).
+    auto weeks = GenerateBaseCalendar(*ts_, Granularity::kWeeks,
+                                      Granularity::kDays, Interval{1, 365},
+                                      /*clip=*/false);
+    ASSERT_TRUE(weeks.ok()) << weeks.status();
+    weeks_ = *weeks;
+    // Year-1993: the months of 1993 in days.
+    auto months = GenerateBaseCalendar(*ts_, Granularity::kMonths,
+                                       Granularity::kDays, Interval{1, 365},
+                                       /*clip=*/false);
+    ASSERT_TRUE(months.ok()) << months.status();
+    year_1993_ = *months;
+    jan_1993_ = Calendar::Singleton(Granularity::kDays, Interval{1, 31});
+  }
+
+  std::unique_ptr<TimeSystem> ts_;
+  Calendar weeks_;
+  Calendar year_1993_;
+  Calendar jan_1993_;
+};
+
+TEST_F(PaperExamples, WeeksOf1993MatchPaper) {
+  // WEEKS ≡ {(-4,3),(4,10),(11,17),(18,24),(25,31),(32,38),(39,45),...}
+  ASSERT_GE(weeks_.size(), 7u);
+  const Interval kExpected[] = {{-4, 3},  {4, 10},  {11, 17}, {18, 24},
+                                {25, 31}, {32, 38}, {39, 45}};
+  for (size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(weeks_.intervals()[i], kExpected[i]) << "week " << i + 1;
+  }
+}
+
+TEST_F(PaperExamples, MonthsOf1993MatchPaper) {
+  // Year-1993 ≡ {(1,31),(32,59),(60,90),(91,120),...}
+  ASSERT_EQ(year_1993_.size(), 12u);
+  EXPECT_EQ(year_1993_.intervals()[0], (Interval{1, 31}));
+  EXPECT_EQ(year_1993_.intervals()[1], (Interval{32, 59}));
+  EXPECT_EQ(year_1993_.intervals()[2], (Interval{60, 90}));
+  EXPECT_EQ(year_1993_.intervals()[3], (Interval{91, 120}));
+  EXPECT_EQ(year_1993_.intervals()[11], (Interval{335, 365}));
+}
+
+TEST_F(PaperExamples, WeeksDuringJan1993) {
+  // WEEKS : during : Jan-1993 ≡ {(4,10),(11,17),(18,24),(25,31)}
+  auto r = ForEach(weeks_, ListOp::kDuring, jan_1993_, /*strict=*/true);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->ToString(), "{(4,10),(11,17),(18,24),(25,31)}");
+}
+
+TEST_F(PaperExamples, WeeksDuringYear1993IsOrder2) {
+  // WEEKS : during : Year-1993: weeks fully inside each month.
+  auto r = ForEach(weeks_, ListOp::kDuring, year_1993_, /*strict=*/true);
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->order(), 2);
+  ASSERT_EQ(r->size(), 12u);
+  EXPECT_EQ(r->children()[0].ToString(), "{(4,10),(11,17),(18,24),(25,31)}");
+  EXPECT_EQ(r->children()[1].ToString(), "{(32,38),(39,45),(46,52),(53,59)}");
+  EXPECT_EQ(r->children()[2].ToString(), "{(60,66),(67,73),(74,80),(81,87)}");
+  // April (paper): {(95,101),(102,108),(109,115)}
+  EXPECT_EQ(r->children()[3].ToString(), "{(95,101),(102,108),(109,115)}");
+}
+
+TEST_F(PaperExamples, StrictOverlapsClipsToJan) {
+  // WEEKS : overlaps : Jan-1993 ≡ {(1,3),(4,10),(11,17),(18,24),(25,31)}
+  auto r = ForEach(weeks_, ListOp::kOverlaps, jan_1993_, /*strict=*/true);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->ToString(), "{(1,3),(4,10),(11,17),(18,24),(25,31)}");
+}
+
+TEST_F(PaperExamples, RelaxedOverlapsKeepsWholeWeeks) {
+  // WEEKS . overlaps . Jan-1993 ≡ {(-4,3),(4,10),(11,17),(18,24),(25,31)}
+  auto r = ForEach(weeks_, ListOp::kOverlaps, jan_1993_, /*strict=*/false);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->ToString(), "{(-4,3),(4,10),(11,17),(18,24),(25,31)}");
+}
+
+TEST_F(PaperExamples, ThirdWeekOfJanuary) {
+  // [3]/WEEKS : overlaps : Jan-1993 ≡ {(11,17)}
+  auto fe = ForEach(weeks_, ListOp::kOverlaps, jan_1993_, /*strict=*/true);
+  ASSERT_TRUE(fe.ok());
+  auto sel = Select({SelectionItem::Index(3)}, *fe);
+  ASSERT_TRUE(sel.ok()) << sel.status();
+  EXPECT_EQ(sel->ToString(), "{(11,17)}");
+}
+
+TEST_F(PaperExamples, ThirdWeekOfEveryMonth) {
+  // [3]/WEEKS : overlaps : Year-1993 ≡ {(11,17),(46,52),(74,80),(102,108),...}
+  auto fe = ForEach(weeks_, ListOp::kOverlaps, year_1993_, /*strict=*/true);
+  ASSERT_TRUE(fe.ok());
+  ASSERT_EQ(fe->order(), 2);
+  // March (paper): {(60,66),(67,73),(74,80),(81,87),(88,90)}
+  EXPECT_EQ(fe->children()[2].ToString(),
+            "{(60,66),(67,73),(74,80),(81,87),(88,90)}");
+  // April (paper): {(91,94),(95,101),(102,108),(109,115),...}
+  ASSERT_GE(fe->children()[3].size(), 4u);
+  EXPECT_EQ(fe->children()[3].intervals()[0], (Interval{91, 94}));
+  auto sel = Select({SelectionItem::Index(3)}, *fe);
+  ASSERT_TRUE(sel.ok()) << sel.status();
+  ASSERT_EQ(sel->order(), 1);
+  ASSERT_EQ(sel->size(), 12u);
+  EXPECT_EQ(sel->intervals()[0], (Interval{11, 17}));
+  EXPECT_EQ(sel->intervals()[1], (Interval{46, 52}));
+  EXPECT_EQ(sel->intervals()[2], (Interval{74, 80}));
+  EXPECT_EQ(sel->intervals()[3], (Interval{102, 108}));
+}
+
+TEST_F(PaperExamples, DuringIsStrictRelaxedInvariant) {
+  // §3.1: "the during operator will have the same result with the strict
+  // and relaxed foreach operator".
+  auto strict = ForEach(weeks_, ListOp::kDuring, jan_1993_, /*strict=*/true);
+  auto relaxed = ForEach(weeks_, ListOp::kDuring, jan_1993_, /*strict=*/false);
+  ASSERT_TRUE(strict.ok());
+  ASSERT_TRUE(relaxed.ok());
+  EXPECT_EQ(strict->ToString(), relaxed->ToString());
+  auto strict2 = ForEach(weeks_, ListOp::kDuring, year_1993_, true);
+  auto relaxed2 = ForEach(weeks_, ListOp::kDuring, year_1993_, false);
+  ASSERT_TRUE(strict2.ok());
+  ASSERT_TRUE(relaxed2.ok());
+  EXPECT_EQ(strict2->ToString(), relaxed2->ToString());
+}
+
+TEST_F(PaperExamples, SecondFromEndSelection) {
+  // §3.1: "[-2]/C selects the second element from the end of C".
+  auto fe = ForEach(weeks_, ListOp::kOverlaps, jan_1993_, true);
+  ASSERT_TRUE(fe.ok());
+  auto sel = Select({SelectionItem::Index(-2)}, *fe);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->ToString(), "{(18,24)}");
+}
+
+TEST_F(PaperExamples, LastDayOfEveryMonth) {
+  // LDOM = [n]/DAYS : during : MONTHS ≡ {(31,31),(59,59),(90,90),...}
+  auto days = GenerateBaseCalendar(*ts_, Granularity::kDays, Granularity::kDays,
+                                   Interval{1, 365}, /*clip=*/true);
+  ASSERT_TRUE(days.ok());
+  auto fe = ForEach(*days, ListOp::kDuring, year_1993_, /*strict=*/true);
+  ASSERT_TRUE(fe.ok());
+  auto ldom = Select({SelectionItem::Last()}, *fe);
+  ASSERT_TRUE(ldom.ok());
+  ASSERT_EQ(ldom->size(), 12u);
+  EXPECT_EQ(ldom->intervals()[0], (Interval{31, 31}));
+  EXPECT_EQ(ldom->intervals()[1], (Interval{59, 59}));
+  EXPECT_EQ(ldom->intervals()[2], (Interval{90, 90}));
+}
+
+}  // namespace
+}  // namespace caldb

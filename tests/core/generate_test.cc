@@ -1,0 +1,176 @@
+// EX-C / EX-D: generate and caloperate, matched against §3.2's examples.
+
+#include "core/generate.h"
+
+#include <gtest/gtest.h>
+
+#include "core/algebra.h"
+
+namespace caldb {
+namespace {
+
+TEST(GenerateTest, PaperYearsInDaysExample) {
+  // generate(YEARS, DAYS, [Jan 1 1987, Jan 3 1992]) ≡
+  //   {(1,365),(366,731),(732,1096),(1097,1461),(1462,1826),(1827,1829)}
+  TimeSystem ts{CivilDate{1987, 1, 1}};
+  auto span = ts.DayIntervalFromCivil({1987, 1, 1}, {1992, 1, 3});
+  ASSERT_TRUE(span.ok());
+  auto r = GenerateBaseCalendar(ts, Granularity::kYears, Granularity::kDays,
+                                *span, /*clip=*/true);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->ToString(),
+            "{(1,365),(366,731),(732,1096),(1097,1461),(1462,1826),(1827,1829)}");
+}
+
+TEST(GenerateTest, UnclippedKeepsWholeGranules) {
+  TimeSystem ts{CivilDate{1993, 1, 1}};
+  auto r = GenerateBaseCalendar(ts, Granularity::kWeeks, Granularity::kDays,
+                                Interval{1, 31}, /*clip=*/false);
+  ASSERT_TRUE(r.ok());
+  // Whole weeks overlapping January: first is the paper's (-4,3).
+  EXPECT_EQ(r->ToString(), "{(-4,3),(4,10),(11,17),(18,24),(25,31)}");
+}
+
+TEST(GenerateTest, ClippedTrimsBothEnds) {
+  TimeSystem ts{CivilDate{1993, 1, 1}};
+  auto r = GenerateBaseCalendar(ts, Granularity::kWeeks, Granularity::kDays,
+                                Interval{5, 20}, /*clip=*/true);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->ToString(), "{(5,10),(11,17),(18,20)}");
+}
+
+TEST(GenerateTest, SpanBeforeEpoch) {
+  TimeSystem ts{CivilDate{1993, 1, 1}};
+  auto r = GenerateBaseCalendar(ts, Granularity::kMonths, Granularity::kDays,
+                                Interval{-61, -1}, /*clip=*/false);
+  ASSERT_TRUE(r.ok());
+  // Nov 1992 (30 days) and Dec 1992 (31 days): (-61,-32),(-31,-1).
+  EXPECT_EQ(r->ToString(), "{(-61,-32),(-31,-1)}");
+}
+
+TEST(GenerateTest, MonthsInYearUnits) {
+  TimeSystem ts{CivilDate{1993, 1, 1}};
+  auto r = GenerateBaseCalendar(ts, Granularity::kYears, Granularity::kMonths,
+                                Interval{1, 24}, /*clip=*/true);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->ToString(), "{(1,12),(13,24)}");
+}
+
+TEST(GenerateTest, CoarserUnitRejected) {
+  TimeSystem ts{CivilDate{1993, 1, 1}};
+  EXPECT_FALSE(GenerateBaseCalendar(ts, Granularity::kDays, Granularity::kMonths,
+                                    Interval{1, 12}, true)
+                   .ok());
+}
+
+TEST(GenerateTest, IdenticalGranularityIsIdentityGrid) {
+  TimeSystem ts{CivilDate{1993, 1, 1}};
+  auto r = GenerateBaseCalendar(ts, Granularity::kDays, Granularity::kDays,
+                                Interval{-2, 2}, true);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->ToString(), "{(-2,-2),(-1,-1),(1,1),(2,2)}");
+}
+
+TEST(CalOperateTest, PaperWeeksFromDays) {
+  // caloperate(<days of year>, *; 7) ≡ {(1,7),(8,14),(15,21),...}
+  std::vector<Interval> days;
+  for (int64_t d = 1; d <= 365; ++d) days.push_back({d, d});
+  Calendar c = Calendar::Order1(Granularity::kDays, days);
+  auto r = CalOperate(c, std::nullopt, {7});
+  ASSERT_TRUE(r.ok());
+  ASSERT_GE(r->size(), 3u);
+  EXPECT_EQ(r->intervals()[0], (Interval{1, 7}));
+  EXPECT_EQ(r->intervals()[1], (Interval{8, 14}));
+  EXPECT_EQ(r->intervals()[2], (Interval{15, 21}));
+  // 365 = 52*7 + 1: a trailing partial group is kept.
+  EXPECT_EQ(r->size(), 53u);
+  EXPECT_EQ(r->intervals()[52], (Interval{365, 365}));
+}
+
+TEST(CalOperateTest, PaperQuartersFromMonths) {
+  // caloperate(MONTHS, *; 3) ≡ {(1,90),(91,181),...} for 1993.
+  TimeSystem ts{CivilDate{1993, 1, 1}};
+  auto months = GenerateBaseCalendar(ts, Granularity::kMonths, Granularity::kDays,
+                                     Interval{1, 365}, false);
+  ASSERT_TRUE(months.ok());
+  auto r = CalOperate(*months, std::nullopt, {3});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 4u);
+  EXPECT_EQ(r->intervals()[0], (Interval{1, 90}));
+  EXPECT_EQ(r->intervals()[1], (Interval{91, 181}));
+  EXPECT_EQ(r->intervals()[2], (Interval{182, 273}));
+  EXPECT_EQ(r->intervals()[3], (Interval{274, 365}));
+}
+
+TEST(CalOperateTest, CircularGroupList) {
+  std::vector<Interval> points;
+  for (int64_t d = 1; d <= 10; ++d) points.push_back({d, d});
+  Calendar c = Calendar::Order1(Granularity::kDays, points);
+  auto r = CalOperate(c, std::nullopt, {2, 3});
+  ASSERT_TRUE(r.ok());
+  // Groups of 2,3,2,3 = 10 points.
+  EXPECT_EQ(r->ToString(), "{(1,2),(3,5),(6,7),(8,10)}");
+}
+
+TEST(CalOperateTest, EndTimeBoundsConsumption) {
+  std::vector<Interval> points;
+  for (int64_t d = 1; d <= 10; ++d) points.push_back({d, d});
+  Calendar c = Calendar::Order1(Granularity::kDays, points);
+  auto r = CalOperate(c, TimePoint{7}, {3});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->ToString(), "{(1,3),(4,6),(7,7)}");
+}
+
+TEST(CalOperateTest, Validation) {
+  Calendar c = Calendar::Order1(Granularity::kDays, {{1, 1}});
+  EXPECT_FALSE(CalOperate(c, std::nullopt, {}).ok());
+  EXPECT_FALSE(CalOperate(c, std::nullopt, {0}).ok());
+  EXPECT_FALSE(CalOperate(c, std::nullopt, {-3}).ok());
+  Calendar nested = Calendar::Nested(Granularity::kDays, {c});
+  EXPECT_FALSE(CalOperate(nested, std::nullopt, {2}).ok());
+}
+
+TEST(RescaleTest, MonthsToDays) {
+  TimeSystem ts{CivilDate{1993, 1, 1}};
+  Calendar months = Calendar::Order1(Granularity::kMonths, {{1, 1}, {2, 3}});
+  auto r = Rescale(ts, months, Granularity::kDays);
+  ASSERT_TRUE(r.ok());
+  // Jan -> (1,31); Feb..Mar -> (32,90).
+  EXPECT_EQ(r->ToString(), "{(1,31),(32,90)}");
+  EXPECT_EQ(r->granularity(), Granularity::kDays);
+}
+
+TEST(RescaleTest, NestedCalendars) {
+  TimeSystem ts{CivilDate{1993, 1, 1}};
+  Calendar inner = Calendar::Order1(Granularity::kYears, {{1, 1}});
+  Calendar nested = Calendar::Nested(Granularity::kYears, {inner});
+  auto r = Rescale(ts, nested, Granularity::kMonths);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->order(), 2);
+  EXPECT_EQ(r->ToString(), "{{(1,12)}}");
+}
+
+TEST(RescaleTest, SameGranularityIsIdentity) {
+  TimeSystem ts{CivilDate{1993, 1, 1}};
+  Calendar c = Calendar::Order1(Granularity::kDays, {{1, 5}});
+  auto r = Rescale(ts, c, Granularity::kDays);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, c);
+}
+
+TEST(RescaleTest, CoarserTargetRejected) {
+  TimeSystem ts{CivilDate{1993, 1, 1}};
+  Calendar c = Calendar::Order1(Granularity::kDays, {{1, 5}});
+  EXPECT_FALSE(Rescale(ts, c, Granularity::kMonths).ok());
+}
+
+TEST(RescaleTest, WeeksAcrossEpoch) {
+  TimeSystem ts{CivilDate{1993, 1, 1}};
+  Calendar weeks = Calendar::Order1(Granularity::kWeeks, {{1, 2}});
+  auto r = Rescale(ts, weeks, Granularity::kDays);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->ToString(), "{(-4,10)}");
+}
+
+}  // namespace
+}  // namespace caldb

@@ -1,0 +1,127 @@
+#include "core/interval.h"
+
+#include <gtest/gtest.h>
+
+namespace caldb {
+namespace {
+
+TEST(IntervalTest, MakeValidatesEndpoints) {
+  EXPECT_TRUE(MakeInterval(1, 5).ok());
+  EXPECT_TRUE(MakeInterval(-4, 3).ok());
+  EXPECT_FALSE(MakeInterval(0, 5).ok());
+  EXPECT_FALSE(MakeInterval(1, 0).ok());
+  EXPECT_FALSE(MakeInterval(5, 1).ok());
+}
+
+TEST(IntervalTest, LengthSkipsZero) {
+  EXPECT_EQ((Interval{1, 1}).length(), 1);
+  EXPECT_EQ((Interval{1, 7}).length(), 7);
+  // The paper's first 1993 week (-4,3) covers exactly 7 days because
+  // point 0 does not exist: -4,-3,-2,-1,1,2,3.
+  EXPECT_EQ((Interval{-4, 3}).length(), 7);
+  EXPECT_EQ((Interval{-1, 1}).length(), 2);
+}
+
+TEST(IntervalTest, Contains) {
+  Interval i{-4, 3};
+  EXPECT_TRUE(i.Contains(-4));
+  EXPECT_TRUE(i.Contains(-1));
+  EXPECT_TRUE(i.Contains(1));
+  EXPECT_TRUE(i.Contains(3));
+  EXPECT_FALSE(i.Contains(4));
+  EXPECT_FALSE(i.Contains(-5));
+}
+
+TEST(IntervalTest, Covers) {
+  EXPECT_TRUE((Interval{1, 31}).Covers({4, 10}));
+  EXPECT_TRUE((Interval{1, 31}).Covers({1, 31}));
+  EXPECT_FALSE((Interval{1, 31}).Covers({-4, 3}));
+  EXPECT_FALSE((Interval{4, 10}).Covers({1, 31}));
+}
+
+TEST(IntervalTest, Intersect) {
+  auto x = Intersect({-4, 3}, {1, 31});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ(*x, (Interval{1, 3}));
+  EXPECT_FALSE(Intersect({1, 5}, {7, 9}).has_value());
+  auto touch = Intersect({1, 5}, {5, 9});
+  ASSERT_TRUE(touch.has_value());
+  EXPECT_EQ(*touch, (Interval{5, 5}));
+}
+
+TEST(IntervalTest, Format) {
+  EXPECT_EQ(FormatInterval({-4, 3}), "(-4,3)");
+  EXPECT_EQ(FormatInterval({11, 17}), "(11,17)");
+}
+
+// The listop definitions of §3.1, checked against the paper's formulas.
+TEST(ListOpTest, Overlaps) {
+  EXPECT_TRUE(IntervalOverlaps({-4, 3}, {1, 31}));
+  EXPECT_TRUE(IntervalOverlaps({4, 10}, {1, 31}));
+  EXPECT_FALSE(IntervalOverlaps({32, 38}, {1, 31}));
+  EXPECT_TRUE(IntervalOverlaps({1, 5}, {5, 9}));  // shared endpoint
+}
+
+TEST(ListOpTest, During) {
+  // int1 during int2 := l1 >= l2 && u2 >= u1.
+  EXPECT_TRUE(IntervalDuring({4, 10}, {1, 31}));
+  EXPECT_TRUE(IntervalDuring({1, 31}, {1, 31}));
+  EXPECT_FALSE(IntervalDuring({-4, 3}, {1, 31}));
+  EXPECT_FALSE(IntervalDuring({25, 32}, {1, 31}));
+}
+
+TEST(ListOpTest, Meets) {
+  // int1 meets int2 := u1 == l2.
+  EXPECT_TRUE(IntervalMeets({1, 5}, {5, 9}));
+  EXPECT_FALSE(IntervalMeets({1, 5}, {6, 9}));
+  EXPECT_FALSE(IntervalMeets({5, 9}, {1, 5}));
+}
+
+TEST(ListOpTest, Before) {
+  // int1 < int2 := u1 <= l2.
+  EXPECT_TRUE(IntervalBefore({1, 5}, {7, 9}));
+  EXPECT_TRUE(IntervalBefore({1, 5}, {5, 9}));  // per the paper's formula
+  EXPECT_FALSE(IntervalBefore({1, 6}, {5, 9}));
+}
+
+TEST(ListOpTest, BeforeEq) {
+  // int1 <= int2 := (l1 <= l2) && (u2 >= u1).
+  EXPECT_TRUE(IntervalBeforeEq({1, 5}, {3, 9}));
+  EXPECT_TRUE(IntervalBeforeEq({1, 5}, {1, 5}));
+  EXPECT_FALSE(IntervalBeforeEq({3, 9}, {1, 5}));
+  EXPECT_TRUE(IntervalBeforeEq({1, 3}, {7, 9}));
+}
+
+TEST(ListOpTest, EvalDispatch) {
+  EXPECT_TRUE(EvalListOp(ListOp::kOverlaps, {1, 5}, {3, 9}));
+  EXPECT_TRUE(EvalListOp(ListOp::kIntersects, {1, 5}, {3, 9}));
+  EXPECT_TRUE(EvalListOp(ListOp::kDuring, {3, 5}, {1, 9}));
+  EXPECT_TRUE(EvalListOp(ListOp::kMeets, {1, 5}, {5, 9}));
+  EXPECT_TRUE(EvalListOp(ListOp::kBefore, {1, 4}, {5, 9}));
+  EXPECT_TRUE(EvalListOp(ListOp::kBeforeEq, {1, 4}, {2, 9}));
+}
+
+TEST(ListOpTest, ClipBehaviour) {
+  EXPECT_TRUE(ListOpClipsUnderStrict(ListOp::kOverlaps));
+  EXPECT_TRUE(ListOpClipsUnderStrict(ListOp::kIntersects));
+  EXPECT_TRUE(ListOpClipsUnderStrict(ListOp::kDuring));
+  EXPECT_FALSE(ListOpClipsUnderStrict(ListOp::kBefore));
+  EXPECT_FALSE(ListOpClipsUnderStrict(ListOp::kBeforeEq));
+  EXPECT_FALSE(ListOpClipsUnderStrict(ListOp::kMeets));
+}
+
+TEST(ListOpTest, NamesRoundTrip) {
+  for (ListOp op : {ListOp::kOverlaps, ListOp::kDuring, ListOp::kMeets,
+                    ListOp::kBefore, ListOp::kBeforeEq, ListOp::kIntersects}) {
+    auto parsed = ParseListOp(ListOpName(op));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, op);
+  }
+  EXPECT_FALSE(ParseListOp("bogus").ok());
+  auto precedes = ParseListOp("precedes");
+  ASSERT_TRUE(precedes.ok());
+  EXPECT_EQ(*precedes, ListOp::kBefore);
+}
+
+}  // namespace
+}  // namespace caldb

@@ -1,0 +1,185 @@
+#include "db/btree.h"
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace caldb {
+namespace {
+
+TEST(BTreeTest, EmptyTree) {
+  BPlusTree tree;
+  EXPECT_EQ(tree.size(), 0);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  int visits = 0;
+  tree.ScanAll([&](int64_t, int64_t) {
+    ++visits;
+    return true;
+  });
+  EXPECT_EQ(visits, 0);
+}
+
+TEST(BTreeTest, InsertAndScan) {
+  BPlusTree tree(4);
+  for (int64_t k : {5, 1, 9, 3, 7}) tree.Insert(k, k * 10);
+  EXPECT_EQ(tree.size(), 5);
+  std::vector<int64_t> keys;
+  tree.ScanAll([&](int64_t key, int64_t rowid) {
+    EXPECT_EQ(rowid, key * 10);
+    keys.push_back(key);
+    return true;
+  });
+  EXPECT_EQ(keys, (std::vector<int64_t>{1, 3, 5, 7, 9}));
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(BTreeTest, RangeScan) {
+  BPlusTree tree(4);
+  for (int64_t k = 1; k <= 100; ++k) tree.Insert(k, k);
+  std::vector<int64_t> keys;
+  tree.ScanRange(10, 20, [&](int64_t key, int64_t) {
+    keys.push_back(key);
+    return true;
+  });
+  ASSERT_EQ(keys.size(), 11u);
+  EXPECT_EQ(keys.front(), 10);
+  EXPECT_EQ(keys.back(), 20);
+  // Early stop.
+  int count = 0;
+  tree.ScanRange(1, 100, [&](int64_t, int64_t) { return ++count < 5; });
+  EXPECT_EQ(count, 5);
+  // Empty and inverted ranges.
+  count = 0;
+  tree.ScanRange(200, 300, [&](int64_t, int64_t) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 0);
+  tree.ScanRange(20, 10, [&](int64_t, int64_t) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(BTreeTest, DuplicateKeys) {
+  BPlusTree tree(4);
+  for (int64_t r = 0; r < 10; ++r) tree.Insert(7, r);
+  tree.Insert(3, 0);
+  tree.Insert(9, 0);
+  std::vector<int64_t> rowids;
+  tree.ScanRange(7, 7, [&](int64_t, int64_t rowid) {
+    rowids.push_back(rowid);
+    return true;
+  });
+  ASSERT_EQ(rowids.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(rowids.begin(), rowids.end()));
+  EXPECT_TRUE(tree.Erase(7, 4));
+  EXPECT_FALSE(tree.Erase(7, 4));  // already gone
+  EXPECT_EQ(tree.size(), 11);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(BTreeTest, GrowsAndShrinksHeight) {
+  BPlusTree tree(4);
+  for (int64_t k = 1; k <= 500; ++k) tree.Insert(k, k);
+  EXPECT_GT(tree.height(), 2);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  for (int64_t k = 1; k <= 500; ++k) {
+    ASSERT_TRUE(tree.Erase(k, k)) << k;
+    Status st = tree.CheckInvariants();
+    ASSERT_TRUE(st.ok()) << "after erasing " << k << ": " << st;
+  }
+  EXPECT_EQ(tree.size(), 0);
+  EXPECT_EQ(tree.height(), 1);
+}
+
+TEST(BTreeTest, EraseMissing) {
+  BPlusTree tree(4);
+  tree.Insert(1, 1);
+  EXPECT_FALSE(tree.Erase(2, 2));
+  EXPECT_FALSE(tree.Erase(1, 99));
+  EXPECT_EQ(tree.size(), 1);
+}
+
+TEST(BTreeTest, NegativeKeys) {
+  BPlusTree tree(4);
+  for (int64_t k = -50; k <= 50; ++k) {
+    if (k == 0) continue;
+    tree.Insert(k, k);
+  }
+  std::vector<int64_t> keys;
+  tree.ScanRange(-5, 5, [&](int64_t key, int64_t) {
+    keys.push_back(key);
+    return true;
+  });
+  EXPECT_EQ(keys, (std::vector<int64_t>{-5, -4, -3, -2, -1, 1, 2, 3, 4, 5}));
+}
+
+// Model test: the tree agrees with a std::multimap reference under a
+// deterministic random workload, for several fan-outs.
+class BTreeModel : public ::testing::TestWithParam<int> {};
+
+TEST_P(BTreeModel, AgreesWithMultimap) {
+  const int fanout = GetParam();
+  BPlusTree tree(fanout);
+  std::multimap<int64_t, int64_t> model;
+  std::mt19937_64 rng(static_cast<uint64_t>(fanout) * 7919);
+  int64_t next_rowid = 0;
+  for (int step = 0; step < 4000; ++step) {
+    int64_t key = static_cast<int64_t>(rng() % 200) - 100;
+    if (key >= 0) ++key;  // avoid 0 just to mimic time points
+    if (rng() % 3 != 0 || model.empty()) {
+      int64_t rowid = next_rowid++;
+      tree.Insert(key, rowid);
+      model.emplace(key, rowid);
+    } else {
+      // Erase a random existing entry.
+      auto it = model.begin();
+      std::advance(it, static_cast<int64_t>(rng() % model.size()));
+      EXPECT_TRUE(tree.Erase(it->first, it->second));
+      model.erase(it);
+    }
+    if (step % 500 == 0) {
+      Status st = tree.CheckInvariants();
+      ASSERT_TRUE(st.ok()) << st;
+    }
+  }
+  ASSERT_EQ(tree.size(), static_cast<int64_t>(model.size()));
+  // Full-content comparison.
+  std::vector<std::pair<int64_t, int64_t>> tree_entries;
+  tree.ScanAll([&](int64_t k, int64_t r) {
+    tree_entries.emplace_back(k, r);
+    return true;
+  });
+  std::vector<std::pair<int64_t, int64_t>> model_entries(model.begin(),
+                                                         model.end());
+  std::sort(model_entries.begin(), model_entries.end());
+  EXPECT_EQ(tree_entries, model_entries);
+  // Random range scans agree.
+  for (int probe = 0; probe < 50; ++probe) {
+    int64_t lo = static_cast<int64_t>(rng() % 220) - 110;
+    int64_t hi = lo + static_cast<int64_t>(rng() % 60);
+    std::vector<std::pair<int64_t, int64_t>> got;
+    tree.ScanRange(lo, hi, [&](int64_t k, int64_t r) {
+      got.emplace_back(k, r);
+      return true;
+    });
+    std::vector<std::pair<int64_t, int64_t>> want;
+    for (auto it = model.lower_bound(lo); it != model.end() && it->first <= hi;
+         ++it) {
+      want.emplace_back(it->first, it->second);
+    }
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << "range [" << lo << "," << hi << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FanOuts, BTreeModel, ::testing::Values(4, 5, 8, 16, 64));
+
+}  // namespace
+}  // namespace caldb

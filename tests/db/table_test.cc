@@ -1,0 +1,142 @@
+#include "db/table.h"
+
+#include <gtest/gtest.h>
+
+namespace caldb {
+namespace {
+
+Schema PayrollSchema() {
+  return Schema({{"student", ValueType::kText},
+                 {"week", ValueType::kInt},
+                 {"hours", ValueType::kInt}});
+}
+
+Row MakeRow(const std::string& student, int64_t week, int64_t hours) {
+  return {Value::Text(student), Value::Int(week), Value::Int(hours)};
+}
+
+TEST(SchemaTest, MakeValidates) {
+  EXPECT_TRUE(Schema::Make({{"a", ValueType::kInt}}).ok());
+  EXPECT_FALSE(Schema::Make({}).ok());
+  EXPECT_FALSE(Schema::Make({{"", ValueType::kInt}}).ok());
+  EXPECT_FALSE(
+      Schema::Make({{"a", ValueType::kInt}, {"a", ValueType::kText}}).ok());
+}
+
+TEST(SchemaTest, IndexOfAndValidate) {
+  Schema s = PayrollSchema();
+  EXPECT_EQ(s.IndexOf("week").value(), 1u);
+  EXPECT_FALSE(s.IndexOf("nope").ok());
+  EXPECT_TRUE(s.ValidateRow(MakeRow("ann", 1, 2)).ok());
+  EXPECT_FALSE(s.ValidateRow({Value::Int(1)}).ok());  // wrong arity
+  EXPECT_FALSE(
+      s.ValidateRow({Value::Int(1), Value::Int(2), Value::Int(3)}).ok());
+  // Nulls allowed anywhere; ints widen into float columns.
+  EXPECT_TRUE(s.ValidateRow({Value::Null(), Value::Int(1), Value::Null()}).ok());
+  Schema f({{"x", ValueType::kFloat}});
+  EXPECT_TRUE(f.ValidateRow({Value::Int(3)}).ok());
+}
+
+TEST(TableTest, InsertGetDelete) {
+  Table t("payroll", PayrollSchema());
+  auto id1 = t.Insert(MakeRow("ann", 1, 10));
+  auto id2 = t.Insert(MakeRow("bob", 1, 25));
+  ASSERT_TRUE(id1.ok());
+  ASSERT_TRUE(id2.ok());
+  EXPECT_EQ(t.size(), 2);
+  EXPECT_EQ(t.Get(*id1).value()[0].AsText().value(), "ann");
+  ASSERT_TRUE(t.Delete(*id1).ok());
+  EXPECT_EQ(t.size(), 1);
+  EXPECT_FALSE(t.Get(*id1).ok());
+  EXPECT_FALSE(t.Delete(*id1).ok());  // double delete
+  EXPECT_FALSE(t.Delete(999).ok());
+}
+
+TEST(TableTest, UpdateMaintainsContent) {
+  Table t("payroll", PayrollSchema());
+  RowId id = t.Insert(MakeRow("ann", 1, 10)).value();
+  ASSERT_TRUE(t.Update(id, MakeRow("ann", 2, 12)).ok());
+  EXPECT_EQ(t.Get(id).value()[1].AsInt().value(), 2);
+  EXPECT_FALSE(t.Update(999, MakeRow("x", 1, 1)).ok());
+}
+
+TEST(TableTest, ScanVisitsLiveRowsInOrder) {
+  Table t("payroll", PayrollSchema());
+  RowId a = t.Insert(MakeRow("a", 1, 1)).value();
+  t.Insert(MakeRow("b", 2, 2)).value();
+  t.Insert(MakeRow("c", 3, 3)).value();
+  ASSERT_TRUE(t.Delete(a).ok());
+  std::vector<std::string> seen;
+  t.Scan([&](RowId, const Row& row) {
+    seen.push_back(row[0].AsText().value());
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<std::string>{"b", "c"}));
+}
+
+TEST(TableTest, IndexLifecycle) {
+  Table t("payroll", PayrollSchema());
+  for (int64_t w = 1; w <= 20; ++w) {
+    t.Insert(MakeRow("s" + std::to_string(w), w, w * 2)).value();
+  }
+  // Index created after rows exist picks them all up.
+  ASSERT_TRUE(t.CreateIndex("week").ok());
+  EXPECT_TRUE(t.HasIndex("week"));
+  EXPECT_FALSE(t.CreateIndex("week").ok());         // duplicate
+  EXPECT_FALSE(t.CreateIndex("student").ok());      // non-int column
+  EXPECT_FALSE(t.CreateIndex("nonexistent").ok());
+
+  std::vector<int64_t> weeks;
+  ASSERT_TRUE(t.IndexScan("week", 5, 8, [&](RowId, const Row& row) {
+                  weeks.push_back(row[1].AsInt().value());
+                  return true;
+                }).ok());
+  EXPECT_EQ(weeks, (std::vector<int64_t>{5, 6, 7, 8}));
+  EXPECT_FALSE(t.IndexScan("hours", 1, 2, [](RowId, const Row&) {
+                   return true;
+                 }).ok());  // no such index
+}
+
+TEST(TableTest, IndexTracksMutations) {
+  Table t("payroll", PayrollSchema());
+  ASSERT_TRUE(t.CreateIndex("week").ok());
+  RowId id = t.Insert(MakeRow("ann", 5, 10)).value();
+  t.Insert(MakeRow("bob", 5, 20)).value();
+
+  auto count_in = [&](int64_t lo, int64_t hi) {
+    int count = 0;
+    EXPECT_TRUE(t.IndexScan("week", lo, hi, [&](RowId, const Row&) {
+                    ++count;
+                    return true;
+                  }).ok());
+    return count;
+  };
+  EXPECT_EQ(count_in(5, 5), 2);
+  ASSERT_TRUE(t.Update(id, MakeRow("ann", 9, 10)).ok());
+  EXPECT_EQ(count_in(5, 5), 1);
+  EXPECT_EQ(count_in(9, 9), 1);
+  ASSERT_TRUE(t.Delete(id).ok());
+  EXPECT_EQ(count_in(9, 9), 0);
+}
+
+TEST(TableTest, NullsAreNotIndexed) {
+  Table t("payroll", PayrollSchema());
+  ASSERT_TRUE(t.CreateIndex("week").ok());
+  t.Insert({Value::Text("x"), Value::Null(), Value::Int(1)}).value();
+  int count = 0;
+  ASSERT_TRUE(t.IndexScan("week", INT64_MIN, INT64_MAX, [&](RowId, const Row&) {
+                  ++count;
+                  return true;
+                }).ok());
+  EXPECT_EQ(count, 0);
+  EXPECT_EQ(t.size(), 1);
+}
+
+TEST(TableTest, InsertRejectsSchemaViolations) {
+  Table t("payroll", PayrollSchema());
+  EXPECT_FALSE(t.Insert({Value::Int(1), Value::Int(2), Value::Int(3)}).ok());
+  EXPECT_EQ(t.size(), 0);
+}
+
+}  // namespace
+}  // namespace caldb

@@ -1,0 +1,85 @@
+#include "db/value.h"
+
+#include <gtest/gtest.h>
+
+namespace caldb {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(42).type(), ValueType::kInt);
+  EXPECT_EQ(Value::Float(2.5).type(), ValueType::kFloat);
+  EXPECT_EQ(Value::Bool(true).type(), ValueType::kBool);
+  EXPECT_EQ(Value::Text("hi").type(), ValueType::kText);
+  EXPECT_EQ(Value::Of(Interval{1, 5}).type(), ValueType::kInterval);
+  EXPECT_EQ(Value::Of(Calendar::Order1(Granularity::kDays, {{1, 5}})).type(),
+            ValueType::kCalendar);
+
+  EXPECT_EQ(Value::Int(42).AsInt().value(), 42);
+  EXPECT_EQ(Value::Text("hi").AsText().value(), "hi");
+  EXPECT_EQ(Value::Of(Interval{1, 5}).AsInterval().value(), (Interval{1, 5}));
+}
+
+TEST(ValueTest, IntWidensToFloat) {
+  EXPECT_EQ(Value::Int(3).AsFloat().value(), 3.0);
+  EXPECT_FALSE(Value::Float(3.0).AsInt().ok());  // no silent narrowing
+}
+
+TEST(ValueTest, TypeErrors) {
+  EXPECT_EQ(Value::Text("x").AsInt().status().code(), StatusCode::kTypeError);
+  EXPECT_EQ(Value::Int(1).AsText().status().code(), StatusCode::kTypeError);
+  EXPECT_EQ(Value::Null().AsInt().status().code(), StatusCode::kTypeError);
+}
+
+TEST(ValueTest, Truthy) {
+  EXPECT_TRUE(Value::Bool(true).Truthy().value());
+  EXPECT_FALSE(Value::Bool(false).Truthy().value());
+  EXPECT_FALSE(Value::Null().Truthy().value());  // null is false
+  EXPECT_FALSE(Value::Int(1).Truthy().ok());     // no int-as-bool
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(-7).ToString(), "-7");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::Text("abc").ToString(), "'abc'");
+  EXPECT_EQ(Value::Of(Interval{-4, 3}).ToString(), "(-4,3)");
+  EXPECT_EQ(Value::Of(Calendar::Order1(Granularity::kDays, {{1, 2}})).ToString(),
+            "{(1,2)}");
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_TRUE(Value::Int(3).Equals(Value::Int(3)));
+  EXPECT_TRUE(Value::Int(3).Equals(Value::Float(3.0)));  // numeric cross-type
+  EXPECT_FALSE(Value::Int(3).Equals(Value::Int(4)));
+  EXPECT_TRUE(Value::Null().Equals(Value::Null()));
+  EXPECT_FALSE(Value::Null().Equals(Value::Int(0)));
+  EXPECT_TRUE(Value::Text("a").Equals(Value::Text("a")));
+  EXPECT_FALSE(Value::Text("a").Equals(Value::Int(1)));
+  EXPECT_TRUE(Value::Of(Interval{1, 5}).Equals(Value::Of(Interval{1, 5})));
+  Calendar c = Calendar::Order1(Granularity::kDays, {{1, 5}});
+  EXPECT_TRUE(Value::Of(c).Equals(Value::Of(c)));
+}
+
+TEST(ValueTest, Compare) {
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)).value(), 0);
+  EXPECT_GT(Value::Float(2.5).Compare(Value::Int(2)).value(), 0);
+  EXPECT_EQ(Value::Text("a").Compare(Value::Text("a")).value(), 0);
+  EXPECT_LT(Value::Of(Interval{1, 2}).Compare(Value::Of(Interval{1, 3})).value(),
+            0);
+  EXPECT_FALSE(Value::Int(1).Compare(Value::Text("a")).ok());
+  Calendar c = Calendar::Order1(Granularity::kDays, {{1, 5}});
+  EXPECT_FALSE(Value::Of(c).Compare(Value::Of(c)).ok());  // not orderable
+}
+
+TEST(ValueTest, ParseValueTypes) {
+  EXPECT_EQ(ParseValueType("int").value(), ValueType::kInt);
+  EXPECT_EQ(ParseValueType("FLOAT").value(), ValueType::kFloat);
+  EXPECT_EQ(ParseValueType("text").value(), ValueType::kText);
+  EXPECT_EQ(ParseValueType("interval").value(), ValueType::kInterval);
+  EXPECT_EQ(ParseValueType("calendar").value(), ValueType::kCalendar);
+  EXPECT_FALSE(ParseValueType("varchar").ok());
+}
+
+}  // namespace
+}  // namespace caldb

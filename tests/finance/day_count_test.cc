@@ -1,0 +1,101 @@
+// User-defined date arithmetic (§1's bond-yield example).
+
+#include "finance/day_count.h"
+
+#include <gtest/gtest.h>
+
+namespace caldb {
+namespace {
+
+TEST(DayCountTest, Thirty360TreatsEveryMonthAs30Days) {
+  // Jan 1 -> Feb 1 is 30 days under 30/360, though January has 31.
+  EXPECT_EQ(DayCountDays(DayCount::kThirty360, {1993, 1, 1}, {1993, 2, 1}).value(),
+            30);
+  // Feb 1 -> Mar 1 is also 30 days, though February 1993 has 28.
+  EXPECT_EQ(DayCountDays(DayCount::kThirty360, {1993, 2, 1}, {1993, 3, 1}).value(),
+            30);
+  // A full year is exactly 360 days.
+  EXPECT_EQ(
+      DayCountDays(DayCount::kThirty360, {1993, 1, 1}, {1994, 1, 1}).value(),
+      360);
+}
+
+TEST(DayCountTest, Thirty360EndOfMonthClamps) {
+  // Start day 31 clamps to 30.
+  EXPECT_EQ(
+      DayCountDays(DayCount::kThirty360, {1993, 1, 31}, {1993, 2, 28}).value(),
+      28);
+  // 30 -> 31 clamps the end too.
+  EXPECT_EQ(
+      DayCountDays(DayCount::kThirty360, {1993, 3, 30}, {1993, 5, 31}).value(),
+      60);
+  // But 29 -> 31 keeps the real end day.
+  EXPECT_EQ(
+      DayCountDays(DayCount::kThirty360, {1993, 3, 29}, {1993, 3, 31}).value(),
+      2);
+}
+
+TEST(DayCountTest, ActualConventionsCountRealDays) {
+  EXPECT_EQ(DayCountDays(DayCount::kAct365, {1993, 1, 1}, {1993, 2, 1}).value(),
+            31);
+  EXPECT_EQ(DayCountDays(DayCount::kActAct, {1992, 1, 1}, {1993, 1, 1}).value(),
+            366);  // 1992 is a leap year
+}
+
+TEST(DayCountTest, YearFractions) {
+  EXPECT_DOUBLE_EQ(
+      YearFraction(DayCount::kThirty360, {1993, 1, 1}, {1993, 7, 1}).value(),
+      0.5);
+  EXPECT_DOUBLE_EQ(
+      YearFraction(DayCount::kAct365, {1993, 1, 1}, {1994, 1, 1}).value(),
+      365.0 / 365.0);
+  // ACT/ACT over a leap year is exactly 1.
+  EXPECT_DOUBLE_EQ(
+      YearFraction(DayCount::kActAct, {1992, 1, 1}, {1993, 1, 1}).value(), 1.0);
+  // ACT/ACT across a year boundary splits by year length.
+  double f =
+      YearFraction(DayCount::kActAct, {1992, 7, 1}, {1993, 7, 1}).value();
+  EXPECT_NEAR(f, 184.0 / 366.0 + 181.0 / 365.0, 1e-12);
+}
+
+TEST(DayCountTest, NegativeSpans) {
+  EXPECT_DOUBLE_EQ(
+      YearFraction(DayCount::kThirty360, {1993, 7, 1}, {1993, 1, 1}).value(),
+      -0.5);
+}
+
+TEST(DayCountTest, AccruedInterest) {
+  // 8% coupon on face 1000, half a 30/360 year: 40.
+  EXPECT_DOUBLE_EQ(AccruedInterest(1000, 0.08, DayCount::kThirty360,
+                                   {1993, 1, 1}, {1993, 7, 1})
+                       .value(),
+                   40.0);
+  EXPECT_FALSE(AccruedInterest(1000, 0.08, DayCount::kThirty360, {1993, 7, 1},
+                               {1993, 1, 1})
+                   .ok());
+}
+
+TEST(DayCountTest, SimpleYieldMixesConventions) {
+  // The §1 convention mix: income on 30/360, annualization on ACT/365.
+  // Hold Jan 1 -> Jul 1 1993: 30/360 fraction 0.5 -> income 40 on 8%/1000;
+  // actual days 181; yield = (40 / 1000) * (365 / 181).
+  double y =
+      SimpleYield(1000, 1000, 0.08, {1993, 1, 1}, {1993, 7, 1}).value();
+  EXPECT_NEAR(y, 0.04 * 365.0 / 181.0, 1e-12);
+  // A pure-gregorian calculation would divide by 181/365 of a year exactly,
+  // giving a different number — the reason date functions must take the
+  // calendar as an argument.
+  EXPECT_NE(y, 0.08);
+  EXPECT_FALSE(SimpleYield(0, 1000, 0.08, {1993, 1, 1}, {1993, 7, 1}).ok());
+  EXPECT_FALSE(SimpleYield(1000, 1000, 0.08, {1993, 1, 1}, {1993, 1, 1}).ok());
+}
+
+TEST(DayCountTest, Validation) {
+  EXPECT_FALSE(DayCountDays(DayCount::kAct365, {1993, 2, 30}, {1993, 3, 1}).ok());
+  EXPECT_EQ(DayCountName(DayCount::kThirty360), "30/360");
+  EXPECT_EQ(DayCountName(DayCount::kAct365), "ACT/365");
+  EXPECT_EQ(DayCountName(DayCount::kActAct), "ACT/ACT");
+}
+
+}  // namespace
+}  // namespace caldb

@@ -1,0 +1,134 @@
+#include "finance/market_calendars.h"
+
+#include <gtest/gtest.h>
+
+namespace caldb {
+namespace {
+
+class MarketCalendarsTest : public ::testing::Test {
+ protected:
+  MarketCalendarsTest() : ts_(CivilDate{1993, 1, 1}) {}
+
+  TimePoint Day(int32_t y, int32_t m, int32_t d) {
+    return ts_.DayPointFromCivil({y, m, d});
+  }
+
+  TimeSystem ts_;
+};
+
+TEST_F(MarketCalendarsTest, UsFederalHolidays1993) {
+  auto holidays = UsFederalHolidays(ts_, 1993, 1993);
+  ASSERT_TRUE(holidays.ok()) << holidays.status();
+  // 1993: New Year Fri Jan 1; MLK Mon Jan 18; Presidents Mon Feb 15;
+  // Memorial Mon May 31; Independence Sun Jul 4 -> observed Mon Jul 5;
+  // Labor Mon Sep 6; Thanksgiving Thu Nov 25; Christmas Sat Dec 25 ->
+  // observed Fri Dec 24.
+  const TimePoint expected[] = {
+      Day(1993, 1, 1),  Day(1993, 1, 18), Day(1993, 2, 15), Day(1993, 5, 31),
+      Day(1993, 7, 5),  Day(1993, 9, 6),  Day(1993, 11, 25), Day(1993, 12, 24)};
+  ASSERT_EQ(holidays->size(), 8u);
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(holidays->intervals()[i].lo, expected[i]) << i;
+  }
+}
+
+TEST_F(MarketCalendarsTest, HolidayWeekdaysAreCorrect) {
+  auto holidays = UsFederalHolidays(ts_, 1990, 2000);
+  ASSERT_TRUE(holidays.ok());
+  for (const Interval& h : holidays->intervals()) {
+    Weekday wd = ts_.WeekdayOfDayPoint(h.lo);
+    EXPECT_NE(wd, Weekday::kSaturday) << FormatCivil(ts_.CivilFromDayPoint(h.lo));
+    EXPECT_NE(wd, Weekday::kSunday) << FormatCivil(ts_.CivilFromDayPoint(h.lo));
+  }
+}
+
+TEST_F(MarketCalendarsTest, WeekendsAndBusinessDaysPartitionTheWeek) {
+  Interval window{1, 365};
+  auto weekends = WeekendDays(ts_, window);
+  ASSERT_TRUE(weekends.ok());
+  auto holidays = UsFederalHolidays(ts_, 1993, 1993);
+  ASSERT_TRUE(holidays.ok());
+  auto business = BusinessDays(ts_, window, *holidays);
+  ASSERT_TRUE(business.ok());
+  // 1993 has 365 days, 104 weekend days and 8 observed holidays (none on
+  // weekends).
+  EXPECT_EQ(weekends->size(), 104u);
+  EXPECT_EQ(business->size(), 365u - 104u - 8u);
+  for (TimePoint d = 1; d <= 365; ++d) {
+    int memberships = (weekends->ContainsPoint(d) ? 1 : 0) +
+                      (holidays->ContainsPoint(d) ? 1 : 0) +
+                      (business->ContainsPoint(d) ? 1 : 0);
+    EXPECT_EQ(memberships, 1) << "day " << d;
+  }
+}
+
+TEST_F(MarketCalendarsTest, BusinessDayNavigation) {
+  auto holidays = UsFederalHolidays(ts_, 1993, 1993);
+  auto business = BusinessDays(ts_, Interval{1, 365}, *holidays);
+  ASSERT_TRUE(business.ok());
+
+  // Fri Nov 19 1993 is a business day.
+  TimePoint nov19 = Day(1993, 11, 19);
+  EXPECT_EQ(NextBusinessDay(*business, nov19).value(), nov19);
+  EXPECT_EQ(PrecedingBusinessDay(*business, nov19).value(), nov19);
+  // Sat Nov 20: preceding is Fri 19, next is Mon 22.
+  EXPECT_EQ(PrecedingBusinessDay(*business, Day(1993, 11, 20)).value(), nov19);
+  EXPECT_EQ(NextBusinessDay(*business, Day(1993, 11, 20)).value(),
+            Day(1993, 11, 22));
+  // Thanksgiving (Thu Nov 25): next business day is Friday Nov 26.
+  EXPECT_EQ(NextBusinessDay(*business, Day(1993, 11, 25)).value(),
+            Day(1993, 11, 26));
+
+  // AddBusinessDays across a weekend.
+  EXPECT_EQ(AddBusinessDays(*business, nov19, 1).value(), Day(1993, 11, 22));
+  EXPECT_EQ(AddBusinessDays(*business, nov19, -1).value(), Day(1993, 11, 18));
+  EXPECT_EQ(AddBusinessDays(*business, nov19, 0).value(), nov19);
+  // The paper's last-trading-day rule: 7 business days back from the last
+  // business day of November (Tue Nov 30), skipping Thanksgiving (Thu Nov
+  // 25), lands on Thu Nov 18.
+  EXPECT_EQ(AddBusinessDays(*business, Day(1993, 11, 30), -7).value(),
+            Day(1993, 11, 18));
+  // Out-of-calendar arithmetic is an error, not a wrap.
+  EXPECT_FALSE(AddBusinessDays(*business, Day(1993, 12, 30), 10).ok());
+}
+
+TEST_F(MarketCalendarsTest, OptionExpiration) {
+  auto holidays = UsFederalHolidays(ts_, 1993, 1993);
+  auto business = BusinessDays(ts_, Interval{1, 365}, *holidays);
+  ASSERT_TRUE(business.ok());
+  // November 1993: 3rd Friday is Nov 19, a business day.
+  EXPECT_EQ(OptionExpirationDay(ts_, 1993, 11, *business).value(),
+            Day(1993, 11, 19));
+  // Force the 3rd Friday to be a holiday and check the fallback.
+  std::vector<Interval> extra = holidays->intervals();
+  extra.push_back(PointInterval(Day(1993, 11, 19)));
+  Calendar more_holidays = Calendar::Order1(Granularity::kDays, extra);
+  auto business2 = BusinessDays(ts_, Interval{1, 365}, more_holidays);
+  ASSERT_TRUE(business2.ok());
+  EXPECT_EQ(OptionExpirationDay(ts_, 1993, 11, *business2).value(),
+            Day(1993, 11, 18));
+  EXPECT_FALSE(OptionExpirationDay(ts_, 1993, 13, *business).ok());
+}
+
+TEST_F(MarketCalendarsTest, InstallMarketCalendars) {
+  CalendarCatalog catalog(TimeSystem{CivilDate{1993, 1, 1}});
+  ASSERT_TRUE(InstallMarketCalendars(&catalog, 1993, 1994).ok());
+  ASSERT_TRUE(catalog.Contains("HOLIDAYS"));
+  ASSERT_TRUE(catalog.Contains("AM_BUS_DAYS"));
+  // The installed calendars drive the paper's scripts: last business day
+  // before Thanksgiving 1993.
+  auto value = catalog.EvaluateScript(
+      "[n]/AM_BUS_DAYS:<:HOLIDAYS",
+      EvalOptions{.window_days = Interval{305, 334}});
+  ASSERT_TRUE(value.ok()) << value.status();
+}
+
+TEST_F(MarketCalendarsTest, Validation) {
+  EXPECT_FALSE(UsFederalHolidays(ts_, 1995, 1993).ok());
+  Calendar runs = Calendar::Order1(Granularity::kDays, {{1, 5}});
+  EXPECT_FALSE(PrecedingBusinessDay(runs, 3).ok());
+  EXPECT_FALSE(BusinessDays(ts_, Interval{1, 10}, runs).ok());
+}
+
+}  // namespace
+}  // namespace caldb

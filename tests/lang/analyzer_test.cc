@@ -1,0 +1,131 @@
+// Analyzer-level behaviour: identifier classes, smallest-unit inference
+// (§3.4), inlining, and error reporting.
+
+#include "lang/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/calendar_catalog.h"
+#include "lang/parser.h"
+
+namespace caldb {
+namespace {
+
+class AnalyzerTest : public ::testing::Test {
+ protected:
+  AnalyzerTest() : catalog_(TimeSystem{CivilDate{1993, 1, 1}}) {}
+
+  Result<Script> Analyze(const std::string& text) {
+    Result<Script> parsed = ParseScript(text);
+    if (!parsed.ok()) return parsed.status();
+    Script script = std::move(parsed).value();
+    Analyzer analyzer(&catalog_);
+    Status st = analyzer.AnalyzeScript(&script);
+    if (!st.ok()) return st;
+    return script;
+  }
+
+  Granularity UnitOf(const std::string& text) {
+    auto script = Analyze(text);
+    EXPECT_TRUE(script.ok()) << text << ": " << script.status();
+    return script.ok() ? script->unit : Granularity::kCenturies;
+  }
+
+  CalendarCatalog catalog_;
+};
+
+TEST_F(AnalyzerTest, SmallestUnitInference) {
+  EXPECT_EQ(UnitOf("DAYS:during:MONTHS"), Granularity::kDays);
+  EXPECT_EQ(UnitOf("MONTHS:during:YEARS"), Granularity::kMonths);
+  EXPECT_EQ(UnitOf("MONTHS:during:1993/YEARS"), Granularity::kMonths);
+  EXPECT_EQ(UnitOf("HOURS:during:DAYS"), Granularity::kHours);
+  EXPECT_EQ(UnitOf("YEARS:during:DECADES"), Granularity::kYears);
+  EXPECT_EQ(UnitOf("DECADES:during:CENTURY"), Granularity::kDecades);
+  EXPECT_EQ(UnitOf("SECONDS:during:MINUTES"), Granularity::kSeconds);
+}
+
+TEST_F(AnalyzerTest, WeeksMixedWithCoarserDropsToDays) {
+  // Week boundaries do not align with months/years, so the smallest unit
+  // able to express both is DAYS (§3.4's expressibility requirement).
+  EXPECT_EQ(UnitOf("WEEKS:during:MONTHS"), Granularity::kDays);
+  EXPECT_EQ(UnitOf("WEEKS:during:1993/YEARS"), Granularity::kDays);
+  // Weeks alone stay at weeks; weeks with finer units take the finer unit.
+  EXPECT_EQ(UnitOf("WEEKS:during:weeks{(1,52)}"), Granularity::kWeeks);
+  EXPECT_EQ(UnitOf("DAYS:during:WEEKS"), Granularity::kDays);
+}
+
+TEST_F(AnalyzerTest, LiteralGranularityParticipates) {
+  EXPECT_EQ(UnitOf("MONTHS:intersects:days{(1,31)}"), Granularity::kDays);
+  EXPECT_EQ(UnitOf("YEARS:intersects:months{(1,12)}"), Granularity::kMonths);
+}
+
+TEST_F(AnalyzerTest, VariablesCarryGranularity) {
+  auto script = Analyze("{x = MONTHS:during:YEARS; return x - months{(1,2)};}");
+  ASSERT_TRUE(script.ok()) << script.status();
+  EXPECT_EQ(script->unit, Granularity::kMonths);
+}
+
+TEST_F(AnalyzerTest, TodayDoesNotAffectUnit) {
+  EXPECT_EQ(UnitOf("MONTHS:intersects:today"), Granularity::kMonths);
+}
+
+TEST_F(AnalyzerTest, InliningReplacesSingleExpressionDerivations) {
+  ASSERT_TRUE(catalog_.DefineDerived("Mondays", "[1]/DAYS:during:WEEKS").ok());
+  auto script = Analyze("Mondays:during:MONTHS");
+  ASSERT_TRUE(script.ok());
+  // The ident disappeared; its derivation is inlined.
+  EXPECT_EQ(ExprToString(*script->stmts[0].expr),
+            "([1]/DAYS:during:WEEKS):during:MONTHS");
+  EXPECT_EQ(script->unit, Granularity::kDays);
+}
+
+TEST_F(AnalyzerTest, MultiStatementDerivationsStayAsReferences) {
+  ASSERT_TRUE(catalog_
+                  .DefineDerived("Multi", "{t = [1]/DAYS:during:WEEKS; return t;}")
+                  .ok());
+  auto script = Analyze("Multi:during:MONTHS");
+  ASSERT_TRUE(script.ok());
+  EXPECT_EQ(ExprToString(*script->stmts[0].expr), "Multi:during:MONTHS");
+  ASSERT_EQ(script->stmts[0].expr->lhs->ident_class,
+            IdentClass::kDerivedCalendar);
+  // Its declared granularity (days) still lowers the unit.
+  EXPECT_EQ(script->unit, Granularity::kDays);
+}
+
+TEST_F(AnalyzerTest, VariablesShadowCalendars) {
+  ASSERT_TRUE(catalog_.DefineDerived("Mondays", "[1]/DAYS:during:WEEKS").ok());
+  auto script =
+      Analyze("{Mondays = months{(1,3)}; return Mondays;}");
+  ASSERT_TRUE(script.ok());
+  EXPECT_EQ(script->unit, Granularity::kMonths);  // not days: the variable won
+}
+
+TEST_F(AnalyzerTest, Errors) {
+  EXPECT_EQ(Analyze("NoSuchCalendar:during:MONTHS").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(Analyze("1993/MONTHS").status().code(), StatusCode::kTypeError);
+  EXPECT_EQ(Analyze("caloperate(DAYS, *)").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Analyze("caloperate(DAYS, DAYS, 3)").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Analyze("generate(DAYS, MONTHS)").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Analyze("generate(Bogus, DAYS, \"1993-01-01\", \"1993-02-01\")")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      Analyze("generate(YEARS, DAYS, \"199x-01-01\", \"1993-02-01\")").status().code(),
+      StatusCode::kParseError);
+  EXPECT_EQ(Analyze("unknown_fn(DAYS)").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(AnalyzerTest, CaseInsensitiveBaseNames) {
+  EXPECT_EQ(UnitOf("days:during:Months"), Granularity::kDays);
+  auto script = Analyze("1993/Years");
+  ASSERT_TRUE(script.ok());
+  EXPECT_EQ(script->unit, Granularity::kYears);
+}
+
+}  // namespace
+}  // namespace caldb

@@ -1,0 +1,277 @@
+// EX-F / EX-G / EX-H: the three §3.3 worked scripts — EMP-DAYS, the
+// option-expiration if-script, and the last-trading-day while-script.
+
+#include <gtest/gtest.h>
+
+#include "catalog/calendar_catalog.h"
+
+namespace caldb {
+namespace {
+
+class ScriptExamples : public ::testing::Test {
+ protected:
+  ScriptExamples() : catalog_(TimeSystem{CivilDate{1993, 1, 1}}) {}
+
+  EvalOptions Opts(TimePoint window_lo, TimePoint window_hi,
+                   TimePoint today = 1) {
+    EvalOptions opts;
+    opts.window_days = Interval{window_lo, window_hi};
+    opts.today_day = today;
+    return opts;
+  }
+
+  CalendarCatalog catalog_;
+};
+
+TEST_F(ScriptExamples, EmpDaysMatchesPaper) {
+  // "The last day of every month in the year. If this is a holiday, then
+  // the preceding business day."  With the paper's HOLIDAYS (Jan 31 and
+  // Mar 30... rendered as days 31 and 90) and its business-day list, the
+  // result is {(30,30),(59,59),(88,88),...}.
+  ASSERT_TRUE(catalog_
+                  .DefineValues("HOLIDAYS", Calendar::Order1(Granularity::kDays,
+                                                             {{31, 31}, {90, 90}}))
+                  .ok());
+  // The paper's AM_BUS_DAYS: every day except the holidays and day 89.
+  std::vector<Interval> bus;
+  for (int64_t d = 1; d <= 120; ++d) {
+    if (d == 31 || d == 89 || d == 90) continue;
+    bus.push_back({d, d});
+  }
+  ASSERT_TRUE(catalog_
+                  .DefineValues("AM_BUS_DAYS",
+                                Calendar::Order1(Granularity::kDays, bus))
+                  .ok());
+
+  const char* script = R"(
+    {LDOM = [n]/DAYS:during:MONTHS;
+     LDOM_HOL = LDOM:intersects:HOLIDAYS;
+     LAST_BUS_DAY = [n]/AM_BUS_DAYS:<:LDOM_HOL;
+     return (LDOM - LDOM_HOL + LAST_BUS_DAY);})";
+
+  auto value = catalog_.EvaluateScript(script, Opts(1, 90));
+  ASSERT_TRUE(value.ok()) << value.status();
+  ASSERT_EQ(value->kind, ScriptValue::Kind::kCalendar);
+  EXPECT_EQ(value->calendar.ToString(), "{(30,30),(59,59),(88,88)}");
+}
+
+TEST_F(ScriptExamples, EmpDaysAsDerivedCalendar) {
+  // The same script stored as the derived calendar EMP-DAYS and evaluated
+  // through the catalog.
+  ASSERT_TRUE(catalog_
+                  .DefineValues("HOLIDAYS", Calendar::Order1(Granularity::kDays,
+                                                             {{31, 31}, {90, 90}}))
+                  .ok());
+  std::vector<Interval> bus;
+  for (int64_t d = 1; d <= 120; ++d) {
+    if (d == 31 || d == 89 || d == 90) continue;
+    bus.push_back({d, d});
+  }
+  ASSERT_TRUE(catalog_
+                  .DefineValues("AM_BUS_DAYS",
+                                Calendar::Order1(Granularity::kDays, bus))
+                  .ok());
+  ASSERT_TRUE(catalog_
+                  .DefineDerived("EMP-DAYS", R"(
+      {LDOM = [n]/DAYS:during:MONTHS;
+       LDOM_HOL = LDOM:intersects:HOLIDAYS;
+       LAST_BUS_DAY = [n]/AM_BUS_DAYS:<:LDOM_HOL;
+       return (LDOM - LDOM_HOL + LAST_BUS_DAY);})")
+                  .ok());
+  auto cal = catalog_.EvaluateCalendar("EMP-DAYS", Opts(1, 90));
+  ASSERT_TRUE(cal.ok()) << cal.status();
+  EXPECT_EQ(cal->ToString(), "{(30,30),(59,59),(88,88)}");
+
+  // And referenced from another script (exercises the INVOKE path).
+  auto via_expr =
+      catalog_.EvaluateScript("EMP-DAYS:intersects:days{(1,60)}", Opts(1, 90));
+  ASSERT_TRUE(via_expr.ok()) << via_expr.status();
+  EXPECT_EQ(via_expr->calendar.ToString(), "{(30,30),(59,59)}");
+}
+
+class OptionExpiration : public ScriptExamples {
+ protected:
+  void SetUp() override {
+    // November 1993 = days 305..334; Fridays: Nov 5/12/19/26 = 309, 316,
+    // 323, 330; third Friday = day 323 (Nov 19).
+    ASSERT_TRUE(catalog_
+                    .DefineValues("Expiration-Month",
+                                  Calendar::Order1(Granularity::kDays,
+                                                   {{305, 334}}))
+                    .ok());
+  }
+
+  void DefineHolidays(std::vector<Interval> holidays) {
+    ASSERT_TRUE(catalog_
+                    .DefineValues("holidays",
+                                  Calendar::Order1(Granularity::kDays,
+                                                   std::move(holidays)))
+                    .ok());
+    // Business days: all weekdays (derived via the algebra!) minus the
+    // holidays calendar.  Defined after `holidays` — the analyzer resolves
+    // names at definition time.
+    ASSERT_TRUE(catalog_
+                    .DefineDerived("AM_BUS_DAYS", R"(
+        {WD = [1,2,3,4,5]/DAYS:during:WEEKS;
+         return (WD - holidays);})")
+                    .ok());
+  }
+
+  static constexpr const char* kScript = R"(
+    {Fridays = [5]/DAYS:during:WEEKS;
+     temp1 = [3]/Fridays:overlaps:Expiration-Month;
+     /* 3rd Friday of the expiration month */
+     if (temp1:intersects:holidays) /* if holiday */
+        return([n]/AM_BUS_DAYS:<:temp1);
+     else
+        return(temp1);})";
+};
+
+TEST_F(OptionExpiration, ThirdFridayWhenNotAHoliday) {
+  DefineHolidays({{1, 1}});  // New Year only
+  auto value = catalog_.EvaluateScript(kScript, Opts(1, 365));
+  ASSERT_TRUE(value.ok()) << value.status();
+  EXPECT_EQ(value->calendar.ToString(), "{(323,323)}");  // Nov 19 1993
+}
+
+TEST_F(OptionExpiration, PrecedingBusinessDayWhenHoliday) {
+  // Make Nov 19 1993 a holiday: expiration falls back to Thu Nov 18 (322).
+  DefineHolidays({{1, 1}, {323, 323}});
+  auto value = catalog_.EvaluateScript(kScript, Opts(1, 365));
+  ASSERT_TRUE(value.ok()) << value.status();
+  EXPECT_EQ(value->calendar.ToString(), "{(322,322)}");
+}
+
+TEST_F(OptionExpiration, FallbackSkipsConsecutiveHolidays) {
+  // Nov 18 and 19 both holidays: fall back to Wed Nov 17 (321).
+  DefineHolidays({{322, 322}, {323, 323}});
+  auto value = catalog_.EvaluateScript(kScript, Opts(1, 365));
+  ASSERT_TRUE(value.ok()) << value.status();
+  EXPECT_EQ(value->calendar.ToString(), "{(321,321)}");
+}
+
+class LastTradingDay : public ScriptExamples {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(catalog_
+                    .DefineValues("Expiration-Month",
+                                  Calendar::Order1(Granularity::kDays,
+                                                   {{305, 334}}))
+                    .ok());
+    ASSERT_TRUE(catalog_
+                    .DefineValues("holidays",
+                                  Calendar::Order1(Granularity::kDays, {{1, 1}}))
+                    .ok());
+    ASSERT_TRUE(catalog_
+                    .DefineDerived("AM_BUS_DAYS", R"(
+        {WD = [1,2,3,4,5]/DAYS:during:WEEKS;
+         return (WD - holidays);})")
+                    .ok());
+  }
+
+  static constexpr const char* kScript = R"(
+    { temp1 = [n]/AM_BUS_DAYS:during:Expiration-Month;
+      /* last business day of the expiration month */
+      temp2 = [-7]/AM_BUS_DAYS:<:temp1;
+      /* the seventh business day preceding temp1 */
+      while (today:<:temp2) ; /* do nothing */
+      return ("LAST TRADING DAY");
+    })";
+};
+
+TEST_F(LastTradingDay, BlocksBeforeTheTriggerDay) {
+  // Last business day of Nov 1993 is Tue Nov 30 (334); counting 7 business
+  // days back through the paper's <= -inclusive `<` lands on Mon Nov 22
+  // (326).  Before that day the script busy-waits.
+  auto value = catalog_.EvaluateScript(kScript, Opts(1, 365, /*today=*/320));
+  ASSERT_TRUE(value.ok()) << value.status();
+  EXPECT_EQ(value->kind, ScriptValue::Kind::kBlocked);
+}
+
+TEST_F(LastTradingDay, AlertsOnceTheConditionTurnsFalse) {
+  auto value = catalog_.EvaluateScript(kScript, Opts(1, 365, /*today=*/327));
+  ASSERT_TRUE(value.ok()) << value.status();
+  ASSERT_EQ(value->kind, ScriptValue::Kind::kString);
+  EXPECT_EQ(value->text, "LAST TRADING DAY");
+}
+
+TEST_F(ScriptExamples, WhileWithBodyIterates) {
+  // A while loop that narrows a variable until the condition fails.
+  const char* script = R"(
+    { x = days{(1,1),(2,2),(3,3),(4,4)};
+      while (x:intersects:days{(3,100)})
+        x = x - [n]/x;
+      return (x);
+    })";
+  auto value = catalog_.EvaluateScript(script, Opts(1, 365));
+  ASSERT_TRUE(value.ok()) << value.status();
+  EXPECT_EQ(value->calendar.ToString(), "{(1,1),(2,2)}");
+}
+
+TEST_F(ScriptExamples, InfiniteLoopIsCapped) {
+  const char* script = R"(
+    { x = days{(1,1)};
+      while (x:intersects:days{(1,1)})
+        x = x + days{(1,1)};
+      return (x);
+    })";
+  EvalOptions opts = Opts(1, 365);
+  opts.max_loop_iterations = 50;
+  auto value = catalog_.EvaluateScript(script, opts);
+  ASSERT_FALSE(value.ok());
+  EXPECT_EQ(value.status().code(), StatusCode::kEvalError);
+}
+
+TEST_F(ScriptExamples, TodayAtCoarserUnit) {
+  // A script whose smallest unit is WEEKS: `today` maps to its week.
+  const char* script = "WEEKS:intersects:today";
+  auto value = catalog_.EvaluateScript(script, Opts(1, 365, /*today=*/10));
+  ASSERT_TRUE(value.ok()) << value.status();
+  // Day 10 (Jan 10 1993, a Sunday) is in week 2 of the 1993 time system.
+  ASSERT_EQ(value->kind, ScriptValue::Kind::kCalendar);
+  EXPECT_EQ(value->calendar.granularity(), Granularity::kWeeks);
+  EXPECT_EQ(value->calendar.ToString(), "{(2,2)}");
+}
+
+TEST_F(ScriptExamples, UndefinedCalendarIsAnError) {
+  auto value = catalog_.EvaluateScript("NoSuchCal:during:MONTHS", Opts(1, 90));
+  EXPECT_FALSE(value.ok());
+  EXPECT_EQ(value.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ScriptExamples, GenerateCallMatchesPaper) {
+  // §3.2: generate(YEARS, DAYS, [Jan 1 1987, Jan 3 1992]) — epoch 1987.
+  CalendarCatalog catalog87{TimeSystem{CivilDate{1987, 1, 1}}};
+  auto value = catalog87.EvaluateScript(
+      "generate(YEARS, DAYS, \"1987-01-01\", \"1992-01-03\")",
+      EvalOptions{.window_days = Interval{1, 2000}});
+  ASSERT_TRUE(value.ok()) << value.status();
+  EXPECT_EQ(value->calendar.ToString(),
+            "{(1,365),(366,731),(732,1096),(1097,1461),(1462,1826),(1827,1829)}");
+}
+
+TEST_F(ScriptExamples, CaloperateCallDerivesQuarters) {
+  // At the script's smallest unit (MONTHS), quarters are month triples.
+  auto value = catalog_.EvaluateScript(
+      "caloperate(MONTHS:during:1993/YEARS, *, 3)", Opts(1, 365));
+  ASSERT_TRUE(value.ok()) << value.status();
+  EXPECT_EQ(value->calendar.granularity(), Granularity::kMonths);
+  EXPECT_EQ(value->calendar.ToString(), "{(1,3),(4,6),(7,9),(10,12)}");
+}
+
+TEST_F(ScriptExamples, CaloperateCallDerivesWeeksFromDays) {
+  // The paper's caloperate(..., *; 7) example: grouping the days of the
+  // year by 7 gives {(1,7),(8,14),(15,21),...}.
+  auto value = catalog_.EvaluateScript(
+      "caloperate(DAYS:during:1993/YEARS, *, 7)", Opts(1, 365));
+  ASSERT_TRUE(value.ok()) << value.status();
+  const Calendar& c = value->calendar;
+  ASSERT_EQ(c.size(), 53u);
+  EXPECT_EQ(c.intervals()[0], (Interval{1, 7}));
+  EXPECT_EQ(c.intervals()[1], (Interval{8, 14}));
+  EXPECT_EQ(c.intervals()[2], (Interval{15, 21}));
+  EXPECT_EQ(c.intervals()[52], (Interval{365, 365}));
+}
+
+}  // namespace
+}  // namespace caldb

@@ -1,0 +1,126 @@
+// The §6(b) future-work extension: temporal rules gated by a database
+// Condition — "On Calendar-Expression where Condition do Action".
+
+#include <gtest/gtest.h>
+
+#include "rules/dbcron.h"
+
+namespace caldb {
+namespace {
+
+class ConditionalRulesTest : public ::testing::Test {
+ protected:
+  ConditionalRulesTest() : catalog_(TimeSystem{CivilDate{1993, 1, 1}}) {
+    auto manager = TemporalRuleManager::Create(&catalog_, &db_);
+    EXPECT_TRUE(manager.ok());
+    rules_ = std::move(manager).value();
+    EXPECT_TRUE(db_.Execute("create table inventory (item text, qty int)").ok());
+    EXPECT_TRUE(db_.Execute("create table reorders (day int, item text)").ok());
+    EXPECT_TRUE(
+        db_.Execute("append inventory (item = 'widget', qty = 100)").ok());
+  }
+
+  CalendarCatalog catalog_;
+  Database db_;
+  std::unique_ptr<TemporalRuleManager> rules_;
+};
+
+TEST_F(ConditionalRulesTest, ConditionGatesTheAction) {
+  // Every Monday, if stock is low, place a reorder.
+  TemporalAction action;
+  action.command = "append reorders (day = fire_day(), item = 'widget')";
+  ASSERT_TRUE(rules_
+                  ->DeclareRule("reorder_check", "[1]/DAYS:during:WEEKS",
+                                std::move(action), 1,
+                                "retrieve (i.item) from i in inventory "
+                                "where i.qty < 50")
+                  .ok());
+  VirtualClock clock(1);
+  DbCron cron(rules_.get(), &clock, 7);
+
+  // Stock is plentiful through January: the rule fires but the condition
+  // suppresses the action.
+  ASSERT_TRUE(cron.AdvanceTo(31).ok());
+  auto none = db_.Execute("retrieve (r.day) from r in reorders");
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->rows.empty());
+  EXPECT_EQ(rules_->fire_stats().fired, 0);
+  EXPECT_GE(rules_->fire_stats().suppressed_by_condition, 4);
+
+  // Stock drops; subsequent Mondays reorder.
+  ASSERT_TRUE(
+      db_.Execute("replace i in inventory (qty = 10) where i.item = 'widget'")
+          .ok());
+  ASSERT_TRUE(cron.AdvanceTo(59).ok());
+  auto reorders = db_.Execute("retrieve (r.day) from r in reorders");
+  ASSERT_TRUE(reorders.ok());
+  // Mondays in February 1993: Feb 1 (32), 8 (39), 15 (46), 22 (53).
+  ASSERT_EQ(reorders->rows.size(), 4u);
+  EXPECT_EQ(reorders->rows[0][0].AsInt().value(), 32);
+  EXPECT_GE(rules_->fire_stats().fired, 4);
+}
+
+TEST_F(ConditionalRulesTest, SchedulingContinuesWhileSuppressed) {
+  TemporalAction action;
+  action.callback = [](TimePoint) { return Status::OK(); };
+  ASSERT_TRUE(rules_
+                  ->DeclareRule("gated", "[1]/DAYS:during:WEEKS",
+                                std::move(action), 1,
+                                "retrieve (i.item) from i in inventory "
+                                "where i.qty < 0")
+                  .ok());
+  VirtualClock clock(1);
+  DbCron cron(rules_.get(), &clock, 7);
+  ASSERT_TRUE(cron.AdvanceTo(31).ok());
+  // The RULE-TIME row keeps advancing even though nothing ever runs.
+  auto next = db_.Execute("retrieve (t.next_fire) from t in RULE_TIME");
+  ASSERT_TRUE(next.ok());
+  ASSERT_EQ(next->rows.size(), 1u);
+  EXPECT_GT(next->rows[0][0].AsInt().value(), 31);
+}
+
+TEST_F(ConditionalRulesTest, ConditionMayUseFireDay) {
+  // Fire the action only on month-end Mondays, by probing fire_day() in
+  // the condition (a genuinely temporal condition).
+  ASSERT_TRUE(db_.Execute("create table markers (day int)").ok());
+  for (int day : {31, 59, 90}) {
+    ASSERT_TRUE(
+        db_.Execute("append markers (day = " + std::to_string(day) + ")").ok());
+  }
+  TemporalAction action;
+  action.command = "append reorders (day = fire_day(), item = 'monthend')";
+  ASSERT_TRUE(rules_
+                  ->DeclareRule("monthend_mondays", "DAYS:during:WEEKS",
+                                std::move(action), 1,
+                                "retrieve (m.day) from m in markers "
+                                "where m.day = fire_day()")
+                  .ok());
+  VirtualClock clock(1);
+  DbCron cron(rules_.get(), &clock, 7);
+  ASSERT_TRUE(cron.AdvanceTo(90).ok());
+  auto rows = db_.Execute("retrieve (r.day) from r in reorders");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->rows.size(), 3u);
+  EXPECT_EQ(rows->rows[0][0].AsInt().value(), 31);
+  EXPECT_EQ(rows->rows[2][0].AsInt().value(), 90);
+}
+
+TEST_F(ConditionalRulesTest, BadConditionRejectedAtDeclaration) {
+  TemporalAction action;
+  action.callback = [](TimePoint) { return Status::OK(); };
+  EXPECT_EQ(rules_
+                ->DeclareRule("bad1", "[1]/DAYS:during:WEEKS", action, 1,
+                              "not a query at all !!!")
+                .status()
+                .code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(rules_
+                ->DeclareRule("bad2", "[1]/DAYS:during:WEEKS", action, 1,
+                              "append reorders (day = 1)")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace caldb

@@ -1,0 +1,93 @@
+// Long-horizon DBCRON determinism: a decade of simulated time with a mixed
+// rule population fires an exactly predictable schedule, regardless of
+// probe period, and RULE-TIME ends in the right state.
+
+#include <gtest/gtest.h>
+
+#include "rules/dbcron.h"
+
+namespace caldb {
+namespace {
+
+struct SimulationResult {
+  int64_t tuesday_fires = 0;
+  int64_t month_end_fires = 0;
+  int64_t quarter_fires = 0;
+  TimePoint last_fire = 0;
+  std::vector<std::pair<char, TimePoint>> first_20;
+};
+
+SimulationResult Simulate(int64_t probe_period, TimePoint horizon_day) {
+  CalendarCatalog catalog{TimeSystem{CivilDate{1990, 1, 1}}};
+  Database db;
+  auto rules = TemporalRuleManager::Create(&catalog, &db, /*horizon=*/20000)
+                   .value();
+  SimulationResult result;
+  auto record = [&result](char tag, int64_t* counter) {
+    TemporalAction action;
+    action.callback = [&result, tag, counter](TimePoint day) {
+      ++*counter;
+      result.last_fire = std::max(result.last_fire, day);
+      if (result.first_20.size() < 20) result.first_20.emplace_back(tag, day);
+      return Status::OK();
+    };
+    return action;
+  };
+  EXPECT_TRUE(rules
+                  ->DeclareRule("tuesdays", "[2]/DAYS:during:WEEKS",
+                                record('T', &result.tuesday_fires), 1)
+                  .ok());
+  EXPECT_TRUE(rules
+                  ->DeclareRule("month_ends", "[n]/DAYS:during:MONTHS",
+                                record('M', &result.month_end_fires), 1)
+                  .ok());
+  EXPECT_TRUE(rules
+                  ->DeclareRule("quarters",
+                                "[n]/DAYS:during:caloperate(MONTHS, *, 3)",
+                                record('Q', &result.quarter_fires), 1)
+                  .ok());
+  VirtualClock clock(1);
+  DbCron cron(rules.get(), &clock, probe_period);
+  EXPECT_TRUE(cron.AdvanceTo(horizon_day).ok());
+  return result;
+}
+
+TEST(DbCronLongHorizon, DecadeOfFiringsIsExact) {
+  // 1990-01-01 .. 1999-12-31 = 3652 days (1992 and 1996 are leap years).
+  SimulationResult r = Simulate(/*probe_period=*/7, /*horizon_day=*/3652);
+  // Tuesdays: Jan 1 1990 was a Monday, so the first Tuesday is day 2;
+  // Tuesdays = days 2, 9, ..., the count is ceil((3652 - 2 + 1) / 7).
+  EXPECT_EQ(r.tuesday_fires, 522);
+  EXPECT_EQ(r.month_end_fires, 120);  // 10 years of months
+  EXPECT_EQ(r.quarter_fires, 40);
+  EXPECT_EQ(r.last_fire, 3652);       // Dec 31 1999: month + quarter end
+}
+
+TEST(DbCronLongHorizon, ProbePeriodNeverChangesTheSchedule) {
+  SimulationResult base = Simulate(7, 800);
+  for (int64_t period : {1, 13, 97, 365}) {
+    SimulationResult variant = Simulate(period, 800);
+    EXPECT_EQ(variant.tuesday_fires, base.tuesday_fires) << period;
+    EXPECT_EQ(variant.month_end_fires, base.month_end_fires) << period;
+    EXPECT_EQ(variant.quarter_fires, base.quarter_fires) << period;
+    EXPECT_EQ(variant.first_20, base.first_20) << period;
+  }
+}
+
+TEST(DbCronLongHorizon, FiringsInterleaveInTimeOrder) {
+  SimulationResult r = Simulate(7, 120);
+  TimePoint prev = 0;
+  for (const auto& [tag, day] : r.first_20) {
+    EXPECT_GE(day, prev);
+    prev = day;
+  }
+  // Day 90 (Mar 31 1990) fires both the month-end and the quarter rule.
+  int fires_on_90 = 0;
+  for (const auto& [tag, day] : r.first_20) {
+    if (day == 90) ++fires_on_90;
+  }
+  EXPECT_EQ(fires_on_90, 2);
+}
+
+}  // namespace
+}  // namespace caldb

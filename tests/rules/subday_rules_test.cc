@@ -1,0 +1,106 @@
+// Sub-day temporal rules — the manufacturing / process-control use case
+// the paper's introduction motivates.  The rule system runs at HOURS
+// granularity: time points are hour granules, DBCRON probes every T
+// hours.
+
+#include <gtest/gtest.h>
+
+#include "rules/dbcron.h"
+
+namespace caldb {
+namespace {
+
+class SubDayRulesTest : public ::testing::Test {
+ protected:
+  SubDayRulesTest() : catalog_(TimeSystem{CivilDate{1993, 1, 1}}) {
+    auto manager = TemporalRuleManager::Create(&catalog_, &db_,
+                                               /*horizon=*/24 * 400,
+                                               Granularity::kHours);
+    EXPECT_TRUE(manager.ok()) << manager.status();
+    rules_ = std::move(manager).value();
+  }
+
+  CalendarCatalog catalog_;
+  Database db_;
+  std::unique_ptr<TemporalRuleManager> rules_;
+};
+
+TEST_F(SubDayRulesTest, HourlySensorSweep) {
+  // "Every 6th hour of every day": hours 6 of each day (an inspection
+  // sweep at 05:00-06:00).
+  std::vector<TimePoint> fires;
+  TemporalAction action;
+  action.callback = [&fires](TimePoint hour) {
+    fires.push_back(hour);
+    return Status::OK();
+  };
+  ASSERT_TRUE(rules_
+                  ->DeclareRule("sweep", "[6]/HOURS:during:DAYS",
+                                std::move(action), /*now=*/1)
+                  .ok());
+  VirtualClock clock(1);  // hour 1 = Jan 1 1993, 00:00-01:00
+  DbCron cron(rules_.get(), &clock, /*probe period = one day of hours*/ 24);
+  ASSERT_TRUE(cron.AdvanceTo(24 * 3).ok());  // three days
+  EXPECT_EQ(fires, (std::vector<TimePoint>{6, 30, 54}));
+}
+
+TEST_F(SubDayRulesTest, ShiftBoundariesAcrossTheWeek) {
+  // An 8-hour shift change: hours 1, 9, 17 of each day.
+  std::vector<TimePoint> fires;
+  TemporalAction action;
+  action.callback = [&fires](TimePoint hour) {
+    fires.push_back(hour);
+    return Status::OK();
+  };
+  ASSERT_TRUE(rules_
+                  ->DeclareRule("shift", "[1,9,17]/HOURS:during:DAYS",
+                                std::move(action), 1)
+                  .ok());
+  VirtualClock clock(1);
+  DbCron cron(rules_.get(), &clock, 12);
+  ASSERT_TRUE(cron.AdvanceTo(48).ok());
+  // Hour 1 is not fired (declared at now=1: firings are strictly after).
+  EXPECT_EQ(fires, (std::vector<TimePoint>{9, 17, 25, 33, 41}));
+}
+
+TEST_F(SubDayRulesTest, RuleTimeHoldsHourPoints) {
+  TemporalAction action;
+  action.callback = [](TimePoint) { return Status::OK(); };
+  ASSERT_TRUE(rules_
+                  ->DeclareRule("sweep", "[6]/HOURS:during:DAYS",
+                                std::move(action), 1)
+                  .ok());
+  auto rows = db_.Execute("retrieve (t.next_fire) from t in RULE_TIME");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->rows.size(), 1u);
+  EXPECT_EQ(rows->rows[0][0].AsInt().value(), 6);
+  EXPECT_EQ(rules_->unit(), Granularity::kHours);
+}
+
+TEST_F(SubDayRulesTest, DayGranularityCalendarFiresOncePerCoveredHourRange) {
+  // A day-granularity expression used at hours unit: the rule fires at
+  // the first hour of each selected day (firings are points, and the next
+  // covered hour after a firing within the same day is the next hour — so
+  // a whole-day calendar would fire every hour; a selective expression
+  // picks specific hours instead).
+  std::vector<TimePoint> fires;
+  TemporalAction action;
+  action.callback = [&fires](TimePoint hour) {
+    fires.push_back(hour);
+    return Status::OK();
+  };
+  // First hour of every Monday: [1]/HOURS:during:[1]/DAYS:during:WEEKS.
+  ASSERT_TRUE(rules_
+                  ->DeclareRule("monday_midnight",
+                                "[1]/HOURS:during:[1]/DAYS:during:WEEKS",
+                                std::move(action), 1)
+                  .ok());
+  VirtualClock clock(1);
+  DbCron cron(rules_.get(), &clock, 24);
+  ASSERT_TRUE(cron.AdvanceTo(24 * 14).ok());  // two weeks
+  // Mondays: Jan 4 (day 4 -> hour 73) and Jan 11 (day 11 -> hour 241).
+  EXPECT_EQ(fires, (std::vector<TimePoint>{73, 241}));
+}
+
+}  // namespace
+}  // namespace caldb

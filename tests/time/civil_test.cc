@@ -1,0 +1,116 @@
+#include "time/civil.h"
+
+#include <gtest/gtest.h>
+
+namespace caldb {
+namespace {
+
+TEST(CivilTest, EpochSerialIsZero) {
+  EXPECT_EQ(DaysFromCivil({1970, 1, 1}), 0);
+  EXPECT_EQ(DaysFromCivil({1970, 1, 2}), 1);
+  EXPECT_EQ(DaysFromCivil({1969, 12, 31}), -1);
+}
+
+TEST(CivilTest, KnownSerials) {
+  EXPECT_EQ(DaysFromCivil({2000, 1, 1}), 10957);
+  EXPECT_EQ(DaysFromCivil({1987, 1, 1}), 6209);
+  EXPECT_EQ(DaysFromCivil({1993, 1, 1}), 8401);
+}
+
+TEST(CivilTest, LeapYears) {
+  EXPECT_TRUE(IsLeapYear(1988));
+  EXPECT_TRUE(IsLeapYear(2000));
+  EXPECT_FALSE(IsLeapYear(1900));
+  EXPECT_FALSE(IsLeapYear(1993));
+  EXPECT_TRUE(IsLeapYear(1992));
+}
+
+TEST(CivilTest, DaysInMonth) {
+  EXPECT_EQ(DaysInMonth(1993, 1), 31);
+  EXPECT_EQ(DaysInMonth(1993, 2), 28);
+  EXPECT_EQ(DaysInMonth(1992, 2), 29);
+  EXPECT_EQ(DaysInMonth(1993, 4), 30);
+  EXPECT_EQ(DaysInMonth(1993, 12), 31);
+}
+
+TEST(CivilTest, DaysInYear) {
+  EXPECT_EQ(DaysInYear(1987), 365);
+  EXPECT_EQ(DaysInYear(1988), 366);
+}
+
+TEST(CivilTest, Weekdays) {
+  // 1970-01-01 was a Thursday.
+  EXPECT_EQ(WeekdayFromDays(DaysFromCivil({1970, 1, 1})), Weekday::kThursday);
+  // 1993-01-01 was a Friday (underpins the paper's WEEKS example).
+  EXPECT_EQ(WeekdayFromDays(DaysFromCivil({1993, 1, 1})), Weekday::kFriday);
+  // 1987-01-01 was a Thursday.
+  EXPECT_EQ(WeekdayFromDays(DaysFromCivil({1987, 1, 1})), Weekday::kThursday);
+  // 1992-12-28 was a Monday (start of the week containing 1993-01-01).
+  EXPECT_EQ(WeekdayFromDays(DaysFromCivil({1992, 12, 28})), Weekday::kMonday);
+}
+
+TEST(CivilTest, Validation) {
+  EXPECT_TRUE(IsValidCivil({1993, 2, 28}));
+  EXPECT_FALSE(IsValidCivil({1993, 2, 29}));
+  EXPECT_TRUE(IsValidCivil({1992, 2, 29}));
+  EXPECT_FALSE(IsValidCivil({1993, 13, 1}));
+  EXPECT_FALSE(IsValidCivil({1993, 0, 1}));
+  EXPECT_FALSE(IsValidCivil({1993, 6, 31}));
+  EXPECT_FALSE(IsValidCivil({1993, 6, 0}));
+}
+
+TEST(CivilTest, FormatAndParse) {
+  EXPECT_EQ(FormatCivil({1993, 1, 5}), "1993-01-05");
+  auto parsed = ParseCivil("1993-01-05");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), (CivilDate{1993, 1, 5}));
+  EXPECT_FALSE(ParseCivil("1993-02-31").ok());
+  EXPECT_FALSE(ParseCivil("1993/01/05").ok());
+  EXPECT_FALSE(ParseCivil("hello").ok());
+}
+
+TEST(CivilTest, WeekdayNames) {
+  EXPECT_EQ(WeekdayName(Weekday::kMonday), "Mon");
+  EXPECT_EQ(WeekdayName(Weekday::kSunday), "Sun");
+}
+
+// Property sweep: round trip over a wide range of serial days.
+class CivilRoundTrip : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(CivilRoundTrip, SerialToCivilAndBack) {
+  const int64_t start = GetParam();
+  for (int64_t d = start; d < start + 1000; ++d) {
+    CivilDate c = CivilFromDays(d);
+    EXPECT_TRUE(IsValidCivil(c));
+    EXPECT_EQ(DaysFromCivil(c), d) << FormatCivil(c);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CivilRoundTrip,
+                         ::testing::Values<int64_t>(-200000, -100000, -50000, -365,
+                                                    0, 6209, 8401, 50000, 100000,
+                                                    2000000));
+
+// Property: consecutive serials yield consecutive civil dates.
+class CivilMonotonic : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(CivilMonotonic, SuccessorIsNextDay) {
+  const int64_t d = GetParam();
+  CivilDate a = CivilFromDays(d);
+  CivilDate b = CivilFromDays(d + 1);
+  EXPECT_LT(a, b);
+  // b is either the next day in the same month or the 1st of a later month.
+  if (b.day != 1) {
+    EXPECT_EQ(b.year, a.year);
+    EXPECT_EQ(b.month, a.month);
+    EXPECT_EQ(b.day, a.day + 1);
+  } else {
+    EXPECT_EQ(a.day, DaysInMonth(a.year, a.month));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CivilMonotonic,
+                         ::testing::Range<int64_t>(8000, 9000, 13));
+
+}  // namespace
+}  // namespace caldb

@@ -1,0 +1,54 @@
+#include "time/granularity.h"
+
+#include <gtest/gtest.h>
+
+namespace caldb {
+namespace {
+
+TEST(GranularityTest, NamesRoundTrip) {
+  for (Granularity g :
+       {Granularity::kSeconds, Granularity::kMinutes, Granularity::kHours,
+        Granularity::kDays, Granularity::kWeeks, Granularity::kMonths,
+        Granularity::kYears, Granularity::kDecades, Granularity::kCenturies}) {
+    auto parsed = ParseGranularity(GranularityName(g));
+    ASSERT_TRUE(parsed.ok()) << GranularityName(g);
+    EXPECT_EQ(*parsed, g);
+  }
+}
+
+TEST(GranularityTest, ParseAcceptsSingularAndCase) {
+  EXPECT_EQ(ParseGranularity("day").value(), Granularity::kDays);
+  EXPECT_EQ(ParseGranularity("Week").value(), Granularity::kWeeks);
+  EXPECT_EQ(ParseGranularity("CENTURIES").value(), Granularity::kCenturies);
+  EXPECT_EQ(ParseGranularity("century").value(), Granularity::kCenturies);
+  EXPECT_FALSE(ParseGranularity("fortnight").ok());
+  EXPECT_FALSE(ParseGranularity("").ok());
+}
+
+TEST(GranularityTest, Ordering) {
+  EXPECT_TRUE(FinerThan(Granularity::kSeconds, Granularity::kMinutes));
+  EXPECT_TRUE(FinerThan(Granularity::kDays, Granularity::kWeeks));
+  EXPECT_TRUE(FinerThan(Granularity::kWeeks, Granularity::kMonths));
+  EXPECT_FALSE(FinerThan(Granularity::kYears, Granularity::kMonths));
+  EXPECT_FALSE(FinerThan(Granularity::kDays, Granularity::kDays));
+  EXPECT_EQ(Finest(Granularity::kDays, Granularity::kYears), Granularity::kDays);
+  EXPECT_EQ(Finest(Granularity::kYears, Granularity::kDays), Granularity::kDays);
+}
+
+TEST(GranularityTest, UniformityAndSizes) {
+  EXPECT_TRUE(IsUniform(Granularity::kSeconds));
+  EXPECT_TRUE(IsUniform(Granularity::kWeeks));
+  EXPECT_FALSE(IsUniform(Granularity::kMonths));
+  EXPECT_FALSE(IsUniform(Granularity::kCenturies));
+  EXPECT_EQ(SecondsPerGranule(Granularity::kMinutes), 60);
+  EXPECT_EQ(SecondsPerGranule(Granularity::kDays), 86400);
+  EXPECT_EQ(SecondsPerGranule(Granularity::kWeeks), 7 * 86400);
+  EXPECT_TRUE(IsSubDay(Granularity::kHours));
+  EXPECT_FALSE(IsSubDay(Granularity::kDays));
+  EXPECT_EQ(GranulesPerDay(Granularity::kSeconds), 86400);
+  EXPECT_EQ(GranulesPerDay(Granularity::kMinutes), 1440);
+  EXPECT_EQ(GranulesPerDay(Granularity::kHours), 24);
+}
+
+}  // namespace
+}  // namespace caldb

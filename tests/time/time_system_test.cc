@@ -1,0 +1,216 @@
+#include "time/time_system.h"
+
+#include <gtest/gtest.h>
+
+namespace caldb {
+namespace {
+
+// The §3.1 examples number days from Jan 1 1993 (day 1).
+class TimeSystem1993 : public ::testing::Test {
+ protected:
+  TimeSystem ts_{CivilDate{1993, 1, 1}};
+};
+
+TEST_F(TimeSystem1993, DayPoints) {
+  EXPECT_EQ(ts_.DayPointFromCivil({1993, 1, 1}), 1);
+  EXPECT_EQ(ts_.DayPointFromCivil({1993, 1, 31}), 31);
+  EXPECT_EQ(ts_.DayPointFromCivil({1993, 2, 1}), 32);
+  EXPECT_EQ(ts_.DayPointFromCivil({1993, 3, 1}), 60);
+  EXPECT_EQ(ts_.DayPointFromCivil({1992, 12, 31}), -1);
+  EXPECT_EQ(ts_.DayPointFromCivil({1992, 12, 28}), -4);
+}
+
+TEST_F(TimeSystem1993, DayPointRoundTrip) {
+  for (int64_t p = -400; p <= 400; ++p) {
+    if (p == 0) continue;
+    CivilDate c = ts_.CivilFromDayPoint(p);
+    EXPECT_EQ(ts_.DayPointFromCivil(c), p) << FormatCivil(c);
+  }
+}
+
+TEST_F(TimeSystem1993, WeekdayOfDayPoint) {
+  EXPECT_EQ(ts_.WeekdayOfDayPoint(1), Weekday::kFriday);   // Jan 1 1993
+  EXPECT_EQ(ts_.WeekdayOfDayPoint(-4), Weekday::kMonday);  // Dec 28 1992
+  EXPECT_EQ(ts_.WeekdayOfDayPoint(4), Weekday::kMonday);   // Jan 4 1993
+  EXPECT_EQ(ts_.WeekdayOfDayPoint(60), Weekday::kMonday);  // Mar 1 1993
+}
+
+TEST_F(TimeSystem1993, WeekGranulesMatchPaper) {
+  // WEEKS of 1993 = {(-4,3),(4,10),(11,17),(18,24),(25,31),(32,38),(39,45),...}
+  auto w1 = ts_.GranuleToUnit(Granularity::kWeeks, 1, Granularity::kDays);
+  ASSERT_TRUE(w1.ok());
+  EXPECT_EQ(*w1, (Interval{-4, 3}));
+  auto w2 = ts_.GranuleToUnit(Granularity::kWeeks, 2, Granularity::kDays);
+  ASSERT_TRUE(w2.ok());
+  EXPECT_EQ(*w2, (Interval{4, 10}));
+  auto w7 = ts_.GranuleToUnit(Granularity::kWeeks, 7, Granularity::kDays);
+  ASSERT_TRUE(w7.ok());
+  EXPECT_EQ(*w7, (Interval{39, 45}));
+}
+
+TEST_F(TimeSystem1993, MonthGranulesMatchPaper) {
+  // Year-1993 = {(1,31),(32,59),(60,90),(91,120),...}
+  const Interval kExpected[] = {{1, 31}, {32, 59}, {60, 90}, {91, 120}};
+  for (int m = 1; m <= 4; ++m) {
+    auto r = ts_.GranuleToUnit(Granularity::kMonths, m, Granularity::kDays);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, kExpected[m - 1]) << "month " << m;
+  }
+}
+
+TEST_F(TimeSystem1993, GranuleContaining) {
+  auto m = ts_.GranuleContaining(Granularity::kMonths, 45, Granularity::kDays);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(*m, 2);  // day 45 is in February
+  auto w = ts_.GranuleContaining(Granularity::kWeeks, -4, Granularity::kDays);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(*w, 1);  // Dec 28 1992 is in week 1 (contains the epoch)
+  auto y = ts_.GranuleContaining(Granularity::kYears, -1, Granularity::kDays);
+  ASSERT_TRUE(y.ok());
+  EXPECT_EQ(*y, -1);  // Dec 31 1992 is in year -1 (1992)
+}
+
+TEST_F(TimeSystem1993, YearInMonths) {
+  auto r = ts_.GranuleToUnit(Granularity::kYears, 1, Granularity::kMonths);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (Interval{1, 12}));
+  auto prev = ts_.GranuleToUnit(Granularity::kYears, -1, Granularity::kMonths);
+  ASSERT_TRUE(prev.ok());
+  EXPECT_EQ(*prev, (Interval{-12, -1}));
+}
+
+TEST_F(TimeSystem1993, SubDayGranules) {
+  auto h = ts_.GranuleToUnit(Granularity::kDays, 1, Granularity::kHours);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(*h, (Interval{1, 24}));
+  auto h2 = ts_.GranuleToUnit(Granularity::kDays, 2, Granularity::kHours);
+  ASSERT_TRUE(h2.ok());
+  EXPECT_EQ(*h2, (Interval{25, 48}));
+  auto m = ts_.GranuleToUnit(Granularity::kHours, 1, Granularity::kMinutes);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(*m, (Interval{1, 60}));
+  auto s = ts_.GranuleToUnit(Granularity::kMinutes, 2, Granularity::kSeconds);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*s, (Interval{61, 120}));
+  auto back =
+      ts_.GranuleContaining(Granularity::kDays, 25, Granularity::kHours);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, 2);
+}
+
+TEST_F(TimeSystem1993, NegativeSubDayGranules) {
+  // Hour -1 is the last hour of Dec 31 1992 (day -1).
+  auto d = ts_.GranuleContaining(Granularity::kDays, -1, Granularity::kHours);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, -1);
+  auto h = ts_.GranuleToUnit(Granularity::kDays, -1, Granularity::kHours);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(*h, (Interval{-24, -1}));
+}
+
+TEST_F(TimeSystem1993, CoarserUnitRejected) {
+  EXPECT_FALSE(
+      ts_.GranuleToUnit(Granularity::kDays, 1, Granularity::kMonths).ok());
+  EXPECT_FALSE(
+      ts_.GranuleContaining(Granularity::kDays, 1, Granularity::kMonths).ok());
+  EXPECT_FALSE(ts_.GranuleToUnit(Granularity::kDays, 0, Granularity::kDays).ok());
+}
+
+TEST_F(TimeSystem1993, YearAndMonthIndexes) {
+  EXPECT_EQ(ts_.YearIndex(1993), 1);
+  EXPECT_EQ(ts_.YearIndex(1994), 2);
+  EXPECT_EQ(ts_.YearIndex(1992), -1);
+  EXPECT_EQ(ts_.CivilYearOfIndex(1), 1993);
+  EXPECT_EQ(ts_.CivilYearOfIndex(-1), 1992);
+  EXPECT_EQ(ts_.MonthIndex(1993, 1), 1);
+  EXPECT_EQ(ts_.MonthIndex(1993, 12), 12);
+  EXPECT_EQ(ts_.MonthIndex(1994, 1), 13);
+  EXPECT_EQ(ts_.MonthIndex(1992, 12), -1);
+}
+
+// The §3.2 example uses epoch Jan 1 1987.
+class TimeSystem1987 : public ::testing::Test {
+ protected:
+  TimeSystem ts_{CivilDate{1987, 1, 1}};
+};
+
+TEST_F(TimeSystem1987, YearGranulesMatchPaper) {
+  // generate(YEARS, DAYS, ...) produces (1,365),(366,731),(732,1096),...
+  const Interval kExpected[] = {
+      {1, 365}, {366, 731}, {732, 1096}, {1097, 1461}, {1462, 1826}};
+  for (int y = 1; y <= 5; ++y) {
+    auto r = ts_.GranuleToUnit(Granularity::kYears, y, Granularity::kDays);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, kExpected[y - 1]) << "year " << y;
+  }
+}
+
+TEST_F(TimeSystem1987, DecadeInYears) {
+  // Epoch decade is 1980-1989: year offsets -7..2, skip-zero (-7,3).
+  auto r = ts_.GranuleToUnit(Granularity::kDecades, 1, Granularity::kYears);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (Interval{-7, 3}));
+  auto next = ts_.GranuleToUnit(Granularity::kDecades, 2, Granularity::kYears);
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(*next, (Interval{4, 13}));  // 1990..1999
+}
+
+TEST_F(TimeSystem1987, CenturyInYears) {
+  // Epoch century is 1900-1999: offsets -87..12.
+  auto r = ts_.GranuleToUnit(Granularity::kCenturies, 1, Granularity::kYears);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (Interval{-87, 13}));
+}
+
+TEST_F(TimeSystem1987, DayIntervalFromCivil) {
+  auto r = ts_.DayIntervalFromCivil({1987, 1, 1}, {1992, 1, 3});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (Interval{1, 1829}));
+  EXPECT_FALSE(ts_.DayIntervalFromCivil({1992, 1, 1}, {1987, 1, 1}).ok());
+  EXPECT_FALSE(ts_.DayIntervalFromCivil({1987, 2, 30}, {1992, 1, 1}).ok());
+}
+
+// Property: granule ranges tile the timeline without gaps or overlaps.
+class GranuleTiling : public ::testing::TestWithParam<Granularity> {};
+
+TEST_P(GranuleTiling, ConsecutiveGranulesAreContiguous) {
+  TimeSystem ts{CivilDate{1987, 3, 15}};  // mid-month epoch stresses alignment
+  Granularity g = GetParam();
+  Granularity unit = IsSubDay(g) ? Granularity::kSeconds : Granularity::kDays;
+  auto prev = ts.GranuleToUnit(g, -5, unit);
+  ASSERT_TRUE(prev.ok());
+  for (TimePoint idx = PointAdd(-5, 1); idx <= 5; idx = PointAdd(idx, 1)) {
+    auto cur = ts.GranuleToUnit(g, idx, unit);
+    ASSERT_TRUE(cur.ok());
+    EXPECT_EQ(PointToOffset(cur->lo), PointToOffset(prev->hi) + 1)
+        << GranularityName(g) << " granule " << idx;
+    EXPECT_LE(cur->lo, cur->hi);
+    // Every covered unit point maps back to this granule.
+    auto back_lo = ts.GranuleContaining(g, cur->lo, unit);
+    auto back_hi = ts.GranuleContaining(g, cur->hi, unit);
+    ASSERT_TRUE(back_lo.ok());
+    ASSERT_TRUE(back_hi.ok());
+    EXPECT_EQ(*back_lo, idx);
+    EXPECT_EQ(*back_hi, idx);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGranularities, GranuleTiling,
+    ::testing::Values(Granularity::kMinutes, Granularity::kHours,
+                      Granularity::kDays, Granularity::kWeeks,
+                      Granularity::kMonths, Granularity::kYears,
+                      Granularity::kDecades, Granularity::kCenturies));
+
+TEST(FloorDivTest, RoundsTowardNegativeInfinity) {
+  EXPECT_EQ(FloorDiv(7, 2), 3);
+  EXPECT_EQ(FloorDiv(-7, 2), -4);
+  EXPECT_EQ(FloorDiv(-6, 3), -2);
+  EXPECT_EQ(FloorMod(-7, 2), 1);
+  EXPECT_EQ(FloorMod(7, 2), 1);
+  EXPECT_EQ(FloorMod(-6, 3), 0);
+}
+
+}  // namespace
+}  // namespace caldb

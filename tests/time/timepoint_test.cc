@@ -1,0 +1,54 @@
+#include "time/timepoint.h"
+
+#include <gtest/gtest.h>
+
+namespace caldb {
+namespace {
+
+TEST(TimePointTest, OffsetMapping) {
+  EXPECT_EQ(PointToOffset(1), 0);
+  EXPECT_EQ(PointToOffset(2), 1);
+  EXPECT_EQ(PointToOffset(-1), -1);
+  EXPECT_EQ(PointToOffset(-4), -4);
+  EXPECT_EQ(OffsetToPoint(0), 1);
+  EXPECT_EQ(OffsetToPoint(1), 2);
+  EXPECT_EQ(OffsetToPoint(-1), -1);
+  EXPECT_EQ(OffsetToPoint(-4), -4);
+}
+
+TEST(TimePointTest, ZeroIsInvalid) {
+  EXPECT_FALSE(IsValidPoint(0));
+  EXPECT_TRUE(IsValidPoint(1));
+  EXPECT_TRUE(IsValidPoint(-1));
+}
+
+TEST(TimePointTest, AdditionSkipsZero) {
+  EXPECT_EQ(PointAdd(-1, 1), 1);
+  EXPECT_EQ(PointAdd(1, -1), -1);
+  EXPECT_EQ(PointAdd(-4, 7), 4);   // the paper's week (-4,3) spans to next Monday 4
+  EXPECT_EQ(PointAdd(3, 1), 4);
+  EXPECT_EQ(PointAdd(5, -10), -6);
+}
+
+TEST(TimePointTest, Distance) {
+  EXPECT_EQ(PointDistance(-4, 3), 6);   // 7 points (0 skipped), distance 6
+  EXPECT_EQ(PointDistance(1, 1), 0);
+  EXPECT_EQ(PointDistance(3, -4), -6);
+  EXPECT_EQ(PointDistance(-1, 1), 1);   // adjacent across the gap
+}
+
+// Property: OffsetToPoint and PointToOffset are mutually inverse.
+class RoundTrip : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(RoundTrip, Inverse) {
+  int64_t off = GetParam();
+  EXPECT_EQ(PointToOffset(OffsetToPoint(off)), off);
+  TimePoint p = GetParam() == 0 ? 1 : GetParam();
+  EXPECT_EQ(OffsetToPoint(PointToOffset(p)), p);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RoundTrip,
+                         ::testing::Range<int64_t>(-50, 50, 1));
+
+}  // namespace
+}  // namespace caldb

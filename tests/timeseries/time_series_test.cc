@@ -1,0 +1,109 @@
+// PERF-7 / §1 GNP example: valid-time maintenance — time points of regular
+// series are regenerated from calendars, not stored.
+
+#include "timeseries/time_series.h"
+
+#include <gtest/gtest.h>
+
+namespace caldb {
+namespace {
+
+class TimeSeriesTest : public ::testing::Test {
+ protected:
+  TimeSeriesTest() : catalog_(TimeSystem{CivilDate{1993, 1, 1}}) {
+    // Last day of every quarter — the GNP calendar.
+    EXPECT_TRUE(catalog_
+                    .DefineDerived("QUARTER_ENDS",
+                                   "[n]/DAYS:during:caloperate(MONTHS, *, 3)")
+                    .ok());
+    // Last day of every month.
+    EXPECT_TRUE(
+        catalog_.DefineDerived("MONTH_ENDS", "[n]/DAYS:during:MONTHS").ok());
+  }
+
+  CalendarCatalog catalog_;
+};
+
+TEST_F(TimeSeriesTest, QuarterEndPointsAreRegenerated) {
+  RegularTimeSeries gnp(&catalog_, "QUARTER_ENDS", /*anchor_day=*/1);
+  for (double v : {6000.1, 6100.2, 6200.3, 6300.4}) gnp.Append(v);
+  ASSERT_EQ(gnp.size(), 4u);
+  // Quarter ends of 1993: Mar 31 (90), Jun 30 (181), Sep 30 (273),
+  // Dec 31 (365).
+  EXPECT_EQ(gnp.DayAt(0).value(), 90);
+  EXPECT_EQ(gnp.DayAt(1).value(), 181);
+  EXPECT_EQ(gnp.DayAt(2).value(), 273);
+  EXPECT_EQ(gnp.DayAt(3).value(), 365);
+}
+
+TEST_F(TimeSeriesTest, MaterializePairsPointsWithValues) {
+  RegularTimeSeries gnp(&catalog_, "QUARTER_ENDS", 1);
+  gnp.Append(1.0);
+  gnp.Append(2.0);
+  auto pairs = gnp.Materialize();
+  ASSERT_TRUE(pairs.ok()) << pairs.status();
+  ASSERT_EQ(pairs->size(), 2u);
+  EXPECT_EQ((*pairs)[0], (std::pair<TimePoint, double>{90, 1.0}));
+  EXPECT_EQ((*pairs)[1], (std::pair<TimePoint, double>{181, 2.0}));
+}
+
+TEST_F(TimeSeriesTest, SeriesExtendsBeyondOneWindow) {
+  // 20 monthly observations force the series to grow its evaluation
+  // window across the year boundary.
+  RegularTimeSeries series(&catalog_, "MONTH_ENDS", 1);
+  for (int i = 0; i < 20; ++i) series.Append(i);
+  EXPECT_EQ(series.DayAt(0).value(), 31);
+  EXPECT_EQ(series.DayAt(11).value(), 365);  // Dec 31 1993
+  EXPECT_EQ(series.DayAt(12).value(), 396);  // Jan 31 1994
+  EXPECT_EQ(series.DayAt(19).value(), 608);  // Aug 31 1994
+}
+
+TEST_F(TimeSeriesTest, AnchorSkipsEarlierIntervals) {
+  // Anchor mid-year: the first observation maps to the first month end at
+  // or after the anchor.
+  RegularTimeSeries series(&catalog_, "MONTH_ENDS", /*anchor_day=*/100);
+  series.Append(42.0);
+  EXPECT_EQ(series.DayAt(0).value(), 120);  // Apr 30 1993
+}
+
+TEST_F(TimeSeriesTest, ValueOnAndSlice) {
+  RegularTimeSeries gnp(&catalog_, "QUARTER_ENDS", 1);
+  gnp.Append(10.0);
+  gnp.Append(20.0);
+  gnp.Append(30.0);
+  auto v = gnp.ValueOn(181);
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->has_value());
+  EXPECT_EQ(**v, 20.0);
+  auto missing = gnp.ValueOn(100);
+  ASSERT_TRUE(missing.ok());
+  EXPECT_FALSE(missing->has_value());
+
+  auto slice = gnp.Slice(Interval{100, 300});
+  ASSERT_TRUE(slice.ok());
+  ASSERT_EQ(slice->size(), 2u);
+  EXPECT_EQ((*slice)[0].first, 181);
+  EXPECT_EQ((*slice)[1].first, 273);
+}
+
+TEST_F(TimeSeriesTest, ValueAtBoundsChecked) {
+  RegularTimeSeries gnp(&catalog_, "QUARTER_ENDS", 1);
+  gnp.Append(1.0);
+  EXPECT_TRUE(gnp.ValueAt(0).ok());
+  EXPECT_EQ(gnp.ValueAt(1).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(IrregularTimeSeriesTest, AppendAndLookup) {
+  IrregularTimeSeries series;
+  ASSERT_TRUE(series.Append(5, 1.0).ok());
+  ASSERT_TRUE(series.Append(9, 2.0).ok());
+  EXPECT_FALSE(series.Append(9, 3.0).ok());  // non-increasing
+  EXPECT_FALSE(series.Append(0, 3.0).ok());  // invalid point
+  EXPECT_EQ(series.size(), 2u);
+  EXPECT_EQ(series.ValueOn(9).value().value(), 2.0);
+  EXPECT_FALSE(series.ValueOn(7).value().has_value());
+  EXPECT_EQ(series.AsCalendar().ToString(), "{(5,5),(9,9)}");
+}
+
+}  // namespace
+}  // namespace caldb
