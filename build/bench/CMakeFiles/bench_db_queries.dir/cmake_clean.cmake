@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_db_queries.dir/bench_db_queries.cc.o"
+  "CMakeFiles/bench_db_queries.dir/bench_db_queries.cc.o.d"
+  "bench_db_queries"
+  "bench_db_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_db_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

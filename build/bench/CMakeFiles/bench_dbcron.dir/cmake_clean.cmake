@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dbcron.dir/bench_dbcron.cc.o"
+  "CMakeFiles/bench_dbcron.dir/bench_dbcron.cc.o.d"
+  "bench_dbcron"
+  "bench_dbcron.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dbcron.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_selection_pushdown.dir/bench_selection_pushdown.cc.o"
+  "CMakeFiles/bench_selection_pushdown.dir/bench_selection_pushdown.cc.o.d"
+  "bench_selection_pushdown"
+  "bench_selection_pushdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_selection_pushdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caldb_shell.dir/caldb_shell.cc.o"
+  "CMakeFiles/caldb_shell.dir/caldb_shell.cc.o.d"
+  "caldb_shell"
+  "caldb_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caldb_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/financial_options.dir/financial_options.cc.o"
+  "CMakeFiles/financial_options.dir/financial_options.cc.o.d"
+  "financial_options"
+  "financial_options.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/financial_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_rules.dir/temporal_rules.cc.o"
+  "CMakeFiles/temporal_rules.dir/temporal_rules.cc.o.d"
+  "temporal_rules"
+  "temporal_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

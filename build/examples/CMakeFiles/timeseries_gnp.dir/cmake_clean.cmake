@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeseries_gnp.dir/timeseries_gnp.cc.o"
+  "CMakeFiles/timeseries_gnp.dir/timeseries_gnp.cc.o.d"
+  "timeseries_gnp"
+  "timeseries_gnp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeseries_gnp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for timeseries_gnp.
+# This may be replaced when dependencies are built.

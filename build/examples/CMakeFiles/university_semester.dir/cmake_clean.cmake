@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/university_semester.dir/university_semester.cc.o"
+  "CMakeFiles/university_semester.dir/university_semester.cc.o.d"
+  "university_semester"
+  "university_semester.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/university_semester.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/calendar_catalog.cc" "src/CMakeFiles/caldb.dir/catalog/calendar_catalog.cc.o" "gcc" "src/CMakeFiles/caldb.dir/catalog/calendar_catalog.cc.o.d"
+  "/root/repo/src/catalog/calendar_functions.cc" "src/CMakeFiles/caldb.dir/catalog/calendar_functions.cc.o" "gcc" "src/CMakeFiles/caldb.dir/catalog/calendar_functions.cc.o.d"
+  "/root/repo/src/catalog/catalog_io.cc" "src/CMakeFiles/caldb.dir/catalog/catalog_io.cc.o" "gcc" "src/CMakeFiles/caldb.dir/catalog/catalog_io.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/caldb.dir/common/status.cc.o" "gcc" "src/CMakeFiles/caldb.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/caldb.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/caldb.dir/common/strings.cc.o.d"
+  "/root/repo/src/core/algebra.cc" "src/CMakeFiles/caldb.dir/core/algebra.cc.o" "gcc" "src/CMakeFiles/caldb.dir/core/algebra.cc.o.d"
+  "/root/repo/src/core/calendar.cc" "src/CMakeFiles/caldb.dir/core/calendar.cc.o" "gcc" "src/CMakeFiles/caldb.dir/core/calendar.cc.o.d"
+  "/root/repo/src/core/generate.cc" "src/CMakeFiles/caldb.dir/core/generate.cc.o" "gcc" "src/CMakeFiles/caldb.dir/core/generate.cc.o.d"
+  "/root/repo/src/core/interval.cc" "src/CMakeFiles/caldb.dir/core/interval.cc.o" "gcc" "src/CMakeFiles/caldb.dir/core/interval.cc.o.d"
+  "/root/repo/src/db/btree.cc" "src/CMakeFiles/caldb.dir/db/btree.cc.o" "gcc" "src/CMakeFiles/caldb.dir/db/btree.cc.o.d"
+  "/root/repo/src/db/database.cc" "src/CMakeFiles/caldb.dir/db/database.cc.o" "gcc" "src/CMakeFiles/caldb.dir/db/database.cc.o.d"
+  "/root/repo/src/db/expression.cc" "src/CMakeFiles/caldb.dir/db/expression.cc.o" "gcc" "src/CMakeFiles/caldb.dir/db/expression.cc.o.d"
+  "/root/repo/src/db/function_registry.cc" "src/CMakeFiles/caldb.dir/db/function_registry.cc.o" "gcc" "src/CMakeFiles/caldb.dir/db/function_registry.cc.o.d"
+  "/root/repo/src/db/query_parser.cc" "src/CMakeFiles/caldb.dir/db/query_parser.cc.o" "gcc" "src/CMakeFiles/caldb.dir/db/query_parser.cc.o.d"
+  "/root/repo/src/db/schema.cc" "src/CMakeFiles/caldb.dir/db/schema.cc.o" "gcc" "src/CMakeFiles/caldb.dir/db/schema.cc.o.d"
+  "/root/repo/src/db/table.cc" "src/CMakeFiles/caldb.dir/db/table.cc.o" "gcc" "src/CMakeFiles/caldb.dir/db/table.cc.o.d"
+  "/root/repo/src/db/value.cc" "src/CMakeFiles/caldb.dir/db/value.cc.o" "gcc" "src/CMakeFiles/caldb.dir/db/value.cc.o.d"
+  "/root/repo/src/finance/day_count.cc" "src/CMakeFiles/caldb.dir/finance/day_count.cc.o" "gcc" "src/CMakeFiles/caldb.dir/finance/day_count.cc.o.d"
+  "/root/repo/src/finance/market_calendars.cc" "src/CMakeFiles/caldb.dir/finance/market_calendars.cc.o" "gcc" "src/CMakeFiles/caldb.dir/finance/market_calendars.cc.o.d"
+  "/root/repo/src/lang/analyzer.cc" "src/CMakeFiles/caldb.dir/lang/analyzer.cc.o" "gcc" "src/CMakeFiles/caldb.dir/lang/analyzer.cc.o.d"
+  "/root/repo/src/lang/ast.cc" "src/CMakeFiles/caldb.dir/lang/ast.cc.o" "gcc" "src/CMakeFiles/caldb.dir/lang/ast.cc.o.d"
+  "/root/repo/src/lang/evaluator.cc" "src/CMakeFiles/caldb.dir/lang/evaluator.cc.o" "gcc" "src/CMakeFiles/caldb.dir/lang/evaluator.cc.o.d"
+  "/root/repo/src/lang/lexer.cc" "src/CMakeFiles/caldb.dir/lang/lexer.cc.o" "gcc" "src/CMakeFiles/caldb.dir/lang/lexer.cc.o.d"
+  "/root/repo/src/lang/optimizer.cc" "src/CMakeFiles/caldb.dir/lang/optimizer.cc.o" "gcc" "src/CMakeFiles/caldb.dir/lang/optimizer.cc.o.d"
+  "/root/repo/src/lang/parser.cc" "src/CMakeFiles/caldb.dir/lang/parser.cc.o" "gcc" "src/CMakeFiles/caldb.dir/lang/parser.cc.o.d"
+  "/root/repo/src/lang/plan.cc" "src/CMakeFiles/caldb.dir/lang/plan.cc.o" "gcc" "src/CMakeFiles/caldb.dir/lang/plan.cc.o.d"
+  "/root/repo/src/lang/planner.cc" "src/CMakeFiles/caldb.dir/lang/planner.cc.o" "gcc" "src/CMakeFiles/caldb.dir/lang/planner.cc.o.d"
+  "/root/repo/src/rules/dbcron.cc" "src/CMakeFiles/caldb.dir/rules/dbcron.cc.o" "gcc" "src/CMakeFiles/caldb.dir/rules/dbcron.cc.o.d"
+  "/root/repo/src/rules/temporal_rules.cc" "src/CMakeFiles/caldb.dir/rules/temporal_rules.cc.o" "gcc" "src/CMakeFiles/caldb.dir/rules/temporal_rules.cc.o.d"
+  "/root/repo/src/time/civil.cc" "src/CMakeFiles/caldb.dir/time/civil.cc.o" "gcc" "src/CMakeFiles/caldb.dir/time/civil.cc.o.d"
+  "/root/repo/src/time/granularity.cc" "src/CMakeFiles/caldb.dir/time/granularity.cc.o" "gcc" "src/CMakeFiles/caldb.dir/time/granularity.cc.o.d"
+  "/root/repo/src/time/time_system.cc" "src/CMakeFiles/caldb.dir/time/time_system.cc.o" "gcc" "src/CMakeFiles/caldb.dir/time/time_system.cc.o.d"
+  "/root/repo/src/timeseries/pattern.cc" "src/CMakeFiles/caldb.dir/timeseries/pattern.cc.o" "gcc" "src/CMakeFiles/caldb.dir/timeseries/pattern.cc.o.d"
+  "/root/repo/src/timeseries/time_series.cc" "src/CMakeFiles/caldb.dir/timeseries/time_series.cc.o" "gcc" "src/CMakeFiles/caldb.dir/timeseries/time_series.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calendar_functions_test.dir/catalog/calendar_functions_test.cc.o"
+  "CMakeFiles/calendar_functions_test.dir/catalog/calendar_functions_test.cc.o.d"
+  "calendar_functions_test"
+  "calendar_functions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calendar_functions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/civil_test.dir/time/civil_test.cc.o"
+  "CMakeFiles/civil_test.dir/time/civil_test.cc.o.d"
+  "civil_test"
+  "civil_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/civil_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conditional_rules_test.dir/rules/conditional_rules_test.cc.o"
+  "CMakeFiles/conditional_rules_test.dir/rules/conditional_rules_test.cc.o.d"
+  "conditional_rules_test"
+  "conditional_rules_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conditional_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/day_count_test.dir/finance/day_count_test.cc.o"
+  "CMakeFiles/day_count_test.dir/finance/day_count_test.cc.o.d"
+  "day_count_test"
+  "day_count_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/day_count_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

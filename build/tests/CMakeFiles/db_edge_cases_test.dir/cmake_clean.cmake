@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_edge_cases_test.dir/db/db_edge_cases_test.cc.o"
+  "CMakeFiles/db_edge_cases_test.dir/db/db_edge_cases_test.cc.o.d"
+  "db_edge_cases_test"
+  "db_edge_cases_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_edge_cases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbcron_long_horizon_test.dir/rules/dbcron_long_horizon_test.cc.o"
+  "CMakeFiles/dbcron_long_horizon_test.dir/rules/dbcron_long_horizon_test.cc.o.d"
+  "dbcron_long_horizon_test"
+  "dbcron_long_horizon_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbcron_long_horizon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

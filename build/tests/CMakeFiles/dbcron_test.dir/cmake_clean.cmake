@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbcron_test.dir/rules/dbcron_test.cc.o"
+  "CMakeFiles/dbcron_test.dir/rules/dbcron_test.cc.o.d"
+  "dbcron_test"
+  "dbcron_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbcron_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

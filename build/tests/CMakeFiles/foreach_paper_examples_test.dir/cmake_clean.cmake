@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foreach_paper_examples_test.dir/core/foreach_paper_examples_test.cc.o"
+  "CMakeFiles/foreach_paper_examples_test.dir/core/foreach_paper_examples_test.cc.o.d"
+  "foreach_paper_examples_test"
+  "foreach_paper_examples_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foreach_paper_examples_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

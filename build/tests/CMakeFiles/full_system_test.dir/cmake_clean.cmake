@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_system_test.dir/integration/full_system_test.cc.o"
+  "CMakeFiles/full_system_test.dir/integration/full_system_test.cc.o.d"
+  "full_system_test"
+  "full_system_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

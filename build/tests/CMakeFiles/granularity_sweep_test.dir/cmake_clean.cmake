@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/granularity_sweep_test.dir/core/granularity_sweep_test.cc.o"
+  "CMakeFiles/granularity_sweep_test.dir/core/granularity_sweep_test.cc.o.d"
+  "granularity_sweep_test"
+  "granularity_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/granularity_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_calendars_test.dir/finance/market_calendars_test.cc.o"
+  "CMakeFiles/market_calendars_test.dir/finance/market_calendars_test.cc.o.d"
+  "market_calendars_test"
+  "market_calendars_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_calendars_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

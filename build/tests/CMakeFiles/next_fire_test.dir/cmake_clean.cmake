@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/next_fire_test.dir/catalog/next_fire_test.cc.o"
+  "CMakeFiles/next_fire_test.dir/catalog/next_fire_test.cc.o.d"
+  "next_fire_test"
+  "next_fire_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/next_fire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_expression_test.dir/lang/random_expression_test.cc.o"
+  "CMakeFiles/random_expression_test.dir/lang/random_expression_test.cc.o.d"
+  "random_expression_test"
+  "random_expression_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_expression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/script_paper_examples_test.dir/lang/script_paper_examples_test.cc.o"
+  "CMakeFiles/script_paper_examples_test.dir/lang/script_paper_examples_test.cc.o.d"
+  "script_paper_examples_test"
+  "script_paper_examples_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/script_paper_examples_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

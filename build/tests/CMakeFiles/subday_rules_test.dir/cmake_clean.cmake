@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subday_rules_test.dir/rules/subday_rules_test.cc.o"
+  "CMakeFiles/subday_rules_test.dir/rules/subday_rules_test.cc.o.d"
+  "subday_rules_test"
+  "subday_rules_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subday_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_system_test.dir/time/time_system_test.cc.o"
+  "CMakeFiles/time_system_test.dir/time/time_system_test.cc.o.d"
+  "time_system_test"
+  "time_system_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

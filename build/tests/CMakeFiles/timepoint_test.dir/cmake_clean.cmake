@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timepoint_test.dir/time/timepoint_test.cc.o"
+  "CMakeFiles/timepoint_test.dir/time/timepoint_test.cc.o.d"
+  "timepoint_test"
+  "timepoint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timepoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
