@@ -1,0 +1,14 @@
+// Custom benchmark main: runs with the JSON-line reporter (bench_util.h).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  caldb::bench::JsonLineReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

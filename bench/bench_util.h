@@ -1,0 +1,67 @@
+// Shared benchmark harness.  Every bench binary links bench_main.cc, which
+// runs Google Benchmark with the JsonLineReporter below: the usual console
+// table, plus one machine-readable JSON line per benchmark run on stdout —
+//
+//   BENCH {"name":"BM_GenerateDays/365","iters":123,"ns_per_op":4567.8,
+//          "registry":{...MetricRegistry::ExportJson()...}}
+//
+// The registry snapshot carries the caldb.* counters accumulated so far,
+// so scan/cache behaviour can be read off alongside the timings.  When the
+// CALDB_BENCH_JSON environment variable names a file, the JSON lines are
+// also appended there (the BENCH_*.json convention of the perf scripts).
+
+#ifndef CALDB_BENCH_BENCH_UTIL_H_
+#define CALDB_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace caldb::bench {
+
+class JsonLineReporter : public benchmark::ConsoleReporter {
+ public:
+  JsonLineReporter() {
+    const char* path = std::getenv("CALDB_BENCH_JSON");
+    if (path != nullptr && path[0] != '\0') json_path_ = path;
+  }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      const double ns_per_op =
+          run.iterations == 0
+              ? 0.0
+              : run.real_accumulated_time * 1e9 /
+                    static_cast<double>(run.iterations);
+      char head[256];
+      std::snprintf(head, sizeof(head),
+                    "{\"name\":\"%s\",\"iters\":%lld,\"ns_per_op\":%.1f,"
+                    "\"registry\":",
+                    run.benchmark_name().c_str(),
+                    static_cast<long long>(run.iterations), ns_per_op);
+      std::string line = std::string(head) +
+                         obs::MetricRegistry::Global().ExportJson() + "}";
+      std::printf("BENCH %s\n", line.c_str());
+      if (!json_path_.empty()) {
+        if (std::FILE* f = std::fopen(json_path_.c_str(), "a")) {
+          std::fprintf(f, "%s\n", line.c_str());
+          std::fclose(f);
+        }
+      }
+    }
+  }
+
+ private:
+  std::string json_path_;
+};
+
+}  // namespace caldb::bench
+
+#endif  // CALDB_BENCH_BENCH_UTIL_H_

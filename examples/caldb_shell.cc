@@ -21,6 +21,7 @@
 #include "catalog/catalog_io.h"
 #include "common/macros.h"
 #include "common/strings.h"
+#include "obs/obs.h"
 #include "rules/dbcron.h"
 
 using namespace caldb;
@@ -93,6 +94,9 @@ class Shell {
     if (cmd == "rules") return ListRules();
     if (cmd == "advance") return Advance(rest);
     if (cmd == "dump") return Dump();
+    if (cmd == "explain") return Explain(rest);
+    if (cmd == "stats") return ShowStats(rest);
+    if (cmd == "trace") return ShowTrace();
     return Status::InvalidArgument("unknown command \\" + cmd +
                                    " (try \\help)");
   }
@@ -110,7 +114,11 @@ class Shell {
         "  \\rules                    list temporal rules + RULE-TIME\n"
         "  \\advance <YYYY-MM-DD>     run DBCRON forward on the virtual clock\n"
         "  \\dump                     dump the catalog\n"
+        "  \\explain <script>         run a calendar script with per-step profiling\n"
+        "  \\stats [json|reset]       show (or reset) the metric registry\n"
+        "  \\trace                    show recent spans from the tracer\n"
         "  anything else             executed as a database statement\n"
+        "                            (explain/profile <stmt> show its plan)\n"
         "  \\quit                     exit\n");
     return Status::OK();
   }
@@ -244,6 +252,36 @@ class Shell {
   Status Dump() {
     CALDB_ASSIGN_OR_RETURN(std::string dump, DumpCatalog(catalog_));
     std::printf("%s", dump.c_str());
+    return Status::OK();
+  }
+
+  Status Explain(const std::string& text) {
+    if (text.empty()) return Status::InvalidArgument("\\explain needs a script");
+    EvalOptions opts;
+    opts.window_days = window_;
+    opts.today_day = clock_.NowDay();
+    CALDB_ASSIGN_OR_RETURN(std::string report,
+                           catalog_.ExplainScript(text, opts));
+    std::printf("%s", report.c_str());
+    return Status::OK();
+  }
+
+  Status ShowStats(const std::string& rest) {
+    if (rest == "json") {
+      std::printf("%s\n", obs::Metrics().ExportJson().c_str());
+    } else if (rest == "reset") {
+      obs::Metrics().ResetAll();
+      std::printf("metrics reset\n");
+    } else if (rest.empty()) {
+      std::printf("%s", obs::Metrics().ExportText().c_str());
+    } else {
+      return Status::InvalidArgument("usage: \\stats [json|reset]");
+    }
+    return Status::OK();
+  }
+
+  Status ShowTrace() {
+    std::printf("%s", obs::Trace().ToString().c_str());
     return Status::OK();
   }
 

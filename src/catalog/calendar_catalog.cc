@@ -7,6 +7,7 @@
 #include "lang/optimizer.h"
 #include "lang/parser.h"
 #include "lang/planner.h"
+#include "obs/obs.h"
 
 namespace caldb {
 
@@ -14,6 +15,21 @@ namespace {
 
 bool IsBaseName(const std::string& name) {
   return ParseGranularity(name).ok();
+}
+
+// Registry instruments of the catalog layer.
+struct CatalogMetrics {
+  obs::Counter* defines = obs::Metrics().counter("caldb.catalog.defines");
+  obs::Counter* eval_cache_hits =
+      obs::Metrics().counter("caldb.catalog.eval_cache.hits");
+  obs::Counter* eval_cache_misses =
+      obs::Metrics().counter("caldb.catalog.eval_cache.misses");
+  obs::Histogram* eval_ns = obs::Metrics().histogram("caldb.catalog.eval_ns");
+};
+
+CatalogMetrics& Metrics() {
+  static CatalogMetrics* metrics = new CatalogMetrics();
+  return *metrics;
 }
 
 }  // namespace
@@ -37,6 +53,9 @@ Status CalendarCatalog::CheckNameFree(const std::string& name) const {
 Status CalendarCatalog::DefineDerived(const std::string& name,
                                       const std::string& script_text,
                                       std::optional<Interval> lifespan_days) {
+  obs::Tracer::Span span = obs::StartSpan("catalog.define");
+  span.AddAttr("name", name);
+  Metrics().defines->Increment();
   CALDB_RETURN_IF_ERROR(CheckNameFree(name));
   Result<Script> parsed = ParseScript(script_text);
   if (!parsed.ok()) {
@@ -191,7 +210,12 @@ Result<Calendar> CalendarCatalog::EvaluateCalendar(const std::string& name,
     case ResolvedCalendar::Kind::kDerived: {
       auto key = std::make_tuple(name, opts.window_days.lo, opts.window_days.hi);
       auto cached = eval_cache_.find(key);
-      if (cached != eval_cache_.end()) return cached->second;
+      if (cached != eval_cache_.end()) {
+        Metrics().eval_cache_hits->Increment();
+        return cached->second;
+      }
+      Metrics().eval_cache_misses->Increment();
+      obs::ScopedLatency latency(Metrics().eval_ns);
       Evaluator evaluator(&time_system_, this);
       CALDB_ASSIGN_OR_RETURN(ScriptValue value,
                              evaluator.Run(*resolved.plan, opts, stats));
@@ -224,6 +248,104 @@ Result<Plan> CalendarCatalog::CompileScriptText(
   CALDB_RETURN_IF_ERROR(analyzer.AnalyzeScript(&script));
   CALDB_RETURN_IF_ERROR(OptimizeScript(&script));
   return CompileScript(script);
+}
+
+namespace {
+
+int CountScriptNodes(const std::vector<Stmt>& stmts) {
+  int count = 0;
+  for (const Stmt& stmt : stmts) {
+    if (stmt.expr) count += CountExprNodes(*stmt.expr);
+    count += CountScriptNodes(stmt.body);
+    count += CountScriptNodes(stmt.else_body);
+  }
+  return count;
+}
+
+std::string FormatNsAsUs(int64_t ns) {
+  int64_t tenths = ns / 100;
+  return std::to_string(tenths / 10) + "." + std::to_string(tenths % 10) +
+         "us";
+}
+
+}  // namespace
+
+Result<std::string> CalendarCatalog::ExplainScript(
+    const std::string& script_text, const EvalOptions& opts_in) const {
+  obs::Tracer::Span span = obs::StartSpan("catalog.explain");
+  // The inline rewrite happens inside the analyzer; read it off the
+  // registry as a delta around the phase.
+  obs::Counter* inline_counter =
+      obs::Metrics().counter("caldb.opt.rewrite.inline");
+
+  int64_t t0 = obs::NowNs();
+  CALDB_ASSIGN_OR_RETURN(Script script, ParseScript(script_text));
+  int64_t t_parse = obs::NowNs();
+  const int nodes_parsed = CountScriptNodes(script.stmts);
+
+  const int64_t inlines_before = inline_counter->value();
+  Analyzer analyzer(this);
+  CALDB_RETURN_IF_ERROR(analyzer.AnalyzeScript(&script));
+  int64_t t_analyze = obs::NowNs();
+  const int64_t inlines = inline_counter->value() - inlines_before;
+
+  OptimizeStats opt_stats;
+  CALDB_RETURN_IF_ERROR(OptimizeScript(&script, &opt_stats));
+  int64_t t_optimize = obs::NowNs();
+  const int nodes_optimized = CountScriptNodes(script.stmts);
+
+  CALDB_ASSIGN_OR_RETURN(Plan plan, CompileScript(script));
+  int64_t t_plan = obs::NowNs();
+
+  int pushdowns = 0;
+  for (const PlanStep& step : plan.steps) {
+    // Counting only top-level steps keeps this a property of this plan
+    // (the registry counter is process-wide).
+    if (step.hint.mode != WindowHint::Mode::kNone) ++pushdowns;
+  }
+
+  EvalOptions opts = opts_in;
+  StepProfile profile;
+  opts.profile = &profile;
+  EvalStats stats;
+  Evaluator evaluator(&time_system_, this);
+  int64_t run0 = obs::NowNs();
+  CALDB_ASSIGN_OR_RETURN(ScriptValue value, evaluator.Run(plan, opts, &stats));
+  int64_t run_ns = obs::NowNs() - run0;
+
+  std::string out = "EXPLAIN " + script_text + "\n";
+  out += "compile: parse=" + FormatNsAsUs(t_parse - t0) +
+         " analyze=" + FormatNsAsUs(t_analyze - t_parse) +
+         " optimize=" + FormatNsAsUs(t_optimize - t_analyze) +
+         " plan=" + FormatNsAsUs(t_plan - t_optimize) + "\n";
+  out += "rewrites: inline=" + std::to_string(inlines) +
+         " factorize=" + std::to_string(opt_stats.factorizations) +
+         " pushdown=" + std::to_string(pushdowns) + " nodes " +
+         std::to_string(nodes_parsed) + " -> " +
+         std::to_string(nodes_optimized) + "\n";
+  out += plan.ToString(&profile);
+  out += "eval: steps=" + std::to_string(stats.steps_executed) +
+         " generate_calls=" + std::to_string(stats.generate_calls) +
+         " intervals_generated=" + std::to_string(stats.intervals_generated) +
+         " gen_cache_hits=" + std::to_string(stats.cache_hits) +
+         " time=" + FormatNsAsUs(run_ns) + "\n";
+  switch (value.kind) {
+    case ScriptValue::Kind::kCalendar:
+      out += "result: calendar order=" + std::to_string(value.calendar.order()) +
+             " intervals=" + std::to_string(value.calendar.TotalIntervals()) +
+             "\n";
+      break;
+    case ScriptValue::Kind::kString:
+      out += "result: \"" + value.text + "\"\n";
+      break;
+    case ScriptValue::Kind::kBlocked:
+      out += "result: (blocked)\n";
+      break;
+    case ScriptValue::Kind::kNull:
+      out += "result: (null)\n";
+      break;
+  }
+  return out;
 }
 
 namespace {

@@ -92,6 +92,14 @@ class CalendarCatalog : public CalendarSource {
   /// Compiles a script without running it (for inspection / DBCRON).
   Result<Plan> CompileScriptText(const std::string& script_text) const;
 
+  /// EXPLAIN: compiles `script_text` timing each pipeline phase, runs it
+  /// with per-plan-node profiling, and renders a report — phase timings,
+  /// rewrite counts (inline / factorize / pushdown), the optimized plan
+  /// annotated with per-node execution counts/timings/output sizes, and
+  /// the evaluation counters of the run (generate calls, cache hits...).
+  Result<std::string> ExplainScript(const std::string& script_text,
+                                    const EvalOptions& opts) const;
+
   /// Convenience: the DAYS window covering civil years [first, last].
   Result<Interval> YearWindow(int32_t first_year, int32_t last_year) const;
 

@@ -3,8 +3,23 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "obs/obs.h"
 
 namespace caldb {
+
+namespace {
+
+struct BtreeMetrics {
+  obs::Counter* node_reads = obs::Metrics().counter("caldb.btree.node_reads");
+  obs::Counter* splits = obs::Metrics().counter("caldb.btree.splits");
+};
+
+BtreeMetrics& Metrics() {
+  static BtreeMetrics* m = new BtreeMetrics();
+  return *m;
+}
+
+}  // namespace
 
 struct BPlusTree::Node {
   bool is_leaf = true;
@@ -52,10 +67,12 @@ void BPlusTree::Insert(int64_t key, int64_t rowid) {
 
 std::unique_ptr<BPlusTree::SplitResult> BPlusTree::InsertRec(Node* node,
                                                              const Entry& entry) {
+  Metrics().node_reads->Increment();
   if (node->is_leaf) {
     auto pos = std::lower_bound(node->entries.begin(), node->entries.end(), entry);
     node->entries.insert(pos, entry);
     if (static_cast<int>(node->entries.size()) <= max_entries_) return nullptr;
+    Metrics().splits->Increment();
     // Split: right half moves to a new leaf.
     auto right = std::make_unique<Node>();
     size_t mid = node->entries.size() / 2;
@@ -81,6 +98,7 @@ std::unique_ptr<BPlusTree::SplitResult> BPlusTree::InsertRec(Node* node,
   node->children.insert(node->children.begin() + static_cast<int64_t>(idx) + 1,
                         std::move(child_split->right));
   if (static_cast<int>(node->children.size()) <= max_entries_) return nullptr;
+  Metrics().splits->Increment();
   // Split internal node: the middle separator moves up.
   auto right = std::make_unique<Node>();
   right->is_leaf = false;
@@ -212,12 +230,15 @@ void BPlusTree::RebalanceChild(Node* parent, size_t idx) {
 const BPlusTree::Node* BPlusTree::FindLeaf(int64_t key) const {
   Entry probe{key, INT64_MIN};
   const Node* node = root_.get();
+  int64_t reads = 1;
   while (!node->is_leaf) {
     size_t idx = static_cast<size_t>(
         std::upper_bound(node->seps.begin(), node->seps.end(), probe) -
         node->seps.begin());
     node = node->children[idx].get();
+    ++reads;
   }
+  Metrics().node_reads->Add(reads);
   return node;
 }
 

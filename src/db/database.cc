@@ -7,8 +7,31 @@
 
 #include "common/macros.h"
 #include "common/strings.h"
+#include "obs/obs.h"
 
 namespace caldb {
+
+namespace {
+
+// Process-wide counters mirroring Database::Stats, plus the per-statement
+// latency histogram.  Looked up once; see docs/OBSERVABILITY.md.
+struct DbMetrics {
+  obs::Counter* statements = obs::Metrics().counter("caldb.db.statements");
+  obs::Counter* rows_scanned =
+      obs::Metrics().counter("caldb.db.rows_scanned");
+  obs::Counter* index_scans = obs::Metrics().counter("caldb.db.index_scans");
+  obs::Counter* full_scans = obs::Metrics().counter("caldb.db.full_scans");
+  obs::Counter* rules_fired = obs::Metrics().counter("caldb.db.rules_fired");
+  obs::Histogram* statement_ns =
+      obs::Metrics().histogram("caldb.db.statement_ns");
+};
+
+DbMetrics& Metrics() {
+  static DbMetrics* m = new DbMetrics();
+  return *m;
+}
+
+}  // namespace
 
 std::string QueryResult::ToString() const {
   if (columns.empty()) {
@@ -93,6 +116,9 @@ EvalScope Database::MakeScope(const EvalScope* ambient) const {
 
 Result<QueryResult> Database::Execute(const std::string& query,
                                       const EvalScope* ambient) {
+  Metrics().statements->Increment();
+  obs::ScopedLatency latency(Metrics().statement_ns);
+  obs::Tracer::Span span = obs::StartSpan("db.execute");
   CALDB_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(query));
   return ExecuteParsed(stmt, ambient);
 }
@@ -149,7 +175,24 @@ Result<QueryResult> Database::ExecuteParsed(const Statement& stmt,
     result.message = "dropped table " + drop_table->table;
     return result;
   }
+  if (const auto* explain = std::get_if<ExplainStmt>(&stmt)) {
+    return ExecuteExplain(*explain, ambient);
+  }
   return Status::Internal("unhandled statement kind");
+}
+
+std::optional<Database::IndexChoice> Database::ChooseIndex(
+    const Table& table, const std::string& var, const DbExpr* where) {
+  if (where == nullptr) return std::nullopt;
+  for (const Column& column : table.schema().columns()) {
+    if (column.type != ValueType::kInt) continue;
+    if (!table.HasIndex(column.name)) continue;
+    std::optional<std::pair<int64_t, int64_t>> range =
+        ExtractIndexRange(*where, var, column.name);
+    if (!range.has_value()) continue;
+    return IndexChoice{column.name, range->first, range->second};
+  }
+  return std::nullopt;
 }
 
 Status Database::CollectMatches(Table* table, const std::string& var,
@@ -159,6 +202,7 @@ Status Database::CollectMatches(Table* table, const std::string& var,
   Status visit_status = Status::OK();
   auto visit = [&](RowId id, const Row& row) {
     ++stats_.rows_scanned;
+    Metrics().rows_scanned->Increment();
     if (where != nullptr) {
       scope.tuples[var] = TupleBinding{&table->schema(), &row};
       Result<Value> cond = EvalDbExpr(*where, scope);
@@ -178,20 +222,15 @@ Status Database::CollectMatches(Table* table, const std::string& var,
   };
 
   // Try index acceleration: any indexed int column constrained by `where`.
-  if (where != nullptr) {
-    for (const Column& column : table->schema().columns()) {
-      if (column.type != ValueType::kInt) continue;
-      if (!table->HasIndex(column.name)) continue;
-      std::optional<std::pair<int64_t, int64_t>> range =
-          ExtractIndexRange(*where, var, column.name);
-      if (!range.has_value()) continue;
-      ++stats_.index_scans;
-      CALDB_RETURN_IF_ERROR(
-          table->IndexScan(column.name, range->first, range->second, visit));
-      return visit_status;
-    }
+  if (std::optional<IndexChoice> choice = ChooseIndex(*table, var, where)) {
+    ++stats_.index_scans;
+    Metrics().index_scans->Increment();
+    CALDB_RETURN_IF_ERROR(
+        table->IndexScan(choice->column, choice->lo, choice->hi, visit));
+    return visit_status;
   }
   ++stats_.full_scans;
+  Metrics().full_scans->Increment();
   table->Scan(visit);
   return visit_status;
 }
@@ -232,6 +271,7 @@ Status Database::FireRules(DbEvent event, const std::string& table,
       }
     }
     ++stats_.rules_fired;
+    Metrics().rules_fired->Increment();
     if (rule.callback) {
       status = rule.callback(*this, scope);
     } else if (!rule.command.empty()) {
@@ -505,6 +545,7 @@ Result<QueryResult> Database::ExecuteRetrieve(const RetrieveStmt& stmt,
     Status inner_status = Status::OK();
     auto visit = [&](RowId id, const Row& row) {
       ++stats_.rows_scanned;
+      Metrics().rows_scanned->Increment();
       bound_rows[level] = row;
       scope.tuples[vars[level]] =
           TupleBinding{&table->schema(), &bound_rows[level]};
@@ -525,20 +566,16 @@ Result<QueryResult> Database::ExecuteRetrieve(const RetrieveStmt& stmt,
       inner_status = enumerate(level + 1);
       return inner_status.ok();
     };
-    if (stmt.where != nullptr) {
-      for (const Column& column : table->schema().columns()) {
-        if (column.type != ValueType::kInt) continue;
-        if (!table->HasIndex(column.name)) continue;
-        std::optional<std::pair<int64_t, int64_t>> range =
-            ExtractIndexRange(*stmt.where, vars[level], column.name);
-        if (!range.has_value()) continue;
-        ++stats_.index_scans;
-        CALDB_RETURN_IF_ERROR(
-            table->IndexScan(column.name, range->first, range->second, visit));
-        return inner_status;
-      }
+    if (std::optional<IndexChoice> choice =
+            ChooseIndex(*table, vars[level], stmt.where.get())) {
+      ++stats_.index_scans;
+      Metrics().index_scans->Increment();
+      CALDB_RETURN_IF_ERROR(
+          table->IndexScan(choice->column, choice->lo, choice->hi, visit));
+      return inner_status;
     }
     ++stats_.full_scans;
+    Metrics().full_scans->Increment();
     table->Scan(visit);
     return inner_status;
   };
@@ -722,6 +759,114 @@ Result<QueryResult> Database::ExecuteDelete(const DeleteStmt& stmt,
   result.affected = static_cast<int64_t>(matches.size());
   result.message = "deleted " + std::to_string(matches.size()) + " rows from " +
                    stmt.table;
+  return result;
+}
+
+namespace {
+
+std::string RangeToString(int64_t lo, int64_t hi) {
+  return "[" + std::to_string(lo) + ", " + std::to_string(hi) + "]";
+}
+
+}  // namespace
+
+Result<std::string> Database::DescribePlan(const Statement& stmt) const {
+  std::string out;
+  auto describe_scan = [&](const Table& table, const std::string& var,
+                           const DbExpr* where) {
+    std::optional<IndexChoice> choice = ChooseIndex(table, var, where);
+    out += "  scan " + var + " in " + table.name();
+    if (choice.has_value()) {
+      out += ": index scan on (" + choice->column + ") range " +
+             RangeToString(choice->lo, choice->hi);
+    } else {
+      out += ": full scan (" + std::to_string(table.size()) + " rows)";
+    }
+    out += "\n";
+  };
+  auto describe_rules = [&](DbEvent event, const std::string& table) {
+    int armed = 0;
+    for (const EventRule& rule : rules_) {
+      if (rule.event == event && rule.table == table) ++armed;
+    }
+    if (armed > 0) {
+      out += "  rules armed on " + std::string(DbEventName(event)) + " " +
+             table + ": " + std::to_string(armed) + "\n";
+    }
+  };
+
+  if (const auto* retrieve = std::get_if<RetrieveStmt>(&stmt)) {
+    out += "retrieve: nested-loop join over " +
+           std::to_string(retrieve->tables.size()) + " range variable" +
+           (retrieve->tables.size() == 1 ? "" : "s") + "\n";
+    for (const RetrieveStmt::TableRef& ref : retrieve->tables) {
+      CALDB_ASSIGN_OR_RETURN(const Table* table, GetTable(ref.table));
+      describe_scan(*table, ref.var, retrieve->where.get());
+      describe_rules(DbEvent::kRetrieve, ref.table);
+    }
+    if (!retrieve->group_by.empty()) {
+      out += "  group by " + std::to_string(retrieve->group_by.size()) +
+             " column" + (retrieve->group_by.size() == 1 ? "" : "s") + "\n";
+    }
+    if (!retrieve->order_by.empty()) {
+      out += "  sort by " + std::to_string(retrieve->order_by.size()) +
+             " column" + (retrieve->order_by.size() == 1 ? "" : "s") + "\n";
+    }
+    if (!retrieve->into.empty()) {
+      out += "  materialize into " + retrieve->into + "\n";
+    }
+    return out;
+  }
+  if (const auto* replace = std::get_if<ReplaceStmt>(&stmt)) {
+    out += "replace in " + replace->table + "\n";
+    CALDB_ASSIGN_OR_RETURN(const Table* table, GetTable(replace->table));
+    describe_scan(*table, replace->var, replace->where.get());
+    describe_rules(DbEvent::kReplace, replace->table);
+    return out;
+  }
+  if (const auto* del = std::get_if<DeleteStmt>(&stmt)) {
+    out += "delete from " + del->table + "\n";
+    CALDB_ASSIGN_OR_RETURN(const Table* table, GetTable(del->table));
+    describe_scan(*table, del->var, del->where.get());
+    describe_rules(DbEvent::kDelete, del->table);
+    return out;
+  }
+  if (const auto* append = std::get_if<AppendStmt>(&stmt)) {
+    out += "append 1 row to " + append->table + "\n";
+    describe_rules(DbEvent::kAppend, append->table);
+    return out;
+  }
+  if (std::holds_alternative<ExplainStmt>(stmt)) {
+    return Status::InvalidArgument("explain of an explain statement");
+  }
+  // DDL and rule management have no access plan.
+  out += "utility statement (no access plan)\n";
+  return out;
+}
+
+Result<QueryResult> Database::ExecuteExplain(const ExplainStmt& stmt,
+                                             const EvalScope* ambient) {
+  CALDB_ASSIGN_OR_RETURN(Statement inner, ParseStatement(stmt.query));
+  QueryResult result;
+  CALDB_ASSIGN_OR_RETURN(result.message, DescribePlan(inner));
+  if (!stmt.profile) return result;
+
+  const Stats before = stats_;
+  const int64_t t0 = obs::NowNs();
+  CALDB_ASSIGN_OR_RETURN(QueryResult run, ExecuteParsed(inner, ambient));
+  const int64_t ns = obs::NowNs() - t0;
+
+  result.message += "profile: rows_scanned=" +
+                    std::to_string(stats_.rows_scanned - before.rows_scanned) +
+                    " index_scans=" +
+                    std::to_string(stats_.index_scans - before.index_scans) +
+                    " full_scans=" +
+                    std::to_string(stats_.full_scans - before.full_scans) +
+                    " rules_fired=" +
+                    std::to_string(stats_.rules_fired - before.rules_fired) +
+                    " rows_out=" + std::to_string(run.affected) + " time=" +
+                    std::to_string(ns / 1000) + "." +
+                    std::to_string(ns / 100 % 10) + "us\n";
   return result;
 }
 

@@ -74,6 +74,8 @@ class Database {
 
   // --- instrumentation (used by benches) -------------------------------
 
+  /// Thin per-database view of the scan counters; the same events also
+  /// feed the process-wide registry ("caldb.db.*", docs/OBSERVABILITY.md).
   struct Stats {
     int64_t rows_scanned = 0;
     int64_t index_scans = 0;
@@ -84,6 +86,24 @@ class Database {
   void ResetStats() { stats_ = Stats{}; }
 
  private:
+  // The access path CollectMatches / the join enumerator would take for
+  // (table, var, where): the indexed int column and key range, or nullopt
+  // for a full scan.  Shared by execution and EXPLAIN so the explanation
+  // can never drift from what actually runs.
+  struct IndexChoice {
+    std::string column;
+    int64_t lo = 0;
+    int64_t hi = 0;
+  };
+  static std::optional<IndexChoice> ChooseIndex(const Table& table,
+                                                const std::string& var,
+                                                const DbExpr* where);
+
+  Result<QueryResult> ExecuteExplain(const ExplainStmt& stmt,
+                                     const EvalScope* ambient);
+  // Renders the access plan of a parsed statement ("EXPLAIN" body).
+  Result<std::string> DescribePlan(const Statement& stmt) const;
+
   Result<QueryResult> ExecuteRetrieve(const RetrieveStmt& stmt,
                                       const EvalScope* ambient);
   Result<QueryResult> ExecuteAppend(const AppendStmt& stmt,

@@ -95,10 +95,20 @@ struct DropTableStmt {
   std::string table;
 };
 
+/// `explain <stmt>` / `profile <stmt>`.  The inner statement is kept as
+/// text (re-parsed at execution) so the variant stays non-recursive.
+/// EXPLAIN describes the access plan (index vs full scan per range
+/// variable, pushed-down conjuncts, rules armed); PROFILE additionally
+/// executes the statement and reports scan counters and latency.
+struct ExplainStmt {
+  bool profile = false;
+  std::string query;
+};
+
 using Statement =
     std::variant<RetrieveStmt, AppendStmt, ReplaceStmt, DeleteStmt,
                  CreateTableStmt, CreateIndexStmt, DefineRuleStmt, DropRuleStmt,
-                 DropTableStmt>;
+                 DropTableStmt, ExplainStmt>;
 
 /// Parses one statement.
 Result<Statement> ParseStatement(std::string_view query);

@@ -593,6 +593,17 @@ class QueryParser {
 
 Result<Statement> ParseStatement(std::string_view query) {
   CALDB_ASSIGN_OR_RETURN(std::vector<QToken> tokens, QLex(query));
+  // `explain <stmt>` / `profile <stmt>`: strip the verb, validate the
+  // tail by parsing it, and keep it as text (see ExplainStmt).
+  if (tokens.size() >= 2 && tokens[0].kind == QTok::kIdent &&
+      (EqualsIgnoreCase(tokens[0].text, "explain") ||
+       EqualsIgnoreCase(tokens[0].text, "profile"))) {
+    ExplainStmt stmt;
+    stmt.profile = EqualsIgnoreCase(tokens[0].text, "profile");
+    stmt.query = std::string(query.substr(tokens[1].offset));
+    CALDB_RETURN_IF_ERROR(ParseStatement(stmt.query).status());
+    return Statement{std::move(stmt)};
+  }
   return QueryParser(query, std::move(tokens)).ParseStatementTop();
 }
 

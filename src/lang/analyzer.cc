@@ -4,6 +4,7 @@
 
 #include "common/macros.h"
 #include "common/strings.h"
+#include "obs/obs.h"
 #include "time/civil.h"
 
 namespace caldb {
@@ -214,6 +215,9 @@ Status Analyzer::ResolveIdent(ExprPtr* node_ptr, Scope* scope) {
       inlining_.erase(name);
       CALDB_RETURN_IF_ERROR(st);
       *node_ptr = std::move(inlined);
+      static obs::Counter* inline_counter =
+          obs::Metrics().counter("caldb.opt.rewrite.inline");
+      inline_counter->Increment();
       return Status::OK();
     }
   }

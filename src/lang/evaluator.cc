@@ -5,9 +5,33 @@
 
 #include "common/macros.h"
 #include "core/generate.h"
+#include "obs/obs.h"
 #include "time/civil.h"
 
 namespace caldb {
+
+namespace {
+
+// Registry instruments of the evaluator, resolved once.
+struct EvalMetrics {
+  obs::Counter* steps = obs::Metrics().counter("caldb.eval.steps");
+  obs::Counter* generate_calls =
+      obs::Metrics().counter("caldb.eval.generate_calls");
+  obs::Counter* intervals_generated =
+      obs::Metrics().counter("caldb.eval.intervals_generated");
+  obs::Counter* cache_hits =
+      obs::Metrics().counter("caldb.eval.gen_cache.hits");
+  obs::Counter* cache_misses =
+      obs::Metrics().counter("caldb.eval.gen_cache.misses");
+  obs::Histogram* run_ns = obs::Metrics().histogram("caldb.eval.run_ns");
+};
+
+EvalMetrics& Metrics() {
+  static EvalMetrics* metrics = new EvalMetrics();
+  return *metrics;
+}
+
+}  // namespace
 
 Result<Interval> ConvertDayWindow(const TimeSystem& ts, const Interval& days,
                                   Granularity unit) {
@@ -37,6 +61,8 @@ struct Evaluator::Frame {
 Result<ScriptValue> Evaluator::Run(const Plan& plan, const EvalOptions& opts,
                                    EvalStats* stats) {
   stats_ = stats;
+  obs::ScopedLatency latency(Metrics().run_ns);
+  obs::Tracer::Span span = obs::StartSpan("eval.run");
   Result<ScriptValue> result = RunPlan(plan, opts, /*depth=*/0);
   stats_ = nullptr;
   return result;
@@ -116,6 +142,27 @@ Result<Interval> Evaluator::WindowFor(const PlanStep& step,
 Status Evaluator::RunStep(const PlanStep& step, Frame* frame,
                           ScriptValue* returned, bool* did_return) {
   if (stats_ != nullptr) ++stats_->steps_executed;
+  Metrics().steps->Increment();
+  StepProfile* profile = frame->opts->profile;
+  if (profile == nullptr) {
+    return RunStepImpl(step, frame, returned, did_return);
+  }
+  const int64_t start_ns = obs::NowNs();
+  Status status = RunStepImpl(step, frame, returned, did_return);
+  StepProfile::Node& node = profile->NodeFor(step);
+  ++node.execs;
+  node.total_ns += obs::NowNs() - start_ns;
+  if (status.ok() && step.dst >= 0 &&
+      static_cast<size_t>(step.dst) < frame->regs.size() &&
+      frame->regs[static_cast<size_t>(step.dst)].has_value()) {
+    node.out_intervals =
+        frame->regs[static_cast<size_t>(step.dst)]->TotalIntervals();
+  }
+  return status;
+}
+
+Status Evaluator::RunStepImpl(const PlanStep& step, Frame* frame,
+                              ScriptValue* returned, bool* did_return) {
   const Granularity unit = frame->plan->unit;
   auto set = [frame](int reg, Calendar value) {
     frame->regs[static_cast<size_t>(reg)] = std::move(value);
@@ -136,9 +183,11 @@ Status Evaluator::RunStep(const PlanStep& step, Frame* frame,
       auto cached = gen_cache_.find(key);
       if (cached != gen_cache_.end()) {
         if (stats_ != nullptr) ++stats_->cache_hits;
+        Metrics().cache_hits->Increment();
         set(step.dst, cached->second);
         return Status::OK();
       }
+      Metrics().cache_misses->Increment();
       CALDB_ASSIGN_OR_RETURN(
           Calendar generated,
           GenerateBaseCalendar(*ts_, step.gran_arg, unit, *window,
@@ -147,6 +196,8 @@ Status Evaluator::RunStep(const PlanStep& step, Frame* frame,
         ++stats_->generate_calls;
         stats_->intervals_generated += generated.TotalIntervals();
       }
+      Metrics().generate_calls->Increment();
+      Metrics().intervals_generated->Add(generated.TotalIntervals());
       gen_cache_[key] = generated;
       set(step.dst, std::move(generated));
       return Status::OK();
@@ -279,6 +330,8 @@ Status Evaluator::RunStep(const PlanStep& step, Frame* frame,
         ++stats_->generate_calls;
         stats_->intervals_generated += generated.TotalIntervals();
       }
+      Metrics().generate_calls->Increment();
+      Metrics().intervals_generated->Add(generated.TotalIntervals());
       CALDB_ASSIGN_OR_RETURN(Calendar value, Rescale(*ts_, generated, unit));
       set(step.dst, std::move(value));
       return Status::OK();

@@ -60,9 +60,14 @@ struct EvalOptions {
   bool use_window_hints = true;
   int64_t max_loop_iterations = 100000;
   int max_invoke_depth = 16;
+  /// When set, per-plan-node execution counts/timings are recorded here
+  /// (EXPLAIN/PROFILE).  Propagates into nested kInvoke plans.
+  StepProfile* profile = nullptr;
 };
 
-/// Counters used by the factorization / push-down benchmarks.
+/// Counters used by the factorization / push-down benchmarks.  A thin
+/// per-run view: the same events also feed the process-wide registry
+/// ("caldb.eval.*", see docs/OBSERVABILITY.md).
 struct EvalStats {
   int64_t steps_executed = 0;
   int64_t generate_calls = 0;
@@ -89,8 +94,11 @@ class Evaluator {
   // Executes steps; sets *returned when a return fired.
   Status RunSteps(const std::vector<PlanStep>& steps, Frame* frame,
                   ScriptValue* returned, bool* did_return);
+  // RunStep wraps RunStepImpl with the per-step profiler.
   Status RunStep(const PlanStep& step, Frame* frame, ScriptValue* returned,
                  bool* did_return);
+  Status RunStepImpl(const PlanStep& step, Frame* frame, ScriptValue* returned,
+                     bool* did_return);
   Result<Interval> WindowFor(const PlanStep& step, const Frame& frame) const;
   Result<Calendar> ReadReg(const Frame& frame, int reg, int line_hint) const;
 

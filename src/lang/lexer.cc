@@ -3,6 +3,7 @@
 #include <cctype>
 
 #include "common/macros.h"
+#include "obs/obs.h"
 
 namespace caldb {
 
@@ -231,7 +232,12 @@ class LexerImpl {
 }  // namespace
 
 Result<std::vector<Token>> Lex(std::string_view source) {
-  return LexerImpl(source).Run();
+  static obs::Counter* calls = obs::Metrics().counter("caldb.lang.lex.calls");
+  static obs::Counter* tokens = obs::Metrics().counter("caldb.lang.lex.tokens");
+  calls->Increment();
+  Result<std::vector<Token>> result = LexerImpl(source).Run();
+  if (result.ok()) tokens->Add(static_cast<int64_t>(result->size()));
+  return result;
 }
 
 }  // namespace caldb

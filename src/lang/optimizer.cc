@@ -2,8 +2,19 @@
 
 #include "common/macros.h"
 #include "common/strings.h"
+#include "obs/obs.h"
 
 namespace caldb {
+
+namespace {
+
+obs::Counter* FactorizeCounter() {
+  static obs::Counter* counter =
+      obs::Metrics().counter("caldb.opt.rewrite.factorize");
+  return counter;
+}
+
+}  // namespace
 
 namespace {
 
@@ -125,12 +136,14 @@ int OptimizeBody(std::vector<Stmt>* body) {
 Status OptimizeScript(Script* script, OptimizeStats* stats) {
   int count = OptimizeBody(&script->stmts);
   if (stats != nullptr) stats->factorizations += count;
+  if (count > 0) FactorizeCounter()->Add(count);
   return Status::OK();
 }
 
 Status OptimizeExpr(ExprPtr* expr, OptimizeStats* stats) {
   int count = FactorizeRec(expr);
   if (stats != nullptr) stats->factorizations += count;
+  if (count > 0) FactorizeCounter()->Add(count);
   return Status::OK();
 }
 

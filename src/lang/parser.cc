@@ -1,6 +1,7 @@
 #include "lang/parser.h"
 
 #include "common/macros.h"
+#include "obs/obs.h"
 #include "lang/lexer.h"
 
 namespace caldb {
@@ -409,11 +410,18 @@ class Parser {
 }  // namespace
 
 Result<Script> ParseScript(std::string_view source) {
+  static obs::Counter* calls =
+      obs::Metrics().counter("caldb.lang.parse.calls");
+  calls->Increment();
+  obs::Tracer::Span span = obs::StartSpan("lang.parse");
   CALDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source));
   return Parser(std::move(tokens)).ParseScriptTop();
 }
 
 Result<ExprPtr> ParseExpression(std::string_view source) {
+  static obs::Counter* calls =
+      obs::Metrics().counter("caldb.lang.parse.expr_calls");
+  calls->Increment();
   CALDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source));
   return Parser(std::move(tokens)).ParseExprTop();
 }

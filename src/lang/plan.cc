@@ -56,8 +56,19 @@ std::string HintToString(const WindowHint& hint) {
   return "";
 }
 
+std::string ProfileSuffix(const StepProfile* profile, const PlanStep& s) {
+  if (profile == nullptr) return "";
+  const StepProfile::Node* node = profile->Find(s);
+  if (node == nullptr || node->execs == 0) return "  [not executed]";
+  // Sub-microsecond times render with one decimal ("0.3us").
+  int64_t tenths = node->total_ns / 100;
+  return "  [execs=" + std::to_string(node->execs) + " time=" +
+         std::to_string(tenths / 10) + "." + std::to_string(tenths % 10) +
+         "us out=" + std::to_string(node->out_intervals) + "]";
+}
+
 void StepsToString(const std::vector<PlanStep>& steps, int depth,
-                   std::string* out) {
+                   const StepProfile* profile, std::string* out) {
   const std::string indent(static_cast<size_t>(depth) * 2, ' ');
   for (const PlanStep& s : steps) {
     *out += indent;
@@ -148,32 +159,35 @@ void StepsToString(const std::vector<PlanStep>& steps, int depth,
         *out += "RETURN \"" + s.name + "\"";
         break;
       case PlanOpCode::kIf:
-        *out += "IF cond(r" + std::to_string(s.lhs) + "):\n";
-        StepsToString(s.cond_steps, depth + 1, out);
+        *out += "IF cond(r" + std::to_string(s.lhs) + "):" +
+                ProfileSuffix(profile, s) + "\n";
+        StepsToString(s.cond_steps, depth + 1, profile, out);
         *out += indent + "THEN:\n";
-        StepsToString(s.body_steps, depth + 1, out);
+        StepsToString(s.body_steps, depth + 1, profile, out);
         if (!s.else_steps.empty()) {
           *out += indent + "ELSE:\n";
-          StepsToString(s.else_steps, depth + 1, out);
+          StepsToString(s.else_steps, depth + 1, profile, out);
         }
         continue;
       case PlanOpCode::kWhile:
-        *out += "WHILE cond(r" + std::to_string(s.lhs) + "):\n";
-        StepsToString(s.cond_steps, depth + 1, out);
+        *out += "WHILE cond(r" + std::to_string(s.lhs) + "):" +
+                ProfileSuffix(profile, s) + "\n";
+        StepsToString(s.cond_steps, depth + 1, profile, out);
         *out += indent + "DO:\n";
-        StepsToString(s.body_steps, depth + 1, out);
+        StepsToString(s.body_steps, depth + 1, profile, out);
         continue;
     }
+    *out += ProfileSuffix(profile, s);
     *out += "\n";
   }
 }
 
 }  // namespace
 
-std::string Plan::ToString() const {
+std::string Plan::ToString(const StepProfile* profile) const {
   std::string out = "plan unit=" + std::string(GranularityName(unit)) +
                     " registers=" + std::to_string(num_registers) + "\n";
-  StepsToString(steps, 0, &out);
+  StepsToString(steps, 0, profile, &out);
   return out;
 }
 

@@ -16,6 +16,7 @@
 
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/algebra.h"
@@ -79,6 +80,25 @@ struct PlanStep {
   std::vector<PlanStep> else_steps;  // kIf else
 };
 
+/// Per-plan-node execution profile, collected by the Evaluator when
+/// EvalOptions::profile is set (the substrate of EXPLAIN/PROFILE).  Keyed
+/// by step address, so it is only meaningful while the plan is alive.
+/// For kIf/kWhile the time includes the nested condition/body steps.
+struct StepProfile {
+  struct Node {
+    int64_t execs = 0;
+    int64_t total_ns = 0;
+    int64_t out_intervals = 0;  // intervals in dst after the last execution
+  };
+  std::unordered_map<const PlanStep*, Node> nodes;
+
+  Node& NodeFor(const PlanStep& step) { return nodes[&step]; }
+  const Node* Find(const PlanStep& step) const {
+    auto it = nodes.find(&step);
+    return it == nodes.end() ? nullptr : &it->second;
+  }
+};
+
 struct Plan {
   std::vector<PlanStep> steps;
   int num_registers = 0;
@@ -91,8 +111,9 @@ struct Plan {
   std::vector<Granularity> generated_granularities;
 
   /// Human-readable listing ("the set of procedural statements" shown in
-  /// the paper's Figure 1).
-  std::string ToString() const;
+  /// the paper's Figure 1).  With a profile, each step is annotated with
+  /// its execution count, accumulated time and output size.
+  std::string ToString(const StepProfile* profile = nullptr) const;
 };
 
 /// Name of a plan opcode ("GENERATE", "FOREACH", ...).

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/macros.h"
+#include "obs/obs.h"
 #include "common/strings.h"
 
 namespace caldb {
@@ -116,6 +117,11 @@ class Planner {
       }
       case Expr::Kind::kForEach: {
         CALDB_ASSIGN_OR_RETURN(int rhs_reg, CompileExpr(*e.rhs, hint, out));
+        // The §3.4 selection pushdown: the left operand is generated only
+        // within the span of the evaluated right operand.
+        static obs::Counter* pushdown_counter =
+            obs::Metrics().counter("caldb.opt.rewrite.pushdown");
+        pushdown_counter->Increment();
         WindowHint lhs_hint;
         lhs_hint.reg = rhs_reg;
         lhs_hint.mode = (e.op == ListOp::kBefore || e.op == ListOp::kBeforeEq)

@@ -1,0 +1,194 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace caldb::obs {
+
+namespace {
+
+int BucketIndex(int64_t v) {
+  if (v <= 0) return 0;
+  return std::bit_width(static_cast<uint64_t>(v));
+}
+
+}  // namespace
+
+void Histogram::Record(int64_t v) {
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v > 0 ? v : 0, std::memory_order_relaxed);
+  int64_t seen = max_.load(std::memory_order_relaxed);
+  while (v > seen && !max_.compare_exchange_weak(seen, v,
+                                                 std::memory_order_relaxed,
+                                                 std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::mean() const {
+  int64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+int64_t Histogram::BucketUpperBound(int i) {
+  if (i <= 0) return 0;
+  if (i >= 63) return INT64_MAX;
+  return (int64_t{1} << i) - 1;
+}
+
+int64_t Histogram::Percentile(double p) const {
+  // Snapshot the buckets first; concurrent Record()s may make the total
+  // differ from count_, so rank against the snapshot's own total.
+  int64_t counts[kBuckets];
+  int64_t total = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  // 1-based rank of the percentile sample (nearest-rank definition).
+  int64_t rank = static_cast<int64_t>(std::ceil(p / 100.0 * total));
+  rank = std::max<int64_t>(rank, 1);
+  int64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += counts[i];
+    if (seen >= rank) return BucketUpperBound(i);
+  }
+  return BucketUpperBound(kBuckets - 1);
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<int64_t> Histogram::BucketCounts() const {
+  std::vector<int64_t> out(kBuckets);
+  for (int i = 0; i < kBuckets; ++i) {
+    out[static_cast<size_t>(i)] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+Counter* MetricRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+std::vector<std::string> MetricRegistry::CounterNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) names.push_back(name);
+  return names;
+}
+
+std::string MetricRegistry::ExportText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += name + " " + std::to_string(c->value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += name + " " + std::to_string(g->value()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += name + " count=" + std::to_string(h->count()) +
+           " mean=" + std::to_string(static_cast<int64_t>(h->mean())) +
+           " p50=" + std::to_string(h->Percentile(50)) +
+           " p95=" + std::to_string(h->Percentile(95)) +
+           " p99=" + std::to_string(h->Percentile(99)) +
+           " max=" + std::to_string(h->max()) + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+void AppendJsonKey(std::string* out, const std::string& name) {
+  *out += '"';
+  for (char c : name) {
+    if (c == '"' || c == '\\') *out += '\\';
+    *out += c;
+  }
+  *out += "\":";
+}
+
+}  // namespace
+
+std::string MetricRegistry::ExportJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    AppendJsonKey(&out, name);
+    out += std::to_string(c->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    AppendJsonKey(&out, name);
+    out += std::to_string(g->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    AppendJsonKey(&out, name);
+    out += "{\"count\":" + std::to_string(h->count()) +
+           ",\"sum\":" + std::to_string(h->sum()) +
+           ",\"mean\":" + std::to_string(h->mean()) +
+           ",\"p50\":" + std::to_string(h->Percentile(50)) +
+           ",\"p95\":" + std::to_string(h->Percentile(95)) +
+           ",\"p99\":" + std::to_string(h->Percentile(99)) +
+           ",\"max\":" + std::to_string(h->max()) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace caldb::obs

@@ -1,0 +1,136 @@
+// MetricRegistry: process-wide named counters, gauges and log-scale
+// latency histograms.
+//
+// Design rules:
+//  - The hot path is lock-free: Counter/Gauge/Histogram only touch
+//    std::atomic with relaxed ordering.  The registry mutex is taken only
+//    on first lookup of a name, so instrumentation sites cache the pointer
+//    (typically in a function-local static).
+//  - Instruments are never removed once registered; ResetAll() zeroes
+//    values but keeps the objects, so cached pointers stay valid forever.
+//  - Histograms bucket by powers of two (bucket i holds values whose bit
+//    width is i), which gives <= 2x relative error on percentiles over the
+//    full int64 range at a fixed 65-slot footprint — the classic HdrHistogram
+//    trade squeezed down to what latency dashboards actually need.
+//
+// Naming scheme (see docs/OBSERVABILITY.md): dot-separated, lowercase,
+// "caldb.<layer>.<what>[.<detail>]", e.g. "caldb.eval.gen_cache.hits".
+
+#ifndef CALDB_OBS_METRICS_H_
+#define CALDB_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace caldb::obs {
+
+class Counter {
+ public:
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+  /// Set() that also tracks the high-water mark in `max_gauge`.
+  void SetWithMax(int64_t v, Gauge* max_gauge) {
+    Set(v);
+    int64_t seen = max_gauge->value();
+    while (v > seen &&
+           !max_gauge->value_.compare_exchange_weak(
+               seen, v, std::memory_order_relaxed, std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A log2-bucketed histogram of non-negative int64 samples (latencies in
+/// nanoseconds, sizes, ...).  Bucket 0 holds zeros and negatives; bucket i
+/// (1..64) holds values v with bit_width(v) == i, i.e. [2^(i-1), 2^i).
+class Histogram {
+ public:
+  static constexpr int kBuckets = 65;
+
+  void Record(int64_t v);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t max() const { return max_.load(std::memory_order_relaxed); }
+  double mean() const;
+
+  /// Upper bound of the bucket holding the p-th percentile sample
+  /// (p in [0,100]); 0 when empty.  Exact for same-bucket samples, <= 2x
+  /// high otherwise.
+  int64_t Percentile(double p) const;
+
+  void Reset();
+
+  /// Raw bucket counts (for export and tests).
+  std::vector<int64_t> BucketCounts() const;
+
+  /// Inclusive upper bound of bucket i.
+  static int64_t BucketUpperBound(int i);
+
+ private:
+  std::atomic<int64_t> buckets_[kBuckets] = {};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+/// Named instrument registry.  `Global()` is the process-wide instance;
+/// separate instances are used by tests.
+class MetricRegistry {
+ public:
+  static MetricRegistry& Global();
+
+  /// Get-or-create.  Returned pointers are valid for the registry's
+  /// lifetime (forever, for Global()).
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  Histogram* histogram(std::string_view name);
+
+  /// Instrument names currently registered, sorted.
+  std::vector<std::string> CounterNames() const;
+
+  /// Human-readable dump: one "name value" line per instrument, sorted;
+  /// histograms show count/mean/p50/p95/p99/max.
+  std::string ExportText() const;
+
+  /// One JSON object: {"counters":{..},"gauges":{..},"histograms":{name:
+  /// {"count":..,"sum":..,"mean":..,"p50":..,"p95":..,"p99":..,"max":..}}}.
+  /// Emitted on a single line so a bench harness can append it to a
+  /// BENCH_*.json log as-is.
+  std::string ExportJson() const;
+
+  /// Zeroes every instrument (objects stay registered; pointers stay valid).
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace caldb::obs
+
+#endif  // CALDB_OBS_METRICS_H_

@@ -1,0 +1,27 @@
+#include "obs/obs.h"
+
+#include <cstdlib>
+
+namespace caldb::obs {
+
+namespace internal {
+
+namespace {
+
+bool InitialEnabled() {
+  const char* off = std::getenv("CALDB_OBS_OFF");
+  return off == nullptr || off[0] == '\0' || off[0] == '0';
+}
+
+}  // namespace
+
+std::atomic<bool> g_enabled{InitialEnabled()};
+
+}  // namespace internal
+
+void SetEnabled(bool on) {
+  internal::g_enabled.store(on, std::memory_order_relaxed);
+  Tracer::Global().set_enabled(on);
+}
+
+}  // namespace caldb::obs

@@ -1,0 +1,72 @@
+// Umbrella header for the observability layer: the global metric
+// registry, the global tracer, the kill switch, and the scoped latency
+// timer that instrumentation sites use.
+//
+// Typical instrumentation site:
+//
+//   #include "obs/obs.h"
+//   ...
+//   static obs::Counter* hits =
+//       obs::Metrics().counter("caldb.eval.gen_cache.hits");
+//   hits->Increment();
+//
+//   obs::ScopedLatency timer(
+//       obs::Metrics().histogram("caldb.db.statement_ns"));
+//   obs::Tracer::Span span = obs::Trace().StartSpan("db.execute");
+//
+// The function-local static caches the registry lookup, so steady-state
+// cost is one relaxed atomic add.  `obs::SetEnabled(false)` turns off all
+// timing work (clock reads, span recording); plain counters stay on —
+// they are too cheap to gate and benches read them.
+
+#ifndef CALDB_OBS_OBS_H_
+#define CALDB_OBS_OBS_H_
+
+#include <atomic>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace caldb::obs {
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+}
+
+/// Global timing kill switch (also initialized from the CALDB_OBS_OFF
+/// environment variable at startup).  Default: enabled.
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+void SetEnabled(bool on);
+
+/// The process-wide registry / tracer, by their short names.
+inline MetricRegistry& Metrics() { return MetricRegistry::Global(); }
+inline Tracer& Trace() { return Tracer::Global(); }
+
+/// Records the scope's wall time (steady clock, ns) into a histogram.
+/// No-op when `h` is null or observability is disabled.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Histogram* h)
+      : h_(h), start_ns_(h != nullptr && Enabled() ? NowNs() : 0) {}
+  ~ScopedLatency() {
+    if (start_ns_ != 0) h_->Record(NowNs() - start_ns_);
+  }
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  Histogram* h_;
+  int64_t start_ns_;
+};
+
+/// StartSpan on the global tracer, gated on Enabled().
+inline Tracer::Span StartSpan(std::string_view name) {
+  if (!Enabled()) return Tracer::Span();
+  return Trace().StartSpan(name);
+}
+
+}  // namespace caldb::obs
+
+#endif  // CALDB_OBS_OBS_H_

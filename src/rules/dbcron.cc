@@ -4,8 +4,25 @@
 #include <set>
 
 #include "common/macros.h"
+#include "obs/obs.h"
 
 namespace caldb {
+
+namespace {
+
+struct CronMetrics {
+  obs::Counter* probes = obs::Metrics().counter("caldb.cron.probes");
+  obs::Counter* fires = obs::Metrics().counter("caldb.cron.fires");
+  obs::Gauge* heap_depth = obs::Metrics().gauge("caldb.cron.heap_depth");
+  obs::Histogram* probe_ns = obs::Metrics().histogram("caldb.cron.probe_ns");
+};
+
+CronMetrics& Metrics() {
+  static CronMetrics* m = new CronMetrics();
+  return *m;
+}
+
+}  // namespace
 
 DbCron::DbCron(TemporalRuleManager* rules, VirtualClock* clock,
                int64_t probe_period_days)
@@ -16,6 +33,9 @@ DbCron::DbCron(TemporalRuleManager* rules, VirtualClock* clock,
 
 Status DbCron::Probe(TimePoint now) {
   ++stats_.probes;
+  Metrics().probes->Increment();
+  obs::ScopedLatency latency(Metrics().probe_ns);
+  obs::Tracer::Span span = obs::StartSpan("cron.probe");
   const TimePoint window_end = PointAdd(now, probe_period_days_ - 1);
   // Scan from the beginning of time, not from `now`: a rule declared after
   // the previous probe may have its first firing inside the already-probed
@@ -41,6 +61,7 @@ Status DbCron::Probe(TimePoint now) {
   }
   stats_.max_heap_size = std::max<int64_t>(
       stats_.max_heap_size, static_cast<int64_t>(heap_.size()));
+  Metrics().heap_depth->Set(static_cast<int64_t>(heap_.size()));
   return Status::OK();
 }
 
@@ -63,7 +84,9 @@ Status DbCron::AdvanceTo(TimePoint day) {
     if (is_fire) {
       HeapEntry entry = heap_.top();
       heap_.pop();
+      Metrics().heap_depth->Set(static_cast<int64_t>(heap_.size()));
       ++stats_.fires;
+      Metrics().fires->Increment();
       Result<std::optional<TimePoint>> next =
           rules_->FireRule(entry.second, entry.first);
       // A dropped rule may still sit in the heap: ignore NotFound.
@@ -77,6 +100,7 @@ Status DbCron::AdvanceTo(TimePoint day) {
         heap_.push(HeapEntry{**next, entry.second});
         stats_.max_heap_size = std::max<int64_t>(
             stats_.max_heap_size, static_cast<int64_t>(heap_.size()));
+        Metrics().heap_depth->Set(static_cast<int64_t>(heap_.size()));
       }
     } else {
       CALDB_RETURN_IF_ERROR(Probe(now));

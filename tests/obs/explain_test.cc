@@ -1,0 +1,120 @@
+// Integration: EXPLAIN/PROFILE across the catalog and the DB substrate.
+
+#include <cstdlib>
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "catalog/calendar_catalog.h"
+#include "db/database.h"
+
+namespace caldb {
+namespace {
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  ExplainTest() : catalog_(TimeSystem{CivilDate{1993, 1, 1}}) {
+    // Single-expression calendars are inlined by the analyzer.
+    EXPECT_TRUE(catalog_.DefineDerived("Mondays", "[1]/DAYS:during:WEEKS").ok());
+    EXPECT_TRUE(
+        catalog_.DefineDerived("Januarys", "[1]/MONTHS:during:YEARS").ok());
+    // A multi-statement calendar stays a kInvoke call at use sites.
+    EXPECT_TRUE(catalog_
+                    .DefineDerived("Paydays",
+                                   "p = [-1]/DAYS:during:MONTHS; return p;")
+                    .ok());
+  }
+
+  std::string Explain(const std::string& script) {
+    EvalOptions opts;
+    auto window = catalog_.YearWindow(1993, 1993);
+    EXPECT_TRUE(window.ok());
+    opts.window_days = *window;
+    auto report = catalog_.ExplainScript(script, opts);
+    EXPECT_TRUE(report.ok()) << report.status();
+    return report.ok() ? *report : "";
+  }
+
+  CalendarCatalog catalog_;
+};
+
+TEST_F(ExplainTest, ReportsFactorizationRewrite) {
+  // The paper's Example 1: inlining exposes a factorizable chain.
+  std::string report =
+      Explain("return Mondays:during:Januarys:during:1993/Years;");
+  EXPECT_NE(report.find("factorize=1"), std::string::npos) << report;
+  EXPECT_NE(report.find("inline=2"), std::string::npos) << report;
+}
+
+TEST_F(ExplainTest, ReportsCacheHitOnSecondEvaluationOfDerivedCalendar) {
+  // Paydays is invoked twice; the second invocation's GENERATE steps hit
+  // the evaluator's generation cache.
+  std::string report = Explain("a = Paydays; b = Paydays; return a;");
+  size_t pos = report.find("gen_cache_hits=");
+  ASSERT_NE(pos, std::string::npos) << report;
+  int hits = std::atoi(report.c_str() + pos + strlen("gen_cache_hits="));
+  EXPECT_GT(hits, 0) << report;
+}
+
+TEST_F(ExplainTest, AnnotatesPlanNodesWithExecutionCounts) {
+  std::string report = Explain("a = Paydays; return a;");
+  EXPECT_NE(report.find("INVOKE"), std::string::npos) << report;
+  EXPECT_NE(report.find("execs="), std::string::npos) << report;
+  EXPECT_NE(report.find("compile:"), std::string::npos) << report;
+  EXPECT_NE(report.find("result: calendar"), std::string::npos) << report;
+}
+
+TEST(DbExplainTest, DescribesIndexVsFullScan) {
+  Database db;
+  ASSERT_TRUE(db.Execute("create table payroll (week int, hours int)").ok());
+  ASSERT_TRUE(db.Execute("create index on payroll (week)").ok());
+  for (int w = 1; w <= 20; ++w) {
+    ASSERT_TRUE(db.Execute("append payroll (week = " + std::to_string(w) +
+                           ", hours = 40)")
+                    .ok());
+  }
+
+  auto indexed = db.Execute(
+      "explain retrieve (p.hours) from p in payroll where p.week = 3");
+  ASSERT_TRUE(indexed.ok()) << indexed.status();
+  EXPECT_NE(indexed->message.find("index scan on (week)"), std::string::npos)
+      << indexed->message;
+
+  auto full = db.Execute(
+      "explain retrieve (p.hours) from p in payroll where p.hours = 40");
+  ASSERT_TRUE(full.ok()) << full.status();
+  EXPECT_NE(full->message.find("full scan"), std::string::npos)
+      << full->message;
+}
+
+TEST(DbExplainTest, ProfileExecutesAndReportsScanCounters) {
+  Database db;
+  ASSERT_TRUE(db.Execute("create table t (v int)").ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        db.Execute("append t (v = " + std::to_string(i) + ")").ok());
+  }
+  auto result =
+      db.Execute("profile retrieve (x.v) from x in t where x.v >= 5");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_NE(result->message.find("rows_scanned=10"), std::string::npos)
+      << result->message;
+  EXPECT_NE(result->message.find("full_scans=1"), std::string::npos)
+      << result->message;
+  EXPECT_NE(result->message.find("rows_out=5"), std::string::npos)
+      << result->message;
+}
+
+TEST(DbExplainTest, ExplainDoesNotExecute) {
+  Database db;
+  ASSERT_TRUE(db.Execute("create table t (v int)").ok());
+  ASSERT_TRUE(db.Execute("append t (v = 1)").ok());
+  auto result = db.Execute("explain delete x in t where x.v = 1");
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto remaining = db.Execute("retrieve (x.v) from x in t");
+  ASSERT_TRUE(remaining.ok());
+  EXPECT_EQ(remaining->rows.size(), 1u);
+}
+
+}  // namespace
+}  // namespace caldb

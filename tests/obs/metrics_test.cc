@@ -1,0 +1,150 @@
+#include "obs/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace caldb::obs {
+namespace {
+
+TEST(Counter, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(Counter, ConcurrentIncrements) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(Gauge, SetAddMax) {
+  Gauge g;
+  Gauge high_water;
+  g.Set(10);
+  EXPECT_EQ(g.value(), 10);
+  g.Add(-3);
+  EXPECT_EQ(g.value(), 7);
+  g.SetWithMax(12, &high_water);
+  g.SetWithMax(5, &high_water);
+  EXPECT_EQ(g.value(), 5);
+  EXPECT_EQ(high_water.value(), 12);
+}
+
+TEST(Histogram, CountSumMeanMax) {
+  Histogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_EQ(h.sum(), 60);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+  EXPECT_EQ(h.max(), 30);
+}
+
+TEST(Histogram, BucketUpperBounds) {
+  // Log2 buckets: bucket i holds values in ((1<<(i-1))-1, (1<<i)-1].
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1);
+  EXPECT_EQ(Histogram::BucketUpperBound(2), 3);
+  EXPECT_EQ(Histogram::BucketUpperBound(10), 1023);
+}
+
+TEST(Histogram, PercentileSingleBucket) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Record(1000);
+  // 1000 lands in the bucket with upper bound 1023; every percentile
+  // reports that bound (the <= 2x relative error contract).
+  EXPECT_EQ(h.Percentile(50), 1023);
+  EXPECT_EQ(h.Percentile(95), 1023);
+  EXPECT_EQ(h.Percentile(99), 1023);
+}
+
+TEST(Histogram, PercentileAcrossBuckets) {
+  Histogram h;
+  // 90 fast ops (~100ns), 10 slow ops (~100000ns).
+  for (int i = 0; i < 90; ++i) h.Record(100);
+  for (int i = 0; i < 10; ++i) h.Record(100000);
+  const int64_t fast_bound = 127;     // 100 -> bucket [64, 127]
+  const int64_t slow_bound = 131071;  // 100000 -> bucket [65536, 131071]
+  EXPECT_EQ(h.Percentile(50), fast_bound);
+  EXPECT_EQ(h.Percentile(90), fast_bound);
+  EXPECT_EQ(h.Percentile(95), slow_bound);
+  EXPECT_EQ(h.Percentile(99), slow_bound);
+}
+
+TEST(Histogram, PercentileEmpty) {
+  Histogram h;
+  EXPECT_EQ(h.Percentile(50), 0);
+}
+
+TEST(Histogram, ConcurrentRecords) {
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.Record(i % 1000);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+}
+
+TEST(MetricRegistry, GetOrCreateIsStable) {
+  MetricRegistry registry;
+  Counter* a = registry.counter("test.counter");
+  Counter* b = registry.counter("test.counter");
+  EXPECT_EQ(a, b);
+  a->Add(7);
+  EXPECT_EQ(b->value(), 7);
+}
+
+TEST(MetricRegistry, ExportTextAndReset) {
+  MetricRegistry registry;
+  registry.counter("a.count")->Add(3);
+  registry.gauge("a.depth")->Set(2);
+  registry.histogram("a.lat")->Record(100);
+  std::string text = registry.ExportText();
+  EXPECT_NE(text.find("a.count"), std::string::npos);
+  EXPECT_NE(text.find("a.depth"), std::string::npos);
+  EXPECT_NE(text.find("a.lat"), std::string::npos);
+  registry.ResetAll();
+  EXPECT_EQ(registry.counter("a.count")->value(), 0);
+  EXPECT_EQ(registry.histogram("a.lat")->count(), 0);
+}
+
+TEST(MetricRegistry, ExportJsonShape) {
+  MetricRegistry registry;
+  registry.counter("c.one")->Add(1);
+  registry.gauge("g.one")->Set(5);
+  registry.histogram("h.one")->Record(50);
+  std::string json = registry.ExportJson();
+  // Single line, with the three sections present.
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"c.one\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"g.one\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace caldb::obs

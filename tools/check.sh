@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Smoke check: ASan/UBSan build + full test suite.
+#
+#   tools/check.sh [build-dir]
+#
+# Uses build-asan/ by default so it never disturbs the regular build/.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-asan}"
+
+cmake -B "$build_dir" -S "$repo_root" -DCALDB_SANITIZE=address
+cmake --build "$build_dir" -j "$(nproc)"
+ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
