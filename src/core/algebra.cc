@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "core/sweep.h"
 
 namespace caldb {
 
@@ -28,23 +29,6 @@ Status RequireSameGranularity(const Calendar& a, const Calendar& b,
   return Status::OK();
 }
 
-// Set intersection of two sorted order-1 interval lists (two-pointer).
-std::vector<Interval> IntersectLists(const std::vector<Interval>& a,
-                                     const std::vector<Interval>& b) {
-  std::vector<Interval> out;
-  size_t i = 0;
-  size_t j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (std::optional<Interval> x = Intersect(a[i], b[j])) out.push_back(*x);
-    if (a[i].hi < b[j].hi) {
-      ++i;
-    } else {
-      ++j;
-    }
-  }
-  return out;
-}
-
 // The intersects listop as used by calendar scripts: always order-1.
 Result<Calendar> IntersectsOp(const Calendar& c, const Calendar& rhs,
                               bool strict) {
@@ -52,26 +36,19 @@ Result<Calendar> IntersectsOp(const Calendar& c, const Calendar& rhs,
   CALDB_RETURN_IF_ERROR(RequireOrder1(c, "intersects left operand"));
   Calendar flat_rhs = rhs.order() == 1 ? rhs : rhs.Flattened();
   if (strict) {
-    return Calendar::Order1(c.granularity(),
-                            IntersectLists(c.intervals(), flat_rhs.intervals()));
+    return Calendar::Order1(
+        c.granularity(), SweepIntersect(c.intervals(), flat_rhs.intervals()));
   }
   // Relaxed: keep whole elements of C overlapping any rhs interval.
   std::vector<Interval> kept;
-  for (const Interval& ci : c.intervals()) {
-    for (const Interval& ri : flat_rhs.intervals()) {
-      if (ri.lo > ci.hi) break;
-      if (IntervalOverlaps(ci, ri)) {
-        kept.push_back(ci);
-        break;
-      }
-    }
-  }
+  SweepSemiJoinOverlaps(c.intervals(), flat_rhs.intervals(),
+                        [&](size_t i) { kept.push_back(c.intervals()[i]); });
   return Calendar::Order1(c.granularity(), std::move(kept));
 }
 
 // True when upper endpoints are non-decreasing (holds for every
 // disjoint sorted calendar, in particular all generated base calendars).
-// Enables binary-search scan starts and early breaks below.
+// Unlocks the sweep kernel's pure-merge fast path and galloping skips.
 bool HiMonotone(const std::vector<Interval>& v) {
   for (size_t i = 1; i < v.size(); ++i) {
     if (v[i].hi < v[i - 1].hi) return false;
@@ -79,48 +56,33 @@ bool HiMonotone(const std::vector<Interval>& v) {
   return true;
 }
 
-// One foreach application against an interval, scanning only the slice of
-// `c` that can satisfy `op` when `hi_monotone` licenses it.
-Calendar ForEachIntervalScan(const Calendar& c, ListOp op, const Interval& rhs,
-                             bool strict, bool hi_monotone) {
+// One sweep over `c` against a whole order-1 rhs element list: returns one
+// interval vector per rhs element (a child may stay empty — the paper's
+// "/{ε}" dropping happens per emitted pair under the clipping ops).
+std::vector<std::vector<Interval>> JoinPerRhsElement(
+    const Calendar& c, ListOp op, const std::vector<Interval>& rhs_list,
+    bool strict, bool hi_monotone) {
   const std::vector<Interval>& v = c.intervals();
   const bool clip = strict && ListOpClipsUnderStrict(op);
-  std::vector<Interval> out;
-  size_t begin = 0;
-  if (hi_monotone &&
-      (op == ListOp::kDuring || op == ListOp::kOverlaps ||
-       op == ListOp::kIntersects)) {
-    // Skip elements that end before rhs starts; none can match.
-    begin = static_cast<size_t>(
-        std::lower_bound(v.begin(), v.end(), rhs.lo,
-                         [](const Interval& i, TimePoint lo) {
-                           return i.hi < lo;
-                         }) -
-        v.begin());
-  }
-  for (size_t idx = begin; idx < v.size(); ++idx) {
-    const Interval& ci = v[idx];
-    // Early exits: intervals are sorted by lo (and by hi when monotone).
-    if ((op == ListOp::kDuring || op == ListOp::kOverlaps ||
-         op == ListOp::kIntersects) &&
-        ci.lo > rhs.hi) {
-      break;
-    }
-    if (op == ListOp::kBeforeEq && ci.lo > rhs.lo) break;
-    if (hi_monotone && (op == ListOp::kBefore || op == ListOp::kMeets) &&
-        ci.hi > rhs.lo) {
-      break;
-    }
-    if (!EvalListOp(op, ci, rhs)) continue;
+  std::vector<std::vector<Interval>> outs(rhs_list.size());
+  SweepJoin(v, op, rhs_list, hi_monotone, [&](size_t i, size_t j) {
     if (clip) {
-      std::optional<Interval> x = Intersect(ci, rhs);
-      if (!x) continue;  // the paper's "/{ε}"
-      out.push_back(*x);
+      std::optional<Interval> x = Intersect(v[i], rhs_list[j]);
+      if (!x) return;  // the paper's "/{ε}"
+      outs[j].push_back(*x);
     } else {
-      out.push_back(ci);
+      outs[j].push_back(v[i]);
     }
-  }
-  return Calendar::Order1(c.granularity(), std::move(out));
+  });
+  return outs;
+}
+
+// One foreach application against a single interval.
+Calendar ForEachIntervalSweep(const Calendar& c, ListOp op, const Interval& rhs,
+                              bool strict, bool hi_monotone) {
+  std::vector<std::vector<Interval>> outs =
+      JoinPerRhsElement(c, op, {rhs}, strict, hi_monotone);
+  return Calendar::Order1(c.granularity(), std::move(outs.front()));
 }
 
 // foreach with forced nesting decision (`collapse_singleton` true only at
@@ -130,13 +92,17 @@ Result<Calendar> ForEachImpl(const Calendar& c, ListOp op, const Calendar& rhs,
                              bool hi_monotone) {
   if (rhs.order() == 1) {
     if (collapse_singleton && rhs.IsSingleton()) {
-      return ForEachIntervalScan(c, op, rhs.intervals().front(), strict,
-                                 hi_monotone);
+      return ForEachIntervalSweep(c, op, rhs.intervals().front(), strict,
+                                  hi_monotone);
     }
+    // One sweep across all rhs elements at once (this is where the kernel
+    // beats the old per-element rescans).
+    std::vector<std::vector<Interval>> outs =
+        JoinPerRhsElement(c, op, rhs.intervals(), strict, hi_monotone);
     std::vector<Calendar> children;
-    children.reserve(rhs.size());
-    for (const Interval& i : rhs.intervals()) {
-      children.push_back(ForEachIntervalScan(c, op, i, strict, hi_monotone));
+    children.reserve(outs.size());
+    for (std::vector<Interval>& child : outs) {
+      children.push_back(Calendar::Order1(c.granularity(), std::move(child)));
     }
     return Calendar::Nested(c.granularity(), std::move(children),
                             /*order_if_empty=*/2);
@@ -159,7 +125,7 @@ Result<Calendar> ForEachImpl(const Calendar& c, ListOp op, const Calendar& rhs,
 Result<Calendar> ForEachInterval(const Calendar& c, ListOp op,
                                  const Interval& rhs, bool strict) {
   CALDB_RETURN_IF_ERROR(RequireOrder1(c, "foreach left operand"));
-  return ForEachIntervalScan(c, op, rhs, strict, HiMonotone(c.intervals()));
+  return ForEachIntervalSweep(c, op, rhs, strict, HiMonotone(c.intervals()));
 }
 
 Result<Calendar> ForEach(const Calendar& c, ListOp op, const Calendar& rhs,
@@ -173,8 +139,43 @@ Result<Calendar> ForEach(const Calendar& c, ListOp op, const Calendar& rhs,
 
 namespace {
 
-// Resolves a selection predicate against an element count, producing
-// zero-based positions in listed order.  Out-of-range indices are skipped.
+// Rejects malformed selection predicates: index 0 (no such position in the
+// paper's 1-based scheme) and ranges with a nonpositive start or an end
+// before the start.  Mirrors the parser's checks so the API enforces the
+// same contract on programmatically built predicates.
+Status ValidateSelection(const std::vector<SelectionItem>& predicate) {
+  for (const SelectionItem& item : predicate) {
+    switch (item.kind) {
+      case SelectionItem::Kind::kIndex:
+        if (item.index == 0) {
+          return Status::InvalidArgument("selection index 0 is invalid");
+        }
+        break;
+      case SelectionItem::Kind::kLast:
+        break;
+      case SelectionItem::Kind::kRange:
+        if (item.range_lo < 1) {
+          return Status::InvalidArgument(
+              "selection range start " + std::to_string(item.range_lo) +
+              " is invalid (ranges are 1-based)");
+        }
+        if (item.range_hi != SelectionItem::kLastMarker &&
+            item.range_hi < item.range_lo) {
+          return Status::InvalidArgument(
+              "invalid selection range " + std::to_string(item.range_lo) +
+              ".." + std::to_string(item.range_hi));
+        }
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+// Resolves a validated selection predicate against an element count,
+// producing zero-based positions in listed order.  Out-of-range indices —
+// positive or negative — select nothing (documented contract: months with
+// fewer than 5 weeks simply contribute nothing to `[5]/...`, and `[-8]` on
+// a 5-element calendar contributes nothing rather than wrapping around).
 std::vector<size_t> ResolvePositions(const std::vector<SelectionItem>& predicate,
                                      size_t count) {
   std::vector<size_t> positions;
@@ -190,6 +191,8 @@ std::vector<size_t> ResolvePositions(const std::vector<SelectionItem>& predicate
         if (item.index > 0) {
           add(item.index - 1);
         } else if (item.index < 0) {
+          // Negative indices count from the end; |index| > n is out of
+          // range and selects nothing (never wraps).
           add(n + item.index);
         }
         break;
@@ -197,7 +200,12 @@ std::vector<size_t> ResolvePositions(const std::vector<SelectionItem>& predicate
         add(n - 1);
         break;
       case SelectionItem::Kind::kRange: {
-        int64_t hi = item.range_hi == SelectionItem::kLastMarker ? n : item.range_hi;
+        // Clamp to the element count so `[1..10^12]` costs O(n), not
+        // O(range width).
+        const int64_t hi =
+            item.range_hi == SelectionItem::kLastMarker
+                ? n
+                : std::min<int64_t>(item.range_hi, n);
         for (int64_t i = item.range_lo; i <= hi; ++i) add(i - 1);
         break;
       }
@@ -213,6 +221,7 @@ Result<Calendar> Select(const std::vector<SelectionItem>& predicate,
   if (predicate.empty()) {
     return Status::InvalidArgument("empty selection predicate");
   }
+  CALDB_RETURN_IF_ERROR(ValidateSelection(predicate));
   if (c.order() == 1) {
     std::vector<Interval> out;
     for (size_t pos : ResolvePositions(predicate, c.intervals().size())) {
@@ -245,61 +254,16 @@ Result<Calendar> Union(const Calendar& a, const Calendar& b) {
   CALDB_RETURN_IF_ERROR(RequireOrder1(a, "union"));
   CALDB_RETURN_IF_ERROR(RequireOrder1(b, "union"));
   CALDB_RETURN_IF_ERROR(RequireSameGranularity(a, b, "union"));
-  std::vector<Interval> merged = a.intervals();
-  merged.insert(merged.end(), b.intervals().begin(), b.intervals().end());
-  std::sort(merged.begin(), merged.end(), [](const Interval& x, const Interval& y) {
-    return x.lo != y.lo ? x.lo < y.lo : x.hi < y.hi;
-  });
-  std::vector<Interval> out;
-  for (const Interval& i : merged) {
-    if (!out.empty() && i.lo <= out.back().hi) {
-      out.back().hi = std::max(out.back().hi, i.hi);
-    } else {
-      out.push_back(i);
-    }
-  }
-  return Calendar::Order1(a.granularity(), std::move(out));
+  return Calendar::Order1(a.granularity(),
+                          SweepUnion(a.intervals(), b.intervals()));
 }
 
 Result<Calendar> Difference(const Calendar& a, const Calendar& b) {
   CALDB_RETURN_IF_ERROR(RequireOrder1(a, "difference"));
   CALDB_RETURN_IF_ERROR(RequireOrder1(b, "difference"));
   CALDB_RETURN_IF_ERROR(RequireSameGranularity(a, b, "difference"));
-  std::vector<Interval> out;
-  // Both lists are sorted by lo; subtrahend elements wholly before the
-  // current minuend can never matter again, so the scan start advances
-  // monotonically (two-pointer sweep).
-  size_t j_start = 0;
-  for (const Interval& ai : a.intervals()) {
-    // Remaining uncovered prefix of ai, tracked in offset space so that
-    // splitting across the zero gap stays correct.
-    int64_t lo_off = PointToOffset(ai.lo);
-    const int64_t hi_off = PointToOffset(ai.hi);
-    bool consumed = false;
-    while (j_start < b.intervals().size() &&
-           PointToOffset(b.intervals()[j_start].hi) < lo_off) {
-      ++j_start;
-    }
-    for (size_t j = j_start; j < b.intervals().size(); ++j) {
-      const Interval& bi = b.intervals()[j];
-      const int64_t blo = PointToOffset(bi.lo);
-      const int64_t bhi = PointToOffset(bi.hi);
-      if (bhi < lo_off) continue;
-      if (blo > hi_off) break;
-      if (blo > lo_off) {
-        out.push_back(Interval{OffsetToPoint(lo_off), OffsetToPoint(blo - 1)});
-      }
-      lo_off = bhi + 1;
-      if (lo_off > hi_off) {
-        consumed = true;
-        break;
-      }
-    }
-    if (!consumed) {
-      out.push_back(Interval{OffsetToPoint(lo_off), OffsetToPoint(hi_off)});
-    }
-  }
-  return Calendar::Order1(a.granularity(), std::move(out));
+  return Calendar::Order1(a.granularity(),
+                          SweepDifference(a.intervals(), b.intervals()));
 }
 
 Result<Calendar> Intersection(const Calendar& a, const Calendar& b) {
@@ -307,7 +271,7 @@ Result<Calendar> Intersection(const Calendar& a, const Calendar& b) {
   CALDB_RETURN_IF_ERROR(RequireOrder1(b, "intersection"));
   CALDB_RETURN_IF_ERROR(RequireSameGranularity(a, b, "intersection"));
   return Calendar::Order1(a.granularity(),
-                          IntersectLists(a.intervals(), b.intervals()));
+                          SweepIntersect(a.intervals(), b.intervals()));
 }
 
 }  // namespace caldb

@@ -69,9 +69,15 @@ struct SelectionItem {
 /// predicate picks intervals.  On an order-n calendar (n >= 2) it picks the
 /// x-th element of each order-(n-1) component and splices the selections
 /// together, so the result has order n-1 (the paper's
-/// `[3]/WEEKS:overlaps:Year-1993` flattens to order 1).  Out-of-range
-/// indices select nothing (months with fewer than 5 weeks simply contribute
-/// nothing to `[5]/...`).
+/// `[3]/WEEKS:overlaps:Year-1993` flattens to order 1).
+///
+/// Out-of-range semantics (see docs/ALGEBRA.md): indices beyond the element
+/// count — positive (`[5]` on a 4-week month) or negative (`[-8]` on a
+/// 5-element calendar) — select nothing; they never wrap around.  Malformed
+/// predicates are rejected with InvalidArgument: an empty predicate, index
+/// 0, a range starting below 1, or a range whose end precedes its start.
+/// Range ends are clamped to the element count, so over-long ranges cost
+/// O(n), not O(range width).
 Result<Calendar> Select(const std::vector<SelectionItem>& predicate,
                         const Calendar& c);
 

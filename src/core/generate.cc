@@ -1,6 +1,7 @@
 #include "core/generate.h"
 
 #include "common/macros.h"
+#include "core/sweep.h"
 
 namespace caldb {
 
@@ -42,27 +43,13 @@ Result<Calendar> CalOperate(const Calendar& c, std::optional<TimePoint> te,
       return Status::InvalidArgument("caloperate group sizes must be positive");
     }
   }
-  std::vector<Interval> out;
-  size_t i = 0;
-  size_t group_idx = 0;
-  const std::vector<Interval>& src = c.intervals();
-  while (i < src.size()) {
-    if (te && src[i].hi > *te) break;
-    const int64_t want = groups[group_idx % groups.size()];
-    ++group_idx;
-    const Interval first = src[i];
-    Interval last = first;
-    int64_t taken = 0;
-    while (i < src.size() && taken < want) {
-      if (te && src[i].hi > *te) break;
-      last = src[i];
-      ++i;
-      ++taken;
-    }
-    if (taken == 0) break;
-    out.push_back(Interval{first.lo, last.hi});
-  }
-  return Calendar::Order1(c.granularity(), std::move(out));
+  // Grouping is a sweep: one covering interval per group of consecutive
+  // elements, O(#groups) emits after the te cutoff scan.  A group that
+  // straddles the epoch (first.lo < 0 < last.hi) is a closed range of
+  // skip-zero points — it never contains the nonexistent point 0 (see
+  // Interval::Contains).
+  return Calendar::Order1(c.granularity(),
+                          SweepGroup(c.intervals(), te, groups));
 }
 
 namespace {

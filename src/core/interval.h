@@ -24,11 +24,15 @@ struct Interval {
 
   bool operator==(const Interval&) const = default;
 
-  /// Number of granules covered (e.g. (-4,3) covers 8 points).
+  /// Number of granules covered, skipping the zero gap: (-4,3) covers the
+  /// 7 points -4,-3,-2,-1,1,2,3 — there is no point 0 to count.
   int64_t length() const { return PointDistance(lo, hi) + 1; }
 
-  /// True when point `p` lies inside.
-  bool Contains(TimePoint p) const { return lo <= p && p <= hi; }
+  /// True when point `p` lies inside.  The nonexistent point 0 is never
+  /// contained, even by an interval straddling the epoch gap like (-3,2).
+  bool Contains(TimePoint p) const {
+    return IsValidPoint(p) && lo <= p && p <= hi;
+  }
 
   /// True when `other` lies fully inside this interval.
   bool Covers(const Interval& other) const {

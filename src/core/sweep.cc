@@ -1,0 +1,375 @@
+#include "core/sweep.h"
+
+#include <algorithm>
+
+#include "obs/obs.h"
+
+namespace caldb {
+
+namespace {
+
+// Registry instruments, resolved once; hot loops accumulate into a local
+// SweepStats and flush a single relaxed add per call.
+struct SweepCounters {
+  obs::Counter* joins = obs::Metrics().counter("caldb.sweep.joins");
+  obs::Counter* comparisons = obs::Metrics().counter("caldb.sweep.comparisons");
+  obs::Counter* emits = obs::Metrics().counter("caldb.sweep.emits");
+  obs::Counter* gallop_skips =
+      obs::Metrics().counter("caldb.sweep.gallop_skips");
+};
+
+SweepCounters& Counters() {
+  static SweepCounters* counters = new SweepCounters();
+  return *counters;
+}
+
+void Flush(const SweepStats& st) {
+  SweepCounters& c = Counters();
+  c.joins->Increment();
+  c.comparisons->Add(st.comparisons);
+  c.emits->Add(st.emits);
+  c.gallop_skips->Add(st.gallop_skips);
+}
+
+// First index in [from, n) where `true_at` turns false, assuming true_at
+// holds on a prefix of [from, n).  Exponential probe doubling the stride,
+// then binary search inside the overshoot bracket — the galloping skip.
+template <typename Pred>
+size_t Gallop(size_t from, size_t n, SweepStats& st, Pred true_at) {
+  if (from >= n) return n;
+  ++st.comparisons;
+  if (!true_at(from)) return from;
+  size_t known = from;  // true_at(known) holds
+  size_t step = 1;
+  size_t bound = n;  // first false (if any) lies in (known, bound]
+  while (known + step < n) {
+    size_t probe = known + step;
+    ++st.comparisons;
+    if (true_at(probe)) {
+      st.gallop_skips += static_cast<int64_t>(probe - known - 1);
+      known = probe;
+      step <<= 1;
+    } else {
+      bound = probe;
+      break;
+    }
+  }
+  size_t lo = known + 1;
+  size_t hi = bound;
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    ++st.comparisons;
+    if (true_at(mid)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// Linear advance used where the skipped prefix is not a monotone predicate
+// (guarded fallback for runs whose upper endpoints are not sorted).
+template <typename Pred>
+size_t LinearAdvance(size_t from, size_t n, SweepStats& st, Pred true_at) {
+  while (from < n) {
+    ++st.comparisons;
+    if (!true_at(from)) break;
+    ++from;
+  }
+  return from;
+}
+
+}  // namespace
+
+SweepStats SweepJoin(const std::vector<Interval>& lhs, ListOp op,
+                     const std::vector<Interval>& rhs, bool lhs_hi_monotone,
+                     const SweepEmit& emit) {
+  SweepStats st;
+  const size_t n = lhs.size();
+  auto do_emit = [&](size_t i, size_t j) {
+    ++st.emits;
+    emit(i, j);
+  };
+
+  switch (op) {
+    case ListOp::kOverlaps:
+    case ListOp::kIntersects: {
+      // match: lhs.lo <= r.hi && lhs.hi >= r.lo.  Elements whose hi falls
+      // before r.lo are dead for every later probe (rhs.lo is
+      // non-decreasing), so the start cursor only moves forward.
+      size_t start = 0;
+      for (size_t j = 0; j < rhs.size(); ++j) {
+        const Interval& r = rhs[j];
+        auto dead = [&](size_t i) { return lhs[i].hi < r.lo; };
+        start = lhs_hi_monotone ? Gallop(start, n, st, dead)
+                                : LinearAdvance(start, n, st, dead);
+        for (size_t i = start; i < n; ++i) {
+          ++st.comparisons;
+          if (lhs[i].lo > r.hi) break;
+          if (lhs_hi_monotone || lhs[i].hi >= r.lo) do_emit(i, j);
+        }
+      }
+      break;
+    }
+
+    case ListOp::kDuring: {
+      // match: lhs.lo >= r.lo && lhs.hi <= r.hi.  The lo prefix below r.lo
+      // is dead for every later probe; galloping is always sound on lo.
+      size_t start = 0;
+      for (size_t j = 0; j < rhs.size(); ++j) {
+        const Interval& r = rhs[j];
+        start =
+            Gallop(start, n, st, [&](size_t i) { return lhs[i].lo < r.lo; });
+        for (size_t i = start; i < n; ++i) {
+          ++st.comparisons;
+          if (lhs[i].lo > r.hi) break;
+          if (lhs[i].hi <= r.hi) {
+            do_emit(i, j);
+          } else if (lhs_hi_monotone) {
+            break;  // every later hi is at least as large
+          }
+        }
+      }
+      break;
+    }
+
+    case ListOp::kMeets: {
+      // match: lhs.hi == r.lo (which forces lhs.lo <= r.lo).
+      size_t start = 0;
+      for (size_t j = 0; j < rhs.size(); ++j) {
+        const Interval& r = rhs[j];
+        auto dead = [&](size_t i) { return lhs[i].hi < r.lo; };
+        start = lhs_hi_monotone ? Gallop(start, n, st, dead)
+                                : LinearAdvance(start, n, st, dead);
+        for (size_t i = start; i < n; ++i) {
+          ++st.comparisons;
+          if (lhs[i].lo > r.lo) break;
+          if (lhs[i].hi == r.lo) {
+            do_emit(i, j);
+          } else if (lhs_hi_monotone && lhs[i].hi > r.lo) {
+            break;
+          }
+        }
+      }
+      break;
+    }
+
+    case ListOp::kBefore: {
+      // match: lhs.hi <= r.lo — each probe emits a prefix.  With monotone
+      // upper endpoints the prefix boundary only moves forward, so it is
+      // maintained by galloping; otherwise scan the lo-bounded prefix.
+      size_t boundary = 0;  // monotone case: first index with hi > r.lo
+      for (size_t j = 0; j < rhs.size(); ++j) {
+        const Interval& r = rhs[j];
+        if (lhs_hi_monotone) {
+          boundary = Gallop(boundary, n, st,
+                            [&](size_t i) { return lhs[i].hi <= r.lo; });
+          for (size_t i = 0; i < boundary; ++i) do_emit(i, j);
+        } else {
+          for (size_t i = 0; i < n; ++i) {
+            ++st.comparisons;
+            if (lhs[i].lo > r.lo) break;
+            if (lhs[i].hi <= r.lo) do_emit(i, j);
+          }
+        }
+      }
+      break;
+    }
+
+    case ListOp::kBeforeEq: {
+      // match: lhs.lo <= r.lo && lhs.hi <= r.hi.  The lo boundary moves
+      // forward monotonically (gallop); the hi filter is per-probe because
+      // rhs upper endpoints carry no ordering guarantee.
+      size_t lo_boundary = 0;  // first index with lo > r.lo
+      for (size_t j = 0; j < rhs.size(); ++j) {
+        const Interval& r = rhs[j];
+        lo_boundary = Gallop(lo_boundary, n, st,
+                             [&](size_t i) { return lhs[i].lo <= r.lo; });
+        if (lhs_hi_monotone) {
+          // Emit [0, min(lo_boundary, first hi > r.hi)).
+          size_t hi_boundary =
+              static_cast<size_t>(std::partition_point(
+                                      lhs.begin(), lhs.begin() + lo_boundary,
+                                      [&](const Interval& x) {
+                                        ++st.comparisons;
+                                        return x.hi <= r.hi;
+                                      }) -
+                                  lhs.begin());
+          for (size_t i = 0; i < hi_boundary; ++i) do_emit(i, j);
+        } else {
+          for (size_t i = 0; i < lo_boundary; ++i) {
+            ++st.comparisons;
+            if (lhs[i].hi <= r.hi) do_emit(i, j);
+          }
+        }
+      }
+      break;
+    }
+  }
+
+  Flush(st);
+  return st;
+}
+
+SweepStats SweepSemiJoinOverlaps(const std::vector<Interval>& items,
+                                 const std::vector<Interval>& against,
+                                 const std::function<void(size_t)>& emit) {
+  SweepStats st;
+  const size_t m = against.size();
+  size_t start = 0;
+  for (size_t k = 0; k < items.size(); ++k) {
+    const Interval& it = items[k];
+    // against[start] with hi < it.lo can never overlap this or any later
+    // item (item los are non-decreasing) — discard permanently.
+    start = LinearAdvance(start, m, st,
+                          [&](size_t x) { return against[x].hi < it.lo; });
+    if (start >= m) break;
+    // Here against[start].hi >= it.lo; overlap iff its lo is <= it.hi.  If
+    // not, every later against starts even further right — no match.
+    ++st.comparisons;
+    if (against[start].lo <= it.hi) {
+      ++st.emits;
+      emit(k);
+    }
+  }
+  Flush(st);
+  return st;
+}
+
+std::vector<Interval> SweepUnion(const std::vector<Interval>& a,
+                                 const std::vector<Interval>& b) {
+  SweepStats st;
+  std::vector<Interval> out;
+  out.reserve(a.size() + b.size());
+  size_t i = 0;
+  size_t j = 0;
+  auto absorb = [&](const Interval& next) {
+    ++st.comparisons;
+    if (!out.empty() && next.lo <= out.back().hi) {
+      out.back().hi = std::max(out.back().hi, next.hi);
+    } else {
+      ++st.emits;
+      out.push_back(next);
+    }
+  };
+  while (i < a.size() && j < b.size()) {
+    ++st.comparisons;
+    const bool take_a = a[i].lo != b[j].lo ? a[i].lo < b[j].lo
+                                           : a[i].hi < b[j].hi;
+    absorb(take_a ? a[i++] : b[j++]);
+  }
+  while (i < a.size()) absorb(a[i++]);
+  while (j < b.size()) absorb(b[j++]);
+  Flush(st);
+  return out;
+}
+
+std::vector<Interval> SweepDifference(const std::vector<Interval>& a,
+                                      const std::vector<Interval>& b) {
+  SweepStats st;
+  std::vector<Interval> out;
+  // Subtrahend elements wholly before the current minuend never matter
+  // again, so the scan start advances monotonically.  The uncovered
+  // remainder of each minuend is tracked in offset space so that splits
+  // across the skip-zero gap stay correct.
+  size_t j_start = 0;
+  for (const Interval& ai : a) {
+    int64_t lo_off = PointToOffset(ai.lo);
+    const int64_t hi_off = PointToOffset(ai.hi);
+    bool consumed = false;
+    j_start = LinearAdvance(j_start, b.size(), st, [&](size_t x) {
+      return PointToOffset(b[x].hi) < lo_off;
+    });
+    for (size_t j = j_start; j < b.size(); ++j) {
+      const int64_t blo = PointToOffset(b[j].lo);
+      const int64_t bhi = PointToOffset(b[j].hi);
+      ++st.comparisons;
+      if (bhi < lo_off) continue;
+      if (blo > hi_off) break;
+      if (blo > lo_off) {
+        ++st.emits;
+        out.push_back(Interval{OffsetToPoint(lo_off), OffsetToPoint(blo - 1)});
+      }
+      lo_off = bhi + 1;
+      if (lo_off > hi_off) {
+        consumed = true;
+        break;
+      }
+    }
+    if (!consumed) {
+      ++st.emits;
+      out.push_back(Interval{OffsetToPoint(lo_off), OffsetToPoint(hi_off)});
+    }
+  }
+  Flush(st);
+  return out;
+}
+
+std::vector<Interval> SweepIntersect(const std::vector<Interval>& a,
+                                     const std::vector<Interval>& b) {
+  SweepStats st;
+  std::vector<Interval> out;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    ++st.comparisons;
+    if (std::optional<Interval> x = Intersect(a[i], b[j])) {
+      ++st.emits;
+      out.push_back(*x);
+    }
+    if (a[i].hi < b[j].hi) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  Flush(st);
+  return out;
+}
+
+std::vector<Interval> SweepGroup(const std::vector<Interval>& src,
+                                 std::optional<TimePoint> te,
+                                 const std::vector<int64_t>& groups) {
+  SweepStats st;
+  // Cutoff: the grouped prefix ends at the first interval past te.
+  size_t limit = src.size();
+  if (te.has_value()) {
+    limit = LinearAdvance(0, src.size(), st,
+                          [&](size_t i) { return src[i].hi <= *te; });
+  }
+  std::vector<Interval> out;
+  size_t group_idx = 0;
+  for (size_t i = 0; i < limit;) {
+    const size_t want =
+        static_cast<size_t>(groups[group_idx % groups.size()]);
+    ++group_idx;
+    const size_t take = std::min(want, limit - i);
+    ++st.emits;
+    out.push_back(Interval{src[i].lo, src[i + take - 1].hi});
+    i += take;
+  }
+  Flush(st);
+  return out;
+}
+
+namespace naive {
+
+SweepStats Join(const std::vector<Interval>& lhs, ListOp op,
+                const std::vector<Interval>& rhs, const SweepEmit& emit) {
+  SweepStats st;
+  for (size_t j = 0; j < rhs.size(); ++j) {
+    for (size_t i = 0; i < lhs.size(); ++i) {
+      ++st.comparisons;
+      if (EvalListOp(op, lhs[i], rhs[j])) {
+        ++st.emits;
+        emit(i, j);
+      }
+    }
+  }
+  return st;
+}
+
+}  // namespace naive
+
+}  // namespace caldb

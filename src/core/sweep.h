@@ -1,0 +1,99 @@
+// Sweep kernels: sort-merge sweeping over endpoint-sorted interval runs
+// (after Piatov et al., "Cache-Efficient Sweeping-Based Interval Joins").
+//
+// Every calendar-algebra operator — the foreach family, the set operators,
+// `intersects`, and caloperate grouping — reduces to one of the routines
+// here.  All of them walk the two sorted runs with monotone cursors, so a
+// join is O(n + m + k) (k = pairs emitted) instead of the naive O(n * m),
+// with galloping (exponential) skip over long dead prefixes for the
+// order-style predicates `<` and `<=`.
+//
+// Preconditions shared by every routine: interval vectors are sorted by
+// (lo, hi) — the Calendar order-1 invariant.  Upper endpoints need not be
+// monotone; routines take a `hi_monotone` hint (true for every disjoint
+// calendar, in particular all generated base calendars) that unlocks the
+// pure-sweep fast path, and fall back to a guarded scan otherwise.
+//
+// Instrumentation: each call tallies comparisons / emitted pairs / elements
+// skipped by galloping into the returned SweepStats and into the process
+// metric registry ("caldb.sweep.*", see docs/OBSERVABILITY.md), so PROFILE
+// and \stats can show the sweep win.
+
+#ifndef CALDB_CORE_SWEEP_H_
+#define CALDB_CORE_SWEEP_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/interval.h"
+#include "time/timepoint.h"
+
+namespace caldb {
+
+/// Per-call kernel counters (also accumulated into "caldb.sweep.*").
+struct SweepStats {
+  int64_t comparisons = 0;   // endpoint comparisons performed
+  int64_t emits = 0;         // pairs / intervals emitted
+  int64_t gallop_skips = 0;  // elements stepped over without comparison
+};
+
+/// Receives one matching (lhs index, rhs index) pair.
+using SweepEmit = std::function<void(size_t lhs_idx, size_t rhs_idx)>;
+
+/// Emits every pair (i, j) with EvalListOp(op, lhs[i], rhs[j]) true, grouped
+/// by j (rhs-major) with i increasing within each group — the order the
+/// foreach operators need to assemble per-element children.
+/// `lhs_hi_monotone` declares that lhs upper endpoints are non-decreasing.
+SweepStats SweepJoin(const std::vector<Interval>& lhs, ListOp op,
+                     const std::vector<Interval>& rhs, bool lhs_hi_monotone,
+                     const SweepEmit& emit);
+
+/// Semi-join for the relaxed `intersects`: emits each index of `items`
+/// (increasing) whose interval overlaps at least one interval of `against`.
+/// O(n + m) regardless of monotonicity.
+SweepStats SweepSemiJoinOverlaps(const std::vector<Interval>& items,
+                                 const std::vector<Interval>& against,
+                                 const std::function<void(size_t)>& emit);
+
+/// Point-set union by linear merge of two sorted runs: overlapping
+/// intervals are merged, intervals that merely meet end-to-end are kept
+/// distinct (element counts stay meaningful for selection).  Operands are
+/// point sets: each run must be disjoint within itself.
+std::vector<Interval> SweepUnion(const std::vector<Interval>& a,
+                                 const std::vector<Interval>& b);
+
+/// Point-set difference a - b (may split intervals of a).  Tracks the
+/// uncovered remainder in offset space so splits across the skip-zero gap
+/// never produce an interval containing the nonexistent point 0.
+std::vector<Interval> SweepDifference(const std::vector<Interval>& a,
+                                      const std::vector<Interval>& b);
+
+/// Point-set intersection (clipped pieces of a).  Two-pointer sweep;
+/// complete for disjoint runs (the point-set normal form of set operands).
+std::vector<Interval> SweepIntersect(const std::vector<Interval>& a,
+                                     const std::vector<Interval>& b);
+
+/// The caloperate grouping loop: coalesces consecutive intervals of `src`
+/// into groups whose sizes cycle through `groups` (all positive), stopping
+/// at the first interval with hi > te when `te` is set.  Emits one covering
+/// interval {first.lo, last.hi} per (possibly short) group.  O(#groups)
+/// after the cutoff scan, instead of touching every member interval.
+std::vector<Interval> SweepGroup(const std::vector<Interval>& src,
+                                 std::optional<TimePoint> te,
+                                 const std::vector<int64_t>& groups);
+
+namespace naive {
+
+/// The quadratic reference join: literal double loop over EvalListOp, same
+/// emission order as SweepJoin.  Retained only as the differential-testing
+/// and benchmarking baseline (tests/core/sweep_test.cc, bench/bench_sweep).
+SweepStats Join(const std::vector<Interval>& lhs, ListOp op,
+                const std::vector<Interval>& rhs, const SweepEmit& emit);
+
+}  // namespace naive
+
+}  // namespace caldb
+
+#endif  // CALDB_CORE_SWEEP_H_

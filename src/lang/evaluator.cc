@@ -21,6 +21,8 @@ struct EvalMetrics {
       obs::Metrics().counter("caldb.eval.intervals_generated");
   obs::Counter* cache_hits =
       obs::Metrics().counter("caldb.eval.gen_cache.hits");
+  obs::Counter* cache_covered_hits =
+      obs::Metrics().counter("caldb.eval.gen_cache.covered_hits");
   obs::Counter* cache_misses =
       obs::Metrics().counter("caldb.eval.gen_cache.misses");
   obs::Histogram* run_ns = obs::Metrics().histogram("caldb.eval.run_ns");
@@ -185,6 +187,28 @@ Status Evaluator::RunStepImpl(const PlanStep& step, Frame* frame,
         if (stats_ != nullptr) ++stats_->cache_hits;
         Metrics().cache_hits->Increment();
         set(step.dst, cached->second);
+        return Status::OK();
+      }
+      // No exact entry — reuse any cached window covering the request.
+      // Generation over W materializes exactly the granules overlapping W,
+      // so slicing a covering entry with a relaxed-overlaps sweep is
+      // bit-identical to generating afresh (the cache stays coherent
+      // without storing per-slice copies).
+      for (const auto& [ckey, ccal] : gen_cache_) {
+        if (std::get<0>(ckey) != std::get<0>(key) ||
+            std::get<1>(ckey) != std::get<1>(key)) {
+          continue;
+        }
+        if (std::get<2>(ckey) > window->lo || std::get<3>(ckey) < window->hi) {
+          continue;
+        }
+        CALDB_ASSIGN_OR_RETURN(
+            Calendar sliced,
+            ForEachInterval(ccal, ListOp::kOverlaps, *window,
+                            /*strict=*/false));
+        if (stats_ != nullptr) ++stats_->cache_hits;
+        Metrics().cache_covered_hits->Increment();
+        set(step.dst, std::move(sliced));
         return Status::OK();
       }
       Metrics().cache_misses->Increment();

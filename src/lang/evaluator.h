@@ -72,7 +72,7 @@ struct EvalStats {
   int64_t steps_executed = 0;
   int64_t generate_calls = 0;
   int64_t intervals_generated = 0;  // intervals materialized by GENERATE
-  int64_t cache_hits = 0;
+  int64_t cache_hits = 0;           // exact-key and covering-window hits
 };
 
 class Evaluator {
@@ -106,6 +106,11 @@ class Evaluator {
   const CalendarSource* source_;
   EvalStats* stats_ = nullptr;
   // Cache of generated base calendars, keyed by granularity/unit/window.
+  // Lookups also reuse any cached entry whose window *covers* the request:
+  // because fresh generation over W yields exactly the granules overlapping
+  // W, slicing a covering entry down to W (relaxed overlaps sweep) is
+  // bit-identical to regenerating — the cache stays coherent without
+  // storing the slice.
   std::map<std::tuple<int, int, TimePoint, TimePoint>, Calendar> gen_cache_;
 };
 

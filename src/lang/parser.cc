@@ -287,6 +287,12 @@ class Parser {
     if (!Check(TokenKind::kInt)) return Unexpected("selection index");
     int64_t lo = Advance().int_value;
     if (Match(TokenKind::kDotDot)) {
+      if (lo <= 0) {
+        // `0..n` used to slip through unvalidated and silently select
+        // everything; range starts are 1-based like plain indices.
+        return Status::ParseError("invalid selection range start " +
+                                  std::to_string(lo));
+      }
       if (Check(TokenKind::kIdent) && Peek().text == "n") {
         Advance();
         return SelectionItem::Range(lo, SelectionItem::kLastMarker);

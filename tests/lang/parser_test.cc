@@ -112,6 +112,16 @@ TEST(ParserTest, SelectionItems) {
   EXPECT_EQ(sel[4], SelectionItem::Range(3, SelectionItem::kLastMarker));
 }
 
+TEST(ParserTest, SelectionErrors) {
+  // Index 0 and ranges starting below 1 have no meaning in the 1-based
+  // scheme — rejected at parse time, including the open form `0..n`.
+  EXPECT_FALSE(ParseExpression("[0]/DAYS").ok());
+  EXPECT_FALSE(ParseExpression("[0..3]/DAYS").ok());
+  EXPECT_FALSE(ParseExpression("[0..n]/DAYS").ok());
+  EXPECT_FALSE(ParseExpression("[-2..3]/DAYS").ok());
+  EXPECT_FALSE(ParseExpression("[3..2]/DAYS").ok());
+}
+
 TEST(ParserTest, IntervalLiteral) {
   auto r = ParseExpression("days{(31,31),(90,90)}");
   ASSERT_TRUE(r.ok()) << r.status();

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Runs the benchmark binaries and appends their machine-readable result
+# lines to BENCH_<name>.json in the repo root (gitignored; see
+# bench/bench_util.h for the line format).
+#
+#   tools/bench.sh [bench-name ...]
+#
+# With no arguments every bench/bench_* binary runs.  Extra knobs:
+#
+#   CALDB_BENCH_FILTER   --benchmark_filter regex (default: everything)
+#   CALDB_BENCH_MIN_TIME --benchmark_min_time seconds (default: 0.2)
+#
+# Uses the regular build/ tree (configures it if missing).
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="$repo_root/build"
+min_time="${CALDB_BENCH_MIN_TIME:-0.2}"
+filter="${CALDB_BENCH_FILTER:-}"
+
+cmake -B "$build_dir" -S "$repo_root" >/dev/null
+cmake --build "$build_dir" -j "$(nproc)" >/dev/null
+
+if [[ $# -gt 0 ]]; then
+  names=("$@")
+else
+  names=()
+  for bin in "$build_dir"/bench/bench_*; do
+    [[ -x $bin ]] && names+=("$(basename "$bin")")
+  done
+fi
+
+for name in "${names[@]}"; do
+  bin="$build_dir/bench/$name"
+  if [[ ! -x $bin ]]; then
+    echo "no such bench binary: $bin" >&2
+    exit 1
+  fi
+  out="$repo_root/BENCH_${name#bench_}.json"
+  echo "== $name -> $out"
+  args=(--benchmark_min_time="$min_time")
+  [[ -n $filter ]] && args+=(--benchmark_filter="$filter")
+  CALDB_BENCH_JSON="$out" "$bin" "${args[@]}"
+done

@@ -12,4 +12,10 @@ build_dir="${1:-$repo_root/build-asan}"
 
 cmake -B "$build_dir" -S "$repo_root" -DCALDB_SANITIZE=address
 cmake --build "$build_dir" -j "$(nproc)"
+
+# The randomized differential harness (sweep kernels vs their naive
+# references, ~18k operator applications) is the densest memory-error
+# surface — run it by name first so a failure there is attributed clearly.
+ctest --test-dir "$build_dir" -R 'sweep_test' --output-on-failure
+
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
