@@ -356,11 +356,12 @@ Result<std::optional<TimePoint>> FirstPointAfter(const TimeSystem& ts,
                                                  const Calendar& cal,
                                                  TimePoint after,
                                                  Granularity unit) {
-  Calendar flat = cal.order() == 1 ? cal : cal.Flattened();
+  // The min over all leaves is order-independent, so walk the shared flat
+  // buffer directly (zero-copy) instead of materializing a flatten.
   std::optional<TimePoint> best;
-  for (const Interval& i : flat.intervals()) {
+  for (const Interval& i : cal.Leaves()) {
     CALDB_ASSIGN_OR_RETURN(Interval points,
-                           IntervalToUnit(ts, flat.granularity(), i, unit));
+                           IntervalToUnit(ts, cal.granularity(), i, unit));
     if (points.hi <= after) continue;
     TimePoint candidate = points.lo > after ? points.lo : PointAdd(after, 1);
     if (!best.has_value() || candidate < *best) best = candidate;

@@ -49,20 +49,20 @@ Result<Calendar> IntersectsOp(const Calendar& c, const Calendar& rhs,
 // True when upper endpoints are non-decreasing (holds for every
 // disjoint sorted calendar, in particular all generated base calendars).
 // Unlocks the sweep kernel's pure-merge fast path and galloping skips.
-bool HiMonotone(const std::vector<Interval>& v) {
+bool HiMonotone(IntervalSpan v) {
   for (size_t i = 1; i < v.size(); ++i) {
     if (v[i].hi < v[i - 1].hi) return false;
   }
   return true;
 }
 
-// One sweep over `c` against a whole order-1 rhs element list: returns one
+// One sweep over `c` against a run of rhs leaf intervals: returns one
 // interval vector per rhs element (a child may stay empty — the paper's
 // "/{ε}" dropping happens per emitted pair under the clipping ops).
 std::vector<std::vector<Interval>> JoinPerRhsElement(
-    const Calendar& c, ListOp op, const std::vector<Interval>& rhs_list,
-    bool strict, bool hi_monotone) {
-  const std::vector<Interval>& v = c.intervals();
+    const Calendar& c, ListOp op, IntervalSpan rhs_list, bool strict,
+    bool hi_monotone) {
+  IntervalSpan v = c.intervals();
   const bool clip = strict && ListOpClipsUnderStrict(op);
   std::vector<std::vector<Interval>> outs(rhs_list.size());
   SweepJoin(v, op, rhs_list, hi_monotone, [&](size_t i, size_t j) {
@@ -81,43 +81,35 @@ std::vector<std::vector<Interval>> JoinPerRhsElement(
 Calendar ForEachIntervalSweep(const Calendar& c, ListOp op, const Interval& rhs,
                               bool strict, bool hi_monotone) {
   std::vector<std::vector<Interval>> outs =
-      JoinPerRhsElement(c, op, {rhs}, strict, hi_monotone);
+      JoinPerRhsElement(c, op, IntervalSpan(&rhs, 1), strict, hi_monotone);
   return Calendar::Order1(c.granularity(), std::move(outs.front()));
 }
 
-// foreach with forced nesting decision (`collapse_singleton` true only at
-// the top level so that nested results stay rectangular).
-Result<Calendar> ForEachImpl(const Calendar& c, ListOp op, const Calendar& rhs,
-                             bool strict, bool collapse_singleton,
-                             bool hi_monotone) {
-  if (rhs.order() == 1) {
-    if (collapse_singleton && rhs.IsSingleton()) {
-      return ForEachIntervalSweep(c, op, rhs.intervals().front(), strict,
-                                  hi_monotone);
-    }
-    // One sweep across all rhs elements at once (this is where the kernel
-    // beats the old per-element rescans).
-    std::vector<std::vector<Interval>> outs =
-        JoinPerRhsElement(c, op, rhs.intervals(), strict, hi_monotone);
-    std::vector<Calendar> children;
-    children.reserve(outs.size());
-    for (std::vector<Interval>& child : outs) {
-      children.push_back(Calendar::Order1(c.granularity(), std::move(child)));
-    }
-    return Calendar::Nested(c.granularity(), std::move(children),
-                            /*order_if_empty=*/2);
+// The foreach body for non-singleton rhs: the result's grouping always
+// mirrors rhs's nesting with each rhs leaf replaced by the group of
+// matching (possibly clipped) c intervals, so instead of recursing over
+// rhs children we join c against rhs's flat leaf buffer and stamp out the
+// result rep with rhs's own CSR structure (Calendar::NestedLike) — no
+// per-child vector assembly at any depth.  When the rhs leaf buffer is
+// globally sorted (every generated base calendar) a single sweep covers
+// all rhs leaves; otherwise each order-1 group is swept separately, which
+// preserves the kernels' sorted-run precondition.
+Calendar ForEachFlat(const Calendar& c, ListOp op, const Calendar& rhs,
+                     bool strict, bool hi_monotone) {
+  std::vector<std::vector<Interval>> outs;
+  if (rhs.order() == 1 || rhs.LeavesSorted()) {
+    outs = JoinPerRhsElement(c, op, rhs.Leaves(), strict, hi_monotone);
+  } else {
+    outs.resize(static_cast<size_t>(rhs.TotalIntervals()));
+    rhs.ForEachLeafGroup([&](size_t off, IntervalSpan group) {
+      std::vector<std::vector<Interval>> part =
+          JoinPerRhsElement(c, op, group, strict, hi_monotone);
+      for (size_t j = 0; j < part.size(); ++j) {
+        outs[off + j] = std::move(part[j]);
+      }
+    });
   }
-  std::vector<Calendar> children;
-  children.reserve(rhs.children().size());
-  for (const Calendar& rc : rhs.children()) {
-    CALDB_ASSIGN_OR_RETURN(
-        Calendar child,
-        ForEachImpl(c, op, rc, strict, /*collapse_singleton=*/false,
-                    hi_monotone));
-    children.push_back(std::move(child));
-  }
-  return Calendar::Nested(c.granularity(), std::move(children),
-                          /*order_if_empty=*/rhs.order() + 1);
+  return Calendar::NestedLike(rhs, c.granularity(), std::move(outs));
 }
 
 }  // namespace
@@ -133,8 +125,15 @@ Result<Calendar> ForEach(const Calendar& c, ListOp op, const Calendar& rhs,
   if (op == ListOp::kIntersects) return IntersectsOp(c, rhs, strict);
   CALDB_RETURN_IF_ERROR(RequireSameGranularity(c, rhs, "foreach"));
   CALDB_RETURN_IF_ERROR(RequireOrder1(c, "foreach left operand"));
-  return ForEachImpl(c, op, rhs, strict, /*collapse_singleton=*/true,
-                     HiMonotone(c.intervals()));
+  const bool hi_monotone = HiMonotone(c.intervals());
+  // A one-interval order-1 rhs "is an interval" (paper §3.1): the result
+  // collapses to order 1 instead of nesting.  Only at the top level —
+  // nested results stay rectangular.
+  if (rhs.IsSingleton()) {
+    return ForEachIntervalSweep(c, op, rhs.intervals().front(), strict,
+                                hi_monotone);
+  }
+  return ForEachFlat(c, op, rhs, strict, hi_monotone);
 }
 
 namespace {
@@ -223,9 +222,10 @@ Result<Calendar> Select(const std::vector<SelectionItem>& predicate,
   }
   CALDB_RETURN_IF_ERROR(ValidateSelection(predicate));
   if (c.order() == 1) {
+    IntervalSpan v = c.intervals();
     std::vector<Interval> out;
-    for (size_t pos : ResolvePositions(predicate, c.intervals().size())) {
-      out.push_back(c.intervals()[pos]);
+    for (size_t pos : ResolvePositions(predicate, v.size())) {
+      out.push_back(v[pos]);
     }
     return Calendar::Order1(c.granularity(), std::move(out));
   }
@@ -233,17 +233,17 @@ Result<Calendar> Select(const std::vector<SelectionItem>& predicate,
   // and splice them together; the result has order n-1.
   if (c.order() == 2) {
     std::vector<Interval> out;
-    for (const Calendar& child : c.children()) {
-      for (size_t pos : ResolvePositions(predicate, child.intervals().size())) {
-        out.push_back(child.intervals()[pos]);
+    c.ForEachLeafGroup([&](size_t, IntervalSpan group) {
+      for (size_t pos : ResolvePositions(predicate, group.size())) {
+        out.push_back(group[pos]);
       }
-    }
+    });
     return Calendar::Order1(c.granularity(), std::move(out));
   }
   std::vector<Calendar> out_children;
   for (const Calendar& child : c.children()) {
-    for (size_t pos : ResolvePositions(predicate, child.children().size())) {
-      out_children.push_back(child.children()[pos]);
+    for (size_t pos : ResolvePositions(predicate, child.size())) {
+      out_children.push_back(child.child(pos));
     }
   }
   return Calendar::Nested(c.granularity(), std::move(out_children),

@@ -3,24 +3,75 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "obs/obs.h"
 
 namespace caldb {
 
+namespace {
+
+// Sharing observability (docs/OBSERVABILITY.md): rep_shares counts handle
+// copies / views that reused an existing rep; rep_copies counts fresh reps
+// materialized out of existing calendar data (Nested, unsorted Flattened);
+// cow_rebuilds counts rebuild-on-write of a whole value (TransformLeaves).
+struct CalMetrics {
+  obs::Counter* rep_shares = obs::Metrics().counter("caldb.cal.rep_shares");
+  obs::Counter* rep_copies = obs::Metrics().counter("caldb.cal.rep_copies");
+  obs::Counter* cow_rebuilds =
+      obs::Metrics().counter("caldb.cal.cow_rebuilds");
+};
+
+CalMetrics& Metrics() {
+  static CalMetrics* metrics = new CalMetrics();
+  return *metrics;
+}
+
+}  // namespace
+
+Calendar::Calendar(const Calendar& other)
+    : rep_(other.rep_),
+      granularity_(other.granularity_),
+      level_(other.level_),
+      begin_(other.begin_),
+      end_(other.end_),
+      leaf_begin_(other.leaf_begin_),
+      leaf_end_(other.leaf_end_) {
+  if (rep_) Metrics().rep_shares->Increment();
+}
+
+Calendar& Calendar::operator=(const Calendar& other) {
+  if (this == &other) return *this;
+  rep_ = other.rep_;
+  granularity_ = other.granularity_;
+  level_ = other.level_;
+  begin_ = other.begin_;
+  end_ = other.end_;
+  leaf_begin_ = other.leaf_begin_;
+  leaf_end_ = other.leaf_end_;
+  if (rep_) Metrics().rep_shares->Increment();
+  return *this;
+}
+
+Calendar Calendar::Root(CalendarRep rep, Granularity g) {
+  rep.Finalize();
+  auto shared = std::make_shared<const CalendarRep>(std::move(rep));
+  const uint32_t top = static_cast<uint32_t>(shared->TopCount());
+  const uint32_t leaves = static_cast<uint32_t>(shared->leaves.size());
+  Granularity gran = g;
+  return Calendar(std::move(shared), gran, /*level=*/0, /*begin=*/0,
+                  /*end=*/top, /*leaf_begin=*/0, /*leaf_end=*/leaves);
+}
+
 Calendar Calendar::Order1(Granularity g, std::vector<Interval> intervals) {
-  Calendar c;
-  c.granularity_ = g;
-  c.order_ = 1;
   for (const Interval& i : intervals) {
     (void)i;
     CALDB_DCHECK(IsValidPoint(i.lo) && IsValidPoint(i.hi) && i.lo <= i.hi,
                  "invalid interval in Calendar::Order1");
   }
-  std::sort(intervals.begin(), intervals.end(),
-            [](const Interval& a, const Interval& b) {
-              return a.lo != b.lo ? a.lo < b.lo : a.hi < b.hi;
-            });
-  c.intervals_ = std::move(intervals);
-  return c;
+  std::sort(intervals.begin(), intervals.end(), IntervalLess);
+  CalendarRep rep;
+  rep.order = 1;
+  rep.leaves = std::move(intervals);
+  return Root(std::move(rep), g);
 }
 
 Result<Calendar> Calendar::MakeOrder1(Granularity g,
@@ -40,116 +91,213 @@ Result<Calendar> Calendar::MakeOrder1(Granularity g,
 
 Calendar Calendar::Nested(Granularity g, std::vector<Calendar> children,
                           int order_if_empty) {
-  Calendar c;
-  c.granularity_ = g;
   CALDB_DCHECK(order_if_empty >= 2, "Nested calendars have order >= 2");
-  int child_order =
+  const int child_order =
       children.empty() ? order_if_empty - 1 : children.front().order();
-  for (Calendar& child : children) {
+  CalendarRep rep;
+  rep.order = child_order + 1;
+  rep.offsets.assign(static_cast<size_t>(rep.order - 1), {0});
+  for (const Calendar& child : children) {
     CALDB_DCHECK(child.order() == child_order,
                  "Calendar::Nested requires children of equal order");
-    child.set_granularity(g);
+    rep.offsets[0].push_back(rep.offsets[0].back() +
+                             static_cast<uint32_t>(child.size()));
+    std::vector<std::vector<uint32_t>> child_offsets = child.ViewOffsets();
+    for (int k = 0; k + 1 < child_order; ++k) {
+      std::vector<uint32_t>& dst = rep.offsets[static_cast<size_t>(k) + 1];
+      const uint32_t base = dst.back();
+      const std::vector<uint32_t>& src = child_offsets[static_cast<size_t>(k)];
+      for (size_t idx = 1; idx < src.size(); ++idx) {
+        dst.push_back(base + src[idx]);
+      }
+    }
+    IntervalSpan lv = child.Leaves();
+    rep.leaves.insert(rep.leaves.end(), lv.begin(), lv.end());
   }
-  c.order_ = child_order + 1;
-  c.children_ = std::move(children);
-  return c;
+  if (!children.empty()) Metrics().rep_copies->Increment();
+  return Root(std::move(rep), g);
 }
 
-void Calendar::set_granularity(Granularity g) {
-  granularity_ = g;
-  for (Calendar& child : children_) child.set_granularity(g);
-}
-
-bool Calendar::IsNull() const {
-  if (order_ == 1) return intervals_.empty();
-  for (const Calendar& child : children_) {
-    if (!child.IsNull()) return false;
+Calendar Calendar::NestedLike(const Calendar& shape, Granularity g,
+                              std::vector<std::vector<Interval>> groups) {
+  CALDB_DCHECK(static_cast<int64_t>(groups.size()) == shape.TotalIntervals(),
+               "NestedLike requires one group per shape leaf");
+  CalendarRep rep;
+  rep.order = shape.order() + 1;
+  rep.offsets = shape.ViewOffsets();
+  std::vector<uint32_t> inner;
+  inner.reserve(groups.size() + 1);
+  inner.push_back(0);
+  size_t total = 0;
+  for (const std::vector<Interval>& grp : groups) total += grp.size();
+  rep.leaves.reserve(total);
+  for (std::vector<Interval>& grp : groups) {
+    std::sort(grp.begin(), grp.end(), IntervalLess);
+    rep.leaves.insert(rep.leaves.end(), grp.begin(), grp.end());
+    inner.push_back(static_cast<uint32_t>(rep.leaves.size()));
   }
-  return true;
+  rep.offsets.push_back(std::move(inner));
+  return Root(std::move(rep), g);
 }
 
-int64_t Calendar::TotalIntervals() const {
-  if (order_ == 1) return static_cast<int64_t>(intervals_.size());
-  int64_t total = 0;
-  for (const Calendar& child : children_) total += child.TotalIntervals();
-  return total;
+IntervalSpan Calendar::Leaves() const {
+  if (!rep_) return {};
+  return IntervalSpan(rep_->leaves.data() + leaf_begin_,
+                      leaf_end_ - leaf_begin_);
 }
 
-namespace {
-void CollectLeaves(const Calendar& c, std::vector<Interval>* out) {
-  if (c.order() == 1) {
-    out->insert(out->end(), c.intervals().begin(), c.intervals().end());
+Calendar Calendar::child(size_t i) const {
+  CALDB_DCHECK(rep_ != nullptr && order() > 1 && i < size(),
+               "Calendar::child requires a nested calendar and i < size()");
+  const std::vector<uint32_t>& level = rep_->offsets[static_cast<size_t>(level_)];
+  uint32_t b = level[begin_ + static_cast<uint32_t>(i)];
+  uint32_t e = level[begin_ + static_cast<uint32_t>(i) + 1];
+  // Walk the CSR levels down to the leaf range of the child view.
+  uint32_t lb = b;
+  uint32_t le = e;
+  for (int k = level_ + 1; k + 1 < rep_->order; ++k) {
+    lb = rep_->offsets[static_cast<size_t>(k)][lb];
+    le = rep_->offsets[static_cast<size_t>(k)][le];
+  }
+  Metrics().rep_shares->Increment();
+  return Calendar(rep_, granularity_, level_ + 1, b, e, lb, le);
+}
+
+void Calendar::ForEachLeafGroup(
+    const std::function<void(size_t, IntervalSpan)>& fn) const {
+  if (order() == 1) {
+    fn(0, Leaves());
     return;
   }
-  for (const Calendar& child : c.children()) CollectLeaves(child, out);
+  // Elements at level order-2 are the order-1 groups; compose the view's
+  // element range down to that level, then cut leaves by the innermost
+  // offsets.
+  uint32_t b = begin_;
+  uint32_t e = end_;
+  for (int k = level_; k + 2 < rep_->order; ++k) {
+    b = rep_->offsets[static_cast<size_t>(k)][b];
+    e = rep_->offsets[static_cast<size_t>(k)][e];
+  }
+  const std::vector<uint32_t>& inner = rep_->offsets.back();
+  const Interval* base = rep_->leaves.data();
+  for (uint32_t t = b; t < e; ++t) {
+    fn(inner[t] - leaf_begin_,
+       IntervalSpan(base + inner[t], inner[t + 1] - inner[t]));
+  }
 }
-}  // namespace
+
+std::vector<std::vector<uint32_t>> Calendar::ViewOffsets() const {
+  std::vector<std::vector<uint32_t>> out;
+  if (!rep_ || order() == 1) return out;
+  uint32_t b = begin_;
+  uint32_t e = end_;
+  for (int k = level_; k + 1 < rep_->order; ++k) {
+    const std::vector<uint32_t>& src = rep_->offsets[static_cast<size_t>(k)];
+    std::vector<uint32_t> lvl(src.begin() + b, src.begin() + e + 1);
+    const uint32_t base = lvl.front();
+    for (uint32_t& x : lvl) x -= base;
+    out.push_back(std::move(lvl));
+    b = src[b];
+    e = src[e];
+  }
+  return out;
+}
 
 Calendar Calendar::Flattened() const {
-  std::vector<Interval> leaves;
-  CollectLeaves(*this, &leaves);
-  return Order1(granularity_, std::move(leaves));
+  if (!rep_ || order() == 1) return *this;
+  if (rep_->leaves_sorted) {
+    // Order-1 view over the same leaf run — no copy, no sort.
+    Metrics().rep_shares->Increment();
+    return Calendar(rep_, granularity_, rep_->order - 1, leaf_begin_,
+                    leaf_end_, leaf_begin_, leaf_end_);
+  }
+  IntervalSpan lv = Leaves();
+  Metrics().rep_copies->Increment();
+  return Order1(granularity_, std::vector<Interval>(lv.begin(), lv.end()));
 }
 
 std::optional<Interval> Calendar::Span() const {
-  if (order_ == 1) {
-    if (intervals_.empty()) return std::nullopt;
-    TimePoint lo = intervals_.front().lo;
-    TimePoint hi = intervals_.front().hi;
-    for (const Interval& i : intervals_) hi = std::max(hi, i.hi);
-    return Interval{lo, hi};
+  if (IsNull()) return std::nullopt;
+  if (leaf_begin_ == 0 && leaf_end_ == rep_->leaves.size()) {
+    return rep_->span;  // precomputed for whole-rep handles
   }
-  std::optional<Interval> span;
-  for (const Calendar& child : children_) {
-    std::optional<Interval> s = child.Span();
-    if (!s) continue;
-    if (!span) {
-      span = s;
-    } else {
-      span->lo = std::min(span->lo, s->lo);
-      span->hi = std::max(span->hi, s->hi);
-    }
+  IntervalSpan lv = Leaves();
+  // Within one order-1 group (and in globally sorted buffers) the first
+  // leaf has the minimal lo; hi is not monotone and needs the scan.
+  const bool lo_sorted = order() == 1 || rep_->leaves_sorted;
+  TimePoint lo = lv.front().lo;
+  TimePoint hi = lv.front().hi;
+  for (const Interval& i : lv) {
+    if (!lo_sorted && i.lo < lo) lo = i.lo;
+    if (i.hi > hi) hi = i.hi;
   }
-  return span;
+  return Interval{lo, hi};
 }
 
 bool Calendar::ContainsPoint(TimePoint p) const {
-  if (order_ == 1) {
-    // intervals_ sorted by lo: binary search for the last interval with
-    // lo <= p, then check span membership of candidates before it (hi is
-    // not monotone in general, so scan back conservatively).
-    for (const Interval& i : intervals_) {
-      if (i.lo > p) break;
-      if (i.Contains(p)) return true;
-    }
-    return false;
-  }
-  for (const Calendar& child : children_) {
-    if (child.ContainsPoint(p)) return true;
+  const bool lo_sorted = order() == 1 || (rep_ && rep_->leaves_sorted);
+  for (const Interval& i : Leaves()) {
+    if (lo_sorted && i.lo > p) break;
+    if (i.Contains(p)) return true;
   }
   return false;
 }
 
 std::string Calendar::ToString() const {
   std::string out = "{";
-  if (order_ == 1) {
-    for (size_t i = 0; i < intervals_.size(); ++i) {
+  if (order() == 1) {
+    IntervalSpan lv = Leaves();
+    for (size_t i = 0; i < lv.size(); ++i) {
       if (i > 0) out += ",";
-      out += FormatInterval(intervals_[i]);
+      out += FormatInterval(lv[i]);
     }
   } else {
-    for (size_t i = 0; i < children_.size(); ++i) {
+    for (size_t i = 0; i < size(); ++i) {
       if (i > 0) out += ",";
-      out += children_[i].ToString();
+      out += child(i).ToString();
     }
   }
   out += "}";
   return out;
 }
 
+Result<Calendar> Calendar::TransformLeaves(
+    Granularity g,
+    const std::function<Result<Interval>(const Interval&)>& fn) const {
+  std::vector<Interval> mapped;
+  mapped.reserve(static_cast<size_t>(TotalIntervals()));
+  for (const Interval& i : Leaves()) {
+    CALDB_ASSIGN_OR_RETURN(Interval m, fn(i));
+    mapped.push_back(m);
+  }
+  CalendarRep rep;
+  rep.order = order();
+  rep.offsets = ViewOffsets();
+  rep.leaves = std::move(mapped);
+  Metrics().cow_rebuilds->Increment();
+  return Root(std::move(rep), g);
+}
+
 bool Calendar::operator==(const Calendar& other) const {
-  return granularity_ == other.granularity_ && order_ == other.order_ &&
-         intervals_ == other.intervals_ && children_ == other.children_;
+  if (granularity_ != other.granularity_ || order() != other.order()) {
+    return false;
+  }
+  if (rep_ == other.rep_ && level_ == other.level_ && begin_ == other.begin_ &&
+      end_ == other.end_) {
+    return true;  // same view of the same rep
+  }
+  if (size() != other.size() || TotalIntervals() != other.TotalIntervals()) {
+    return false;
+  }
+  if (order() == 1) {
+    IntervalSpan a = Leaves();
+    IntervalSpan b = other.Leaves();
+    return std::equal(a.begin(), a.end(), b.begin());
+  }
+  for (size_t i = 0; i < size(); ++i) {
+    if (!(child(i) == other.child(i))) return false;
+  }
+  return true;
 }
 
 }  // namespace caldb

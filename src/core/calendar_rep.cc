@@ -1,0 +1,20 @@
+#include "core/calendar_rep.h"
+
+namespace caldb {
+
+void CalendarRep::Finalize() {
+  if (leaves.empty()) {
+    leaves_sorted = true;
+    return;
+  }
+  span = leaves.front();
+  leaves_sorted = true;
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    const Interval& l = leaves[i];
+    if (l.lo < span.lo) span.lo = l.lo;
+    if (l.hi > span.hi) span.hi = l.hi;
+    if (i > 0 && IntervalLess(l, leaves[i - 1])) leaves_sorted = false;
+  }
+}
+
+}  // namespace caldb

@@ -1,0 +1,79 @@
+// CalendarRep: the immutable, shared flat representation behind Calendar.
+//
+// The paper's calendars are nested collections of intervals; structurally
+// the nesting is pure metadata over a flat leaf sequence.  CalendarRep
+// stores exactly that: one contiguous buffer of leaf intervals (in tree
+// order) plus one CSR offset array per nesting level, so an order-n
+// calendar carries n-1 offset levels.  The rep is immutable after
+// Finalize() and shared by `shared_ptr` between every Calendar handle that
+// views it — handle copies, children views, zero-copy flattens, cache
+// entries — which turns the old O(total intervals) deep copy at every
+// assignment into a pointer bump.
+//
+// Layout, for an order-n rep:
+//   - level k (0 <= k <= n-1) is a conceptual element sequence; level 0 is
+//     the calendar's top-level list and level n-1 is `leaves` itself.
+//   - offsets[k] (0 <= k <= n-2) has (#elements at level k) + 1 entries;
+//     element i at level k spans elements [offsets[k][i], offsets[k][i+1])
+//     of level k+1.  offsets[n-2] therefore indexes `leaves` directly.
+//   - each order-1 group (the ranges cut out of `leaves` by offsets[n-2],
+//     or the whole buffer when n == 1) is sorted by (lo, hi) — the same
+//     invariant Calendar::Order1 has always enforced.
+//
+// Precomputed metadata: `span` (min lo / max hi over all leaves) and
+// `leaves_sorted` (whole buffer sorted by (lo, hi)), which make Span() on
+// root handles O(1) and Flattened() a zero-copy view whenever the buffer
+// is already globally sorted (true for every generated base calendar and
+// most foreach results).
+//
+// Granularity deliberately does NOT live here: it is a property of the
+// Calendar handle, so set_granularity never touches shared state (see the
+// COW contract in calendar.h).
+
+#ifndef CALDB_CORE_CALENDAR_REP_H_
+#define CALDB_CORE_CALENDAR_REP_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/interval.h"
+
+namespace caldb {
+
+/// Zero-copy view over a run of leaf intervals inside a CalendarRep (or
+/// any contiguous Interval storage — std::vector converts implicitly).
+using IntervalSpan = std::span<const Interval>;
+
+struct CalendarRep {
+  int order = 1;
+  /// All leaf intervals, concatenated in tree order.
+  std::vector<Interval> leaves;
+  /// CSR offsets, one array per nesting level (empty for order 1).
+  std::vector<std::vector<uint32_t>> offsets;
+
+  // --- metadata precomputed by Finalize() -------------------------------
+  /// Covering interval over all leaves; meaningful iff !leaves.empty().
+  Interval span{1, 1};
+  /// True when the whole leaf buffer is sorted by (lo, hi) — unlocks the
+  /// zero-copy Flattened() view and early-exit point probes.
+  bool leaves_sorted = true;
+
+  /// Number of top-level elements.
+  size_t TopCount() const {
+    return order == 1 ? leaves.size() : offsets[0].size() - 1;
+  }
+
+  /// Computes span / leaves_sorted.  Must be called exactly once, after
+  /// which the rep is immutable.
+  void Finalize();
+};
+
+/// (lo, hi) lexicographic order — the order-1 group invariant.
+inline bool IntervalLess(const Interval& a, const Interval& b) {
+  return a.lo != b.lo ? a.lo < b.lo : a.hi < b.hi;
+}
+
+}  // namespace caldb
+
+#endif  // CALDB_CORE_CALENDAR_REP_H_

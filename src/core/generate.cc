@@ -54,28 +54,20 @@ Result<Calendar> CalOperate(const Calendar& c, std::optional<TimePoint> te,
 
 namespace {
 
+// Granule conversion is monotone in (lo, hi), so mapping the flat leaf
+// buffer in place of the old per-level recursion preserves every group's
+// sort order; the nesting structure is copied wholesale by TransformLeaves.
 Result<Calendar> RescaleImpl(const TimeSystem& ts, const Calendar& c,
                              Granularity target) {
-  if (c.order() == 1) {
-    std::vector<Interval> out;
-    out.reserve(c.intervals().size());
-    for (const Interval& i : c.intervals()) {
-      CALDB_ASSIGN_OR_RETURN(Interval lo_range,
-                             ts.GranuleToUnit(c.granularity(), i.lo, target));
-      CALDB_ASSIGN_OR_RETURN(Interval hi_range,
-                             ts.GranuleToUnit(c.granularity(), i.hi, target));
-      out.push_back(Interval{lo_range.lo, hi_range.hi});
-    }
-    return Calendar::Order1(target, std::move(out));
-  }
-  std::vector<Calendar> children;
-  children.reserve(c.children().size());
-  for (const Calendar& child : c.children()) {
-    CALDB_ASSIGN_OR_RETURN(Calendar rc, RescaleImpl(ts, child, target));
-    children.push_back(std::move(rc));
-  }
-  return Calendar::Nested(target, std::move(children),
-                          /*order_if_empty=*/c.order());
+  const Granularity from = c.granularity();
+  return c.TransformLeaves(
+      target, [&](const Interval& i) -> Result<Interval> {
+        CALDB_ASSIGN_OR_RETURN(Interval lo_range,
+                               ts.GranuleToUnit(from, i.lo, target));
+        CALDB_ASSIGN_OR_RETURN(Interval hi_range,
+                               ts.GranuleToUnit(from, i.hi, target));
+        return Interval{lo_range.lo, hi_range.hi};
+      });
 }
 
 }  // namespace

@@ -82,8 +82,8 @@ size_t LinearAdvance(size_t from, size_t n, SweepStats& st, Pred true_at) {
 
 }  // namespace
 
-SweepStats SweepJoin(const std::vector<Interval>& lhs, ListOp op,
-                     const std::vector<Interval>& rhs, bool lhs_hi_monotone,
+SweepStats SweepJoin(IntervalSpan lhs, ListOp op,
+                     IntervalSpan rhs, bool lhs_hi_monotone,
                      const SweepEmit& emit) {
   SweepStats st;
   const size_t n = lhs.size();
@@ -212,8 +212,8 @@ SweepStats SweepJoin(const std::vector<Interval>& lhs, ListOp op,
   return st;
 }
 
-SweepStats SweepSemiJoinOverlaps(const std::vector<Interval>& items,
-                                 const std::vector<Interval>& against,
+SweepStats SweepSemiJoinOverlaps(IntervalSpan items,
+                                 IntervalSpan against,
                                  const std::function<void(size_t)>& emit) {
   SweepStats st;
   const size_t m = against.size();
@@ -237,8 +237,8 @@ SweepStats SweepSemiJoinOverlaps(const std::vector<Interval>& items,
   return st;
 }
 
-std::vector<Interval> SweepUnion(const std::vector<Interval>& a,
-                                 const std::vector<Interval>& b) {
+std::vector<Interval> SweepUnion(IntervalSpan a,
+                                 IntervalSpan b) {
   SweepStats st;
   std::vector<Interval> out;
   out.reserve(a.size() + b.size());
@@ -265,8 +265,8 @@ std::vector<Interval> SweepUnion(const std::vector<Interval>& a,
   return out;
 }
 
-std::vector<Interval> SweepDifference(const std::vector<Interval>& a,
-                                      const std::vector<Interval>& b) {
+std::vector<Interval> SweepDifference(IntervalSpan a,
+                                      IntervalSpan b) {
   SweepStats st;
   std::vector<Interval> out;
   // Subtrahend elements wholly before the current minuend never matter
@@ -306,8 +306,8 @@ std::vector<Interval> SweepDifference(const std::vector<Interval>& a,
   return out;
 }
 
-std::vector<Interval> SweepIntersect(const std::vector<Interval>& a,
-                                     const std::vector<Interval>& b) {
+std::vector<Interval> SweepIntersect(IntervalSpan a,
+                                     IntervalSpan b) {
   SweepStats st;
   std::vector<Interval> out;
   size_t i = 0;
@@ -328,7 +328,7 @@ std::vector<Interval> SweepIntersect(const std::vector<Interval>& a,
   return out;
 }
 
-std::vector<Interval> SweepGroup(const std::vector<Interval>& src,
+std::vector<Interval> SweepGroup(IntervalSpan src,
                                  std::optional<TimePoint> te,
                                  const std::vector<int64_t>& groups) {
   SweepStats st;
@@ -355,8 +355,8 @@ std::vector<Interval> SweepGroup(const std::vector<Interval>& src,
 
 namespace naive {
 
-SweepStats Join(const std::vector<Interval>& lhs, ListOp op,
-                const std::vector<Interval>& rhs, const SweepEmit& emit) {
+SweepStats Join(IntervalSpan lhs, ListOp op,
+                IntervalSpan rhs, const SweepEmit& emit) {
   SweepStats st;
   for (size_t j = 0; j < rhs.size(); ++j) {
     for (size_t i = 0; i < lhs.size(); ++i) {

@@ -8,7 +8,11 @@
 // with galloping (exponential) skip over long dead prefixes for the
 // order-style predicates `<` and `<=`.
 //
-// Preconditions shared by every routine: interval vectors are sorted by
+// Operands are IntervalSpan views, so the kernels run directly over the
+// shared flat leaf buffer of a CalendarRep (or any std::vector<Interval>)
+// without copying runs out first.
+//
+// Preconditions shared by every routine: interval runs are sorted by
 // (lo, hi) — the Calendar order-1 invariant.  Upper endpoints need not be
 // monotone; routines take a `hi_monotone` hint (true for every disjoint
 // calendar, in particular all generated base calendars) that unlocks the
@@ -27,6 +31,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/calendar_rep.h"  // IntervalSpan
 #include "core/interval.h"
 #include "time/timepoint.h"
 
@@ -46,41 +51,41 @@ using SweepEmit = std::function<void(size_t lhs_idx, size_t rhs_idx)>;
 /// by j (rhs-major) with i increasing within each group — the order the
 /// foreach operators need to assemble per-element children.
 /// `lhs_hi_monotone` declares that lhs upper endpoints are non-decreasing.
-SweepStats SweepJoin(const std::vector<Interval>& lhs, ListOp op,
-                     const std::vector<Interval>& rhs, bool lhs_hi_monotone,
+SweepStats SweepJoin(IntervalSpan lhs, ListOp op,
+                     IntervalSpan rhs, bool lhs_hi_monotone,
                      const SweepEmit& emit);
 
 /// Semi-join for the relaxed `intersects`: emits each index of `items`
 /// (increasing) whose interval overlaps at least one interval of `against`.
 /// O(n + m) regardless of monotonicity.
-SweepStats SweepSemiJoinOverlaps(const std::vector<Interval>& items,
-                                 const std::vector<Interval>& against,
+SweepStats SweepSemiJoinOverlaps(IntervalSpan items,
+                                 IntervalSpan against,
                                  const std::function<void(size_t)>& emit);
 
 /// Point-set union by linear merge of two sorted runs: overlapping
 /// intervals are merged, intervals that merely meet end-to-end are kept
 /// distinct (element counts stay meaningful for selection).  Operands are
 /// point sets: each run must be disjoint within itself.
-std::vector<Interval> SweepUnion(const std::vector<Interval>& a,
-                                 const std::vector<Interval>& b);
+std::vector<Interval> SweepUnion(IntervalSpan a,
+                                 IntervalSpan b);
 
 /// Point-set difference a - b (may split intervals of a).  Tracks the
 /// uncovered remainder in offset space so splits across the skip-zero gap
 /// never produce an interval containing the nonexistent point 0.
-std::vector<Interval> SweepDifference(const std::vector<Interval>& a,
-                                      const std::vector<Interval>& b);
+std::vector<Interval> SweepDifference(IntervalSpan a,
+                                      IntervalSpan b);
 
 /// Point-set intersection (clipped pieces of a).  Two-pointer sweep;
 /// complete for disjoint runs (the point-set normal form of set operands).
-std::vector<Interval> SweepIntersect(const std::vector<Interval>& a,
-                                     const std::vector<Interval>& b);
+std::vector<Interval> SweepIntersect(IntervalSpan a,
+                                     IntervalSpan b);
 
 /// The caloperate grouping loop: coalesces consecutive intervals of `src`
 /// into groups whose sizes cycle through `groups` (all positive), stopping
 /// at the first interval with hi > te when `te` is set.  Emits one covering
 /// interval {first.lo, last.hi} per (possibly short) group.  O(#groups)
 /// after the cutoff scan, instead of touching every member interval.
-std::vector<Interval> SweepGroup(const std::vector<Interval>& src,
+std::vector<Interval> SweepGroup(IntervalSpan src,
                                  std::optional<TimePoint> te,
                                  const std::vector<int64_t>& groups);
 
@@ -89,8 +94,8 @@ namespace naive {
 /// The quadratic reference join: literal double loop over EvalListOp, same
 /// emission order as SweepJoin.  Retained only as the differential-testing
 /// and benchmarking baseline (tests/core/sweep_test.cc, bench/bench_sweep).
-SweepStats Join(const std::vector<Interval>& lhs, ListOp op,
-                const std::vector<Interval>& rhs, const SweepEmit& emit);
+SweepStats Join(IntervalSpan lhs, ListOp op,
+                IntervalSpan rhs, const SweepEmit& emit);
 
 }  // namespace naive
 

@@ -1,7 +1,10 @@
 // Value: the dynamically-typed cell of the DB substrate.  The calendar
 // types (Interval, Calendar) are first-class — the extensible-database
 // premise of the paper (§1: "object support by allowing the definition and
-// manipulation of complex data types").
+// manipulation of complex data types").  Calendar is a copy-on-write
+// handle over a shared rep (core/calendar_rep.h), so storing one in a
+// Value — and copying that Value through rows, registers and caches —
+// costs a refcount bump, not an interval-buffer copy.
 
 #ifndef CALDB_DB_VALUE_H_
 #define CALDB_DB_VALUE_H_

@@ -108,7 +108,7 @@ Result<Calendar> BusinessDays(const TimeSystem& ts, const Interval& window_days,
 Result<TimePoint> PrecedingBusinessDay(const Calendar& business_days,
                                        TimePoint day) {
   CALDB_RETURN_IF_ERROR(RequirePointCalendar(business_days, "business days"));
-  const std::vector<Interval>& points = business_days.intervals();
+  IntervalSpan points = business_days.intervals();
   for (auto it = points.rbegin(); it != points.rend(); ++it) {
     if (it->lo <= day) return it->lo;
   }
@@ -126,7 +126,7 @@ Result<TimePoint> NextBusinessDay(const Calendar& business_days, TimePoint day) 
 Result<TimePoint> AddBusinessDays(const Calendar& business_days, TimePoint day,
                                   int64_t n) {
   CALDB_RETURN_IF_ERROR(RequirePointCalendar(business_days, "business days"));
-  const std::vector<Interval>& points = business_days.intervals();
+  IntervalSpan points = business_days.intervals();
   if (points.empty()) return Status::NotFound("business-day calendar is empty");
   // Anchor: for forward moves the first business day >= day; for backward
   // moves the last business day <= day.

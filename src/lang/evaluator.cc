@@ -25,6 +25,8 @@ struct EvalMetrics {
       obs::Metrics().counter("caldb.eval.gen_cache.covered_hits");
   obs::Counter* cache_misses =
       obs::Metrics().counter("caldb.eval.gen_cache.misses");
+  obs::Counter* cache_evictions =
+      obs::Metrics().counter("caldb.eval.gen_cache.evictions");
   obs::Histogram* run_ns = obs::Metrics().histogram("caldb.eval.run_ns");
 };
 
@@ -34,6 +36,74 @@ EvalMetrics& Metrics() {
 }
 
 }  // namespace
+
+void GenCache::SetBudget(size_t max_entries, size_t max_bytes) {
+  max_entries_ = max_entries;
+  max_bytes_ = max_bytes;
+  EvictPastBudget();
+}
+
+void GenCache::Touch(std::list<Entry>::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);
+}
+
+const Calendar* GenCache::Find(const Key& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  Touch(it->second);
+  return &it->second->value;
+}
+
+const Calendar* GenCache::FindCovering(const Key& key) {
+  for (auto& [ckey, entry] : index_) {
+    if (std::get<0>(ckey) != std::get<0>(key) ||
+        std::get<1>(ckey) != std::get<1>(key)) {
+      continue;
+    }
+    if (std::get<2>(ckey) > std::get<2>(key) ||
+        std::get<3>(ckey) < std::get<3>(key)) {
+      continue;
+    }
+    Touch(entry);
+    return &entry->value;
+  }
+  return nullptr;
+}
+
+void GenCache::Insert(const Key& key, Calendar value) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  Entry entry;
+  entry.key = key;
+  entry.bytes = static_cast<size_t>(value.TotalIntervals()) * sizeof(Interval) +
+                sizeof(Entry);
+  entry.value = std::move(value);
+  bytes_ += entry.bytes;
+  lru_.push_front(std::move(entry));
+  index_[key] = lru_.begin();
+  EvictPastBudget();
+}
+
+void GenCache::EvictPastBudget() {
+  while (!lru_.empty() &&
+         (index_.size() > max_entries_ || bytes_ > max_bytes_)) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    Metrics().cache_evictions->Increment();
+  }
+}
+
+void GenCache::Clear() {
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
 
 Result<Interval> ConvertDayWindow(const TimeSystem& ts, const Interval& days,
                                   Granularity unit) {
@@ -63,6 +133,7 @@ struct Evaluator::Frame {
 Result<ScriptValue> Evaluator::Run(const Plan& plan, const EvalOptions& opts,
                                    EvalStats* stats) {
   stats_ = stats;
+  gen_cache_.SetBudget(opts.gen_cache_max_entries, opts.gen_cache_max_bytes);
   obs::ScopedLatency latency(Metrics().run_ns);
   obs::Tracer::Span span = obs::StartSpan("eval.run");
   Result<ScriptValue> result = RunPlan(plan, opts, /*depth=*/0);
@@ -180,13 +251,13 @@ Status Evaluator::RunStepImpl(const PlanStep& step, Frame* frame,
         }
         return window.status();
       }
-      auto key = std::make_tuple(static_cast<int>(step.gran_arg),
-                                 static_cast<int>(unit), window->lo, window->hi);
-      auto cached = gen_cache_.find(key);
-      if (cached != gen_cache_.end()) {
+      const GenCache::Key key(static_cast<int>(step.gran_arg),
+                              static_cast<int>(unit), window->lo, window->hi);
+      if (const Calendar* cached = gen_cache_.Find(key)) {
+        // Exact hit: a shared-rep handle copy, O(1) in the interval count.
         if (stats_ != nullptr) ++stats_->cache_hits;
         Metrics().cache_hits->Increment();
-        set(step.dst, cached->second);
+        set(step.dst, *cached);
         return Status::OK();
       }
       // No exact entry — reuse any cached window covering the request.
@@ -194,17 +265,10 @@ Status Evaluator::RunStepImpl(const PlanStep& step, Frame* frame,
       // so slicing a covering entry with a relaxed-overlaps sweep is
       // bit-identical to generating afresh (the cache stays coherent
       // without storing per-slice copies).
-      for (const auto& [ckey, ccal] : gen_cache_) {
-        if (std::get<0>(ckey) != std::get<0>(key) ||
-            std::get<1>(ckey) != std::get<1>(key)) {
-          continue;
-        }
-        if (std::get<2>(ckey) > window->lo || std::get<3>(ckey) < window->hi) {
-          continue;
-        }
+      if (const Calendar* covering = gen_cache_.FindCovering(key)) {
         CALDB_ASSIGN_OR_RETURN(
             Calendar sliced,
-            ForEachInterval(ccal, ListOp::kOverlaps, *window,
+            ForEachInterval(*covering, ListOp::kOverlaps, *window,
                             /*strict=*/false));
         if (stats_ != nullptr) ++stats_->cache_hits;
         Metrics().cache_covered_hits->Increment();
@@ -222,7 +286,7 @@ Status Evaluator::RunStepImpl(const PlanStep& step, Frame* frame,
       }
       Metrics().generate_calls->Increment();
       Metrics().intervals_generated->Add(generated.TotalIntervals());
-      gen_cache_[key] = generated;
+      gen_cache_.Insert(key, generated);
       set(step.dst, std::move(generated));
       return Status::OK();
     }

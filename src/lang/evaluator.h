@@ -3,6 +3,8 @@
 #ifndef CALDB_LANG_EVALUATOR_H_
 #define CALDB_LANG_EVALUATOR_H_
 
+#include <cstddef>
+#include <list>
 #include <map>
 #include <string>
 #include <tuple>
@@ -63,6 +65,53 @@ struct EvalOptions {
   /// When set, per-plan-node execution counts/timings are recorded here
   /// (EXPLAIN/PROFILE).  Propagates into nested kInvoke plans.
   StepProfile* profile = nullptr;
+  /// Budget of the evaluator's generated-calendar cache (entries and
+  /// payload bytes); least-recently-used entries are evicted past either
+  /// limit, so long DBCRON sessions cannot grow the cache without bound.
+  size_t gen_cache_max_entries = 64;
+  size_t gen_cache_max_bytes = 16u << 20;  // 16 MiB of interval payload
+};
+
+/// Size/byte-budget LRU over generated base calendars, keyed by
+/// (granularity, unit, window.lo, window.hi).  Values are shared Calendar
+/// handles, so a hit costs a pointer copy, and the byte accounting charges
+/// each entry its rep's leaf payload.  Evictions feed
+/// "caldb.eval.gen_cache.evictions".
+class GenCache {
+ public:
+  using Key = std::tuple<int, int, TimePoint, TimePoint>;
+
+  void SetBudget(size_t max_entries, size_t max_bytes);
+
+  /// Exact-key lookup; touches the entry.  Null when absent.
+  const Calendar* Find(const Key& key);
+
+  /// First entry (in key order, matching the historical std::map scan)
+  /// with the same granularity/unit whose window covers the requested one;
+  /// touches it.  Null when absent.
+  const Calendar* FindCovering(const Key& key);
+
+  /// Inserts (replacing any previous value) and evicts past the budget.
+  void Insert(const Key& key, Calendar value);
+
+  void Clear();
+  size_t entries() const { return index_.size(); }
+  size_t bytes() const { return bytes_; }
+
+ private:
+  struct Entry {
+    Key key;
+    Calendar value;
+    size_t bytes = 0;
+  };
+  void Touch(std::list<Entry>::iterator it);
+  void EvictPastBudget();
+
+  size_t max_entries_ = 64;
+  size_t max_bytes_ = 16u << 20;
+  size_t bytes_ = 0;
+  std::list<Entry> lru_;  // front = most recently used
+  std::map<Key, std::list<Entry>::iterator> index_;
 };
 
 /// Counters used by the factorization / push-down benchmarks.  A thin
@@ -110,8 +159,10 @@ class Evaluator {
   // because fresh generation over W yields exactly the granules overlapping
   // W, slicing a covering entry down to W (relaxed overlaps sweep) is
   // bit-identical to regenerating — the cache stays coherent without
-  // storing the slice.
-  std::map<std::tuple<int, int, TimePoint, TimePoint>, Calendar> gen_cache_;
+  // storing the slice.  Bounded LRU (EvalOptions::gen_cache_max_*); hits
+  // hand out shared reps, so they cost a pointer copy regardless of the
+  // calendar's interval count.
+  GenCache gen_cache_;
 };
 
 /// Converts a DAYS window to a covering window in `unit` points.

@@ -21,7 +21,9 @@ Status RegularTimeSeries::EnsureIntervals(size_t count) const {
     opts.window_days = Interval{anchor_day_, PointAdd(anchor_day_, span_days)};
     CALDB_ASSIGN_OR_RETURN(Calendar cal,
                            catalog_->EvaluateCalendar(calendar_name_, opts));
-    Calendar flat = cal.order() == 1 ? cal : cal.Flattened();
+    // Flattened() is a zero-copy view whenever the shared leaf buffer is
+    // already sorted (true for every evaluated calendar in practice).
+    Calendar flat = cal.Flattened();
     std::vector<Interval> days;
     for (const Interval& i : flat.intervals()) {
       CALDB_ASSIGN_OR_RETURN(

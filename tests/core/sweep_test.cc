@@ -90,7 +90,7 @@ Calendar NaiveForEach(const Calendar& c, ListOp op, const Calendar& rhs,
 
 // The seed's union: concatenate, sort, merge overlapping (adjacent kept).
 Calendar NaiveUnion(const Calendar& a, const Calendar& b) {
-  std::vector<Interval> merged = a.intervals();
+  std::vector<Interval> merged(a.intervals().begin(), a.intervals().end());
   merged.insert(merged.end(), b.intervals().begin(), b.intervals().end());
   std::sort(merged.begin(), merged.end(),
             [](const Interval& x, const Interval& y) {
@@ -150,7 +150,7 @@ Calendar NaiveCalOperate(const Calendar& c, std::optional<TimePoint> te,
   std::vector<Interval> out;
   size_t i = 0;
   size_t group_idx = 0;
-  const std::vector<Interval>& src = c.intervals();
+  IntervalSpan src = c.intervals();
   while (i < src.size()) {
     if (te && src[i].hi > *te) break;
     const int64_t want = groups[group_idx % groups.size()];
@@ -377,8 +377,9 @@ TEST(SweepKernelTest, GallopSkipsEngageOnBeforePredicates) {
   for (int64_t i = 1; i <= 5000; ++i) days.push_back({i, i});
   // A single probe far to the right: the prefix boundary is found by
   // galloping, not by touching all 5000 elements one comparison at a time.
+  const std::vector<Interval> probe = {{4900, 4950}};
   SweepStats st =
-      SweepJoin(days, ListOp::kBefore, {{4900, 4950}}, true, [](size_t, size_t) {});
+      SweepJoin(days, ListOp::kBefore, probe, true, [](size_t, size_t) {});
   EXPECT_EQ(st.emits, 4900);
   EXPECT_GT(st.gallop_skips, 4000);
   EXPECT_LT(st.comparisons, 100);

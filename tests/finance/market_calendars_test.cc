@@ -100,7 +100,8 @@ TEST_F(MarketCalendarsTest, OptionExpiration) {
   EXPECT_EQ(OptionExpirationDay(ts_, 1993, 11, *business).value(),
             Day(1993, 11, 19));
   // Force the 3rd Friday to be a holiday and check the fallback.
-  std::vector<Interval> extra = holidays->intervals();
+  std::vector<Interval> extra(holidays->intervals().begin(),
+                              holidays->intervals().end());
   extra.push_back(PointInterval(Day(1993, 11, 19)));
   Calendar more_holidays = Calendar::Order1(Granularity::kDays, extra);
   auto business2 = BusinessDays(ts_, Interval{1, 365}, more_holidays);

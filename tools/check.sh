@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Smoke check: ASan/UBSan build + full test suite.
+# Smoke check: ASan/UBSan build + full test suite, then a standalone
+# UBSan build over the rep/sweep surface.
 #
 #   tools/check.sh [build-dir]
 #
-# Uses build-asan/ by default so it never disturbs the regular build/.
+# Uses build-asan/ (and build-ubsan/) by default so it never disturbs the
+# regular build/.
 
 set -euo pipefail
 
@@ -19,3 +21,12 @@ cmake --build "$build_dir" -j "$(nproc)"
 ctest --test-dir "$build_dir" -R 'sweep_test' --output-on-failure
 
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+
+# Standalone UBSan pass over the shared-rep machinery: the CSR offset
+# arithmetic and span views in calendar_rep/sweep are where a stale index
+# turns into UB before it turns into a crash.
+ubsan_dir="$repo_root/build-ubsan"
+cmake -B "$ubsan_dir" -S "$repo_root" -DCALDB_SANITIZE=undefined
+cmake --build "$ubsan_dir" -j "$(nproc)" --target sweep_test calendar_rep_test
+ctest --test-dir "$ubsan_dir" -R '^(sweep_test|calendar_rep_test)$' \
+      --output-on-failure
