@@ -1,6 +1,8 @@
 // caldb_shell: an interactive front end over the whole system — calendar
 // expressions, the CALENDARS catalog, the Postquel-style DB, temporal
-// rules and DBCRON on a virtual clock.
+// rules and DBCRON on a virtual clock — built entirely on the public
+// facade (caldb.h): one Engine, one Session, every command routed through
+// Session::Execute or the session's typed surface.
 //
 //   $ build/examples/caldb_shell
 //   caldb> \cal [3]/WEEKS:overlaps:days{(1,31)}
@@ -17,12 +19,7 @@
 #include <sstream>
 #include <string>
 
-#include "catalog/calendar_functions.h"
-#include "catalog/catalog_io.h"
-#include "common/macros.h"
-#include "common/strings.h"
-#include "obs/obs.h"
-#include "rules/dbcron.h"
+#include "caldb.h"
 
 using namespace caldb;
 
@@ -30,26 +27,23 @@ namespace {
 
 class Shell {
  public:
-  Shell()
-      : catalog_(TimeSystem{CivilDate{1993, 1, 1}}),
-        clock_(1),
-        window_(Interval{1, 365}) {
-    Status st = RegisterCalendarFunctions(&db_, &catalog_);
-    if (!st.ok()) std::printf("init: %s\n", st.ToString().c_str());
-    auto rules = TemporalRuleManager::Create(&catalog_, &db_);
-    if (!rules.ok()) {
-      std::printf("init: %s\n", rules.status().ToString().c_str());
+  Shell() {
+    auto engine = Engine::Create();
+    if (!engine.ok()) {
+      std::printf("init: %s\n", engine.status().ToString().c_str());
       return;
     }
-    rules_ = std::move(rules).value();
-    cron_ = std::make_unique<DbCron>(rules_.get(), &clock_, 7);
+    engine_ = std::move(engine).value();
+    session_ = engine_->CreateSession();
   }
 
   int Run() {
-    std::printf("caldb shell — epoch %s, window days (%lld,%lld). \\help for help.\n",
-                FormatCivil(catalog_.time_system().epoch()).c_str(),
-                static_cast<long long>(window_.lo),
-                static_cast<long long>(window_.hi));
+    if (session_ == nullptr) return 1;
+    const Interval window = session_->window();
+    std::printf(
+        "caldb shell — epoch %s, window days (%lld,%lld). \\help for help.\n",
+        FormatCivil(engine_->time_system().epoch()).c_str(),
+        static_cast<long long>(window.lo), static_cast<long long>(window.hi));
     std::string line;
     while (Prompt(), std::getline(std::cin, line)) {
       std::string trimmed(TrimWhitespace(line));
@@ -67,14 +61,21 @@ class Shell {
     std::fflush(stdout);
   }
 
-  Status Dispatch(const std::string& line) {
-    if (line[0] != '\\') {
-      // A database statement.
-      CALDB_ASSIGN_OR_RETURN(QueryResult result, db_.Execute(line));
-      std::printf("%s", result.ToString().c_str());
-      if (result.columns.empty()) std::printf("\n");
-      return Status::OK();
+  // Runs a command through the session's uniform entry point and prints
+  // the result.
+  Status Uniform(const std::string& command) {
+    auto result = session_->Execute(command);
+    if (!result.ok()) return result.status();
+    std::printf("%s", result->ToString().c_str());
+    if (result->columns.empty() && result->message.empty()) std::printf("\n");
+    if (!result->message.empty() && result->message.back() != '\n') {
+      std::printf("\n");
     }
+    return Status::OK();
+  }
+
+  Status Dispatch(const std::string& line) {
+    if (line[0] != '\\') return Uniform(line);
     std::istringstream in(line.substr(1));
     std::string cmd;
     in >> cmd;
@@ -83,7 +84,7 @@ class Shell {
     rest = std::string(TrimWhitespace(rest));
 
     if (cmd == "help") return Help();
-    if (cmd == "cal") return EvalCalendar(rest);
+    if (cmd == "cal") return Uniform("cal " + rest);
     if (cmd == "define") return Define(rest);
     if (cmd == "cals") return ListCals();
     if (cmd == "row") return ShowRow(rest);
@@ -92,9 +93,9 @@ class Shell {
     if (cmd == "today") return SetToday(rest);
     if (cmd == "rule") return DeclareRule(rest);
     if (cmd == "rules") return ListRules();
-    if (cmd == "advance") return Advance(rest);
+    if (cmd == "advance") return Uniform("advance to " + rest);
     if (cmd == "dump") return Dump();
-    if (cmd == "explain") return Explain(rest);
+    if (cmd == "explain") return Uniform("explain cal " + rest);
     if (cmd == "stats") return ShowStats(rest);
     if (cmd == "trace") return ShowTrace();
     return Status::InvalidArgument("unknown command \\" + cmd +
@@ -109,41 +110,21 @@ class Shell {
         "  \\row <name>               show the CALENDARS row (Figure 1 style)\n"
         "  \\plan <name>              show a calendar's eval-plan\n"
         "  \\window <y1> <y2>         set the evaluation window (civil years)\n"
-        "  \\today <YYYY-MM-DD>       set `today`\n"
+        "  \\today <YYYY-MM-DD>       pin `today` for this session\n"
         "  \\rule <name> <expr> do <command>   declare a temporal rule\n"
         "  \\rules                    list temporal rules + RULE-TIME\n"
         "  \\advance <YYYY-MM-DD>     run DBCRON forward on the virtual clock\n"
         "  \\dump                     dump the catalog\n"
-        "  \\explain <script>         run a calendar script with per-step profiling\n"
+        "  \\explain <script>         run a calendar script with per-step "
+        "profiling\n"
         "  \\stats [json|reset]       show (or reset) the metric registry\n"
         "  \\trace                    show recent spans from the tracer\n"
-        "  anything else             executed as a database statement\n"
-        "                            (explain/profile <stmt> show its plan)\n"
+        "  anything else             executed through Session::Execute\n"
+        "                            (db statements, explain/profile <stmt>,\n"
+        "                             cal <script>, define calendar ... as ...,\n"
+        "                             declare rule ... on ... do ...,\n"
+        "                             advance to <date>)\n"
         "  \\quit                     exit\n");
-    return Status::OK();
-  }
-
-  Status EvalCalendar(const std::string& text) {
-    if (text.empty()) return Status::InvalidArgument("\\cal needs a script");
-    EvalOptions opts;
-    opts.window_days = window_;
-    opts.today_day = clock_.NowDay();
-    CALDB_ASSIGN_OR_RETURN(ScriptValue value,
-                           catalog_.EvaluateScript(text, opts));
-    switch (value.kind) {
-      case ScriptValue::Kind::kCalendar:
-        std::printf("%s\n", value.calendar.ToString().c_str());
-        break;
-      case ScriptValue::Kind::kString:
-        std::printf("\"%s\"\n", value.text.c_str());
-        break;
-      case ScriptValue::Kind::kBlocked:
-        std::printf("(blocked: the script is waiting for a later day)\n");
-        break;
-      case ScriptValue::Kind::kNull:
-        std::printf("(null)\n");
-        break;
-    }
     return Status::OK();
   }
 
@@ -152,32 +133,32 @@ class Shell {
     if (space == std::string::npos) {
       return Status::InvalidArgument("usage: \\define <name> <script>");
     }
-    std::string name = rest.substr(0, space);
-    std::string script(TrimWhitespace(rest.substr(space + 1)));
-    CALDB_RETURN_IF_ERROR(catalog_.DefineDerived(name, script));
-    std::printf("defined %s\n", name.c_str());
-    return Status::OK();
+    return Uniform("define calendar " + rest.substr(0, space) + " as " +
+                   std::string(TrimWhitespace(rest.substr(space + 1))));
   }
 
   Status ListCals() {
-    for (const std::string& name : catalog_.ListCalendars()) {
-      auto def = catalog_.Describe(name);
+    const CalendarCatalog& catalog = engine_->catalog();
+    for (const std::string& name : catalog.ListCalendars()) {
+      auto def = catalog.Describe(name);
       std::printf("  %-20s %s %s\n", name.c_str(),
-                  def.ok() ? std::string(GranularityName(def->granularity)).c_str()
-                           : "?",
-                  def.ok() && def->values.has_value() ? "(values)" : "(derived)");
+                  def.ok()
+                      ? std::string(GranularityName(def->granularity)).c_str()
+                      : "?",
+                  def.ok() && def->values.has_value() ? "(values)"
+                                                      : "(derived)");
     }
     return Status::OK();
   }
 
   Status ShowRow(const std::string& name) {
-    CALDB_ASSIGN_OR_RETURN(std::string row, catalog_.FormatRow(name));
+    CALDB_ASSIGN_OR_RETURN(std::string row, engine_->catalog().FormatRow(name));
     std::printf("%s", row.c_str());
     return Status::OK();
   }
 
   Status ShowPlan(const std::string& name) {
-    CALDB_ASSIGN_OR_RETURN(CalendarDef def, catalog_.Describe(name));
+    CALDB_ASSIGN_OR_RETURN(CalendarDef def, engine_->catalog().Describe(name));
     if (def.eval_plan == nullptr) {
       return Status::NotFound("'" + name + "' has no eval-plan (values only)");
     }
@@ -192,17 +173,18 @@ class Shell {
     if (!(in >> y1 >> y2)) {
       return Status::InvalidArgument("usage: \\window <first-year> <last-year>");
     }
-    CALDB_ASSIGN_OR_RETURN(window_, catalog_.YearWindow(y1, y2));
-    std::printf("window days (%lld,%lld)\n", static_cast<long long>(window_.lo),
-                static_cast<long long>(window_.hi));
+    CALDB_RETURN_IF_ERROR(session_->SetWindowYears(y1, y2));
+    const Interval window = session_->window();
+    std::printf("window days (%lld,%lld)\n", static_cast<long long>(window.lo),
+                static_cast<long long>(window.hi));
     return Status::OK();
   }
 
   Status SetToday(const std::string& rest) {
     CALDB_ASSIGN_OR_RETURN(CivilDate date, ParseCivil(rest));
-    clock_.AdvanceTo(catalog_.time_system().DayPointFromCivil(date));
+    session_->SetToday(engine_->time_system().DayPointFromCivil(date));
     std::printf("today = %s (day %lld)\n", FormatCivil(date).c_str(),
-                static_cast<long long>(clock_.NowDay()));
+                static_cast<long long>(session_->Today()));
     return Status::OK();
   }
 
@@ -214,55 +196,21 @@ class Shell {
       return Status::InvalidArgument(
           "usage: \\rule <name> <calendar-expr> do <db-command>");
     }
-    std::string name = rest.substr(0, name_end);
-    std::string expr(
-        TrimWhitespace(rest.substr(name_end + 1, do_pos - name_end - 1)));
-    TemporalAction action;
-    action.command = std::string(TrimWhitespace(rest.substr(do_pos + 4)));
-    CALDB_RETURN_IF_ERROR(
-        rules_->DeclareRule(name, expr, std::move(action), clock_.NowDay())
-            .status());
-    std::printf("declared rule %s\n", name.c_str());
-    return Status::OK();
+    return Uniform("declare rule " + rest.substr(0, name_end) + " on " +
+                   std::string(TrimWhitespace(
+                       rest.substr(name_end + 1, do_pos - name_end - 1))) +
+                   " do " + std::string(TrimWhitespace(rest.substr(do_pos + 4))));
   }
 
   Status ListRules() {
-    CALDB_ASSIGN_OR_RETURN(
-        QueryResult info,
-        db_.Execute("retrieve (r.rule_id, r.name, r.expression) from r in "
-                    "RULE_INFO"));
-    std::printf("%s", info.ToString().c_str());
-    CALDB_ASSIGN_OR_RETURN(
-        QueryResult times,
-        db_.Execute("retrieve (t.rule_id, t.next_fire) from t in RULE_TIME"));
-    std::printf("%s", times.ToString().c_str());
-    return Status::OK();
-  }
-
-  Status Advance(const std::string& rest) {
-    CALDB_ASSIGN_OR_RETURN(CivilDate date, ParseCivil(rest));
-    TimePoint target = catalog_.time_system().DayPointFromCivil(date);
-    CALDB_RETURN_IF_ERROR(cron_->AdvanceTo(target));
-    std::printf("advanced to %s (%lld firings so far)\n",
-                FormatCivil(date).c_str(),
-                static_cast<long long>(cron_->stats().fires));
-    return Status::OK();
+    CALDB_RETURN_IF_ERROR(Uniform(
+        "retrieve (r.rule_id, r.name, r.expression) from r in RULE_INFO"));
+    return Uniform("retrieve (t.rule_id, t.next_fire) from t in RULE_TIME");
   }
 
   Status Dump() {
-    CALDB_ASSIGN_OR_RETURN(std::string dump, DumpCatalog(catalog_));
+    CALDB_ASSIGN_OR_RETURN(std::string dump, DumpCatalog(engine_->catalog()));
     std::printf("%s", dump.c_str());
-    return Status::OK();
-  }
-
-  Status Explain(const std::string& text) {
-    if (text.empty()) return Status::InvalidArgument("\\explain needs a script");
-    EvalOptions opts;
-    opts.window_days = window_;
-    opts.today_day = clock_.NowDay();
-    CALDB_ASSIGN_OR_RETURN(std::string report,
-                           catalog_.ExplainScript(text, opts));
-    std::printf("%s", report.c_str());
     return Status::OK();
   }
 
@@ -285,12 +233,8 @@ class Shell {
     return Status::OK();
   }
 
-  CalendarCatalog catalog_;
-  Database db_;
-  std::unique_ptr<TemporalRuleManager> rules_;
-  VirtualClock clock_;
-  std::unique_ptr<DbCron> cron_;
-  Interval window_;
+  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<Session> session_;
 };
 
 }  // namespace

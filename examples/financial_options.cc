@@ -1,19 +1,21 @@
 // Financial options: the motivating example of §1 — option expiration
 // dates ("the 3rd Friday ... if it is a business day, else the business
 // day preceding"), last trading days, and yield arithmetic under the
-// 30/360 convention.
+// 30/360 convention.  Built on the public facade (caldb.h): the market
+// calendars live in the Engine's catalog, the §3.3 script runs through a
+// Session.
 
 #include <cstdio>
 
-#include "catalog/calendar_catalog.h"
-#include "finance/day_count.h"
-#include "finance/market_calendars.h"
+#include "caldb.h"
 
 using namespace caldb;
 
 int main() {
-  CalendarCatalog catalog{TimeSystem{CivilDate{1993, 1, 1}}};
-  const TimeSystem& ts = catalog.time_system();
+  auto engine = Engine::Create().value();
+  CalendarCatalog& catalog = engine->catalog();
+  const TimeSystem& ts = engine->time_system();
+  std::unique_ptr<Session> session = engine->CreateSession();
 
   // Synthetic US-style market calendars for 1993-1995 (see DESIGN.md for
   // the substitution note).
@@ -52,8 +54,8 @@ int main() {
         return([n]/AM_BUS_DAYS:<:temp1);
      else
         return(temp1);})";
-  auto expiry = catalog.EvaluateScript(
-      script, EvalOptions{.window_days = catalog.YearWindow(1993, 1993).value()});
+  session->SetWindow(catalog.YearWindow(1993, 1993).value());
+  auto expiry = session->EvalScript(script);
   if (!expiry.ok()) {
     std::printf("script failed: %s\n", expiry.status().ToString().c_str());
     return 1;

@@ -1,22 +1,25 @@
 // Quickstart: define calendars, evaluate calendar expressions, inspect the
-// CALENDARS catalog — the §3.1/§3.2 material in a dozen lines each.
+// CALENDARS catalog — the §3.1/§3.2 material in a dozen lines each, all
+// through the public facade (caldb.h): an Engine owns the catalog, a
+// Session evaluates scripts with a client-local window.
 
 #include <cstdio>
 
-#include "catalog/calendar_catalog.h"
+#include "caldb.h"
 
 using namespace caldb;
 
 int main() {
-  // A time system numbering days from Jan 1 1993 (day 1), as in §3.1 of
-  // the paper.  Day 0 does not exist: the day before is -1.
-  CalendarCatalog catalog{TimeSystem{CivilDate{1993, 1, 1}}};
-  EvalOptions year_1993;
-  year_1993.window_days = catalog.YearWindow(1993, 1993).value();
+  // An engine whose time system numbers days from Jan 1 1993 (day 1), as
+  // in §3.1 of the paper.  Day 0 does not exist: the day before is -1.
+  auto engine = Engine::Create().value();
+  std::unique_ptr<Session> session = engine->CreateSession();
+  CalendarCatalog& catalog = engine->catalog();
+  session->SetWindow(catalog.YearWindow(1993, 1993).value());
 
   std::printf("== Calendar algebra (§3.1) ==\n");
   auto show = [&](const char* label, const char* script) {
-    auto value = catalog.EvaluateScript(script, year_1993);
+    auto value = session->EvalScript(script);
     if (!value.ok()) {
       std::printf("%-42s ERROR %s\n", label, value.status().ToString().c_str());
       return;
@@ -32,16 +35,16 @@ int main() {
   show("last day of every month", "[n]/DAYS:during:MONTHS");
 
   std::printf("\n== User-defined calendars (§3.2, Figure 1) ==\n");
-  Status st = catalog.DefineDerived("Tuesdays", "[2]/DAYS:during:WEEKS",
-                                    catalog.YearWindow(1985, 2010).value());
+  Status st = session->DefineCalendar("Tuesdays", "[2]/DAYS:during:WEEKS",
+                                      catalog.YearWindow(1985, 2010).value());
   if (!st.ok()) {
     std::printf("define failed: %s\n", st.ToString().c_str());
     return 1;
   }
   std::printf("%s\n", catalog.FormatRow("Tuesdays")->c_str());
 
-  auto tuesdays = catalog.EvaluateCalendar(
-      "Tuesdays", EvalOptions{.window_days = Interval{1, 31}});
+  session->SetWindow(Interval{1, 31});
+  auto tuesdays = session->EvalCalendar("Tuesdays");
   std::printf("Tuesdays of January 1993: %s\n",
               tuesdays->ToString().c_str());
   for (const Interval& i : tuesdays->intervals()) {
@@ -59,14 +62,19 @@ int main() {
   std::printf("%s\n", def->eval_plan->ToString().c_str());
 
   std::printf("== generate / caloperate (§3.2) ==\n");
-  CalendarCatalog catalog87{TimeSystem{CivilDate{1987, 1, 1}}};
-  auto generated = catalog87.EvaluateScript(
-      "generate(YEARS, DAYS, \"1987-01-01\", \"1992-01-03\")",
-      EvalOptions{.window_days = Interval{1, 2000}});
+  // A second engine with a 1987 epoch — each Engine owns one time system.
+  EngineOptions opts87;
+  opts87.epoch = CivilDate{1987, 1, 1};
+  auto engine87 = Engine::Create(opts87).value();
+  std::unique_ptr<Session> session87 = engine87->CreateSession();
+  session87->SetWindow(Interval{1, 2000});
+  auto generated = session87->EvalScript(
+      "generate(YEARS, DAYS, \"1987-01-01\", \"1992-01-03\")");
   std::printf("generate(YEARS, DAYS, [Jan 1 1987, Jan 3 1992]) =\n  %s\n",
               generated->calendar.ToString().c_str());
-  auto quarters = catalog.EvaluateScript(
-      "caloperate(MONTHS:during:1993/YEARS, *, 3)", year_1993);
+  session->SetWindow(catalog.YearWindow(1993, 1993).value());
+  auto quarters =
+      session->EvalScript("caloperate(MONTHS:during:1993/YEARS, *, 3)");
   std::printf("caloperate(MONTHS, *, 3) = %s (in MONTH units)\n",
               quarters->calendar.ToString().c_str());
   return 0;

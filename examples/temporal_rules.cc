@@ -1,26 +1,24 @@
 // Temporal rules end to end (§4, Figure 4): declare rules on calendar
-// expressions, then let DBCRON play a simulated year of virtual time.
+// expressions, then let DBCRON — running on the Engine's background
+// thread — play a simulated quarter of virtual time.  Built on the public
+// facade (caldb.h) only.
 
 #include <cstdio>
 
-#include "finance/market_calendars.h"
-#include "common/macros.h"
-#include "rules/dbcron.h"
+#include "caldb.h"
 
 using namespace caldb;
 
 namespace {
 
 Status Run() {
-  CalendarCatalog catalog{TimeSystem{CivilDate{1993, 1, 1}}};
-  Database db;
-  const TimeSystem& ts = catalog.time_system();
-  CALDB_RETURN_IF_ERROR(InstallMarketCalendars(&catalog, 1993, 1994));
+  CALDB_ASSIGN_OR_RETURN(std::unique_ptr<Engine> engine, Engine::Create());
+  const TimeSystem& ts = engine->time_system();
+  CALDB_RETURN_IF_ERROR(InstallMarketCalendars(&engine->catalog(), 1993, 1994));
 
-  CALDB_ASSIGN_OR_RETURN(std::unique_ptr<TemporalRuleManager> rules,
-                         TemporalRuleManager::Create(&catalog, &db));
+  std::unique_ptr<Session> session = engine->CreateSession();
   CALDB_RETURN_IF_ERROR(
-      db.Execute("create table alerts (day int, what text)").status());
+      session->Execute("create table alerts (day int, what text)").status());
 
   auto alert = [&ts](const char* what) {
     TemporalAction action;
@@ -34,54 +32,57 @@ Status Run() {
 
   // "On Every Tuesday do Proc_X" — the paper's own example rule.
   CALDB_RETURN_IF_ERROR(
-      rules->DeclareRule("every_tuesday", "[2]/DAYS:during:WEEKS",
-                         alert("weekly staff meeting (Tuesday)"), 1)
+      engine
+          ->DeclareRule("every_tuesday", "[2]/DAYS:during:WEEKS",
+                        alert("weekly staff meeting (Tuesday)"))
           .status());
   // EMP-DAYS (§3.3): the last day of every month, or the preceding
   // business day when the month ends on a weekend/holiday.
   CALDB_RETURN_IF_ERROR(
-      rules
+      engine
           ->DeclareRule("employment_figures", R"(
       {LDOM = [n]/DAYS:during:MONTHS;
        LDOM_HOL = LDOM - AM_BUS_DAYS:intersects:LDOM;
        LAST_BUS_DAY = [n]/AM_BUS_DAYS:<:LDOM_HOL;
        return (LDOM - LDOM_HOL + LAST_BUS_DAY);})",
-                         alert("employment figures released"), 1)
+                        alert("employment figures released"))
           .status());
-  // A rule with a database command action, stamped with fire_day().
-  TemporalAction quarterly;
-  quarterly.command = "append alerts (day = fire_day(), what = 'quarter end')";
+  // A rule with a database command action, stamped with fire_day() —
+  // declared through the uniform Session entry point this time.
   CALDB_RETURN_IF_ERROR(
-      rules
-          ->DeclareRule("quarter_end",
-                        "[n]/DAYS:during:caloperate(MONTHS, *, 3)",
-                        std::move(quarterly), 1)
+      session
+          ->Execute(
+              "declare rule quarter_end on "
+              "[n]/DAYS:during:caloperate(MONTHS, *, 3) do "
+              "append alerts (day = fire_day(), what = 'quarter end')")
           .status());
 
   std::printf("RULE-INFO after declaration:\n");
   CALDB_ASSIGN_OR_RETURN(
       QueryResult info,
-      db.Execute("retrieve (r.rule_id, r.name, r.expression) from r in RULE_INFO"));
+      session->Execute(
+          "retrieve (r.rule_id, r.name, r.expression) from r in RULE_INFO"));
   std::printf("%s\n", info.ToString().c_str());
 
   std::printf("Advancing virtual time through Q1 1993 (probe period 7 days):\n");
-  VirtualClock clock(1);
-  DbCron cron(rules.get(), &clock, /*probe_period_days=*/7);
-  CALDB_RETURN_IF_ERROR(cron.AdvanceTo(ts.DayPointFromCivil({1993, 3, 31})));
+  CALDB_RETURN_IF_ERROR(engine->AdvanceToCivil({1993, 3, 31}));
 
+  const DbCron::CronStats stats = engine->CronStats();
   std::printf("\nDBCRON stats: %lld probes, %lld firings, heap peak %lld\n",
-              static_cast<long long>(cron.stats().probes),
-              static_cast<long long>(cron.stats().fires),
-              static_cast<long long>(cron.stats().max_heap_size));
+              static_cast<long long>(stats.probes),
+              static_cast<long long>(stats.fires),
+              static_cast<long long>(stats.max_heap_size));
 
-  CALDB_ASSIGN_OR_RETURN(QueryResult alerts,
-                         db.Execute("retrieve (a.day, a.what) from a in alerts"));
+  CALDB_ASSIGN_OR_RETURN(
+      QueryResult alerts,
+      session->Execute("retrieve (a.day, a.what) from a in alerts"));
   std::printf("\nalerts table (written by the command-action rule):\n%s",
               alerts.ToString().c_str());
 
   CALDB_ASSIGN_OR_RETURN(
       QueryResult pending,
-      db.Execute("retrieve (t.rule_id, t.next_fire) from t in RULE_TIME"));
+      session->Execute(
+          "retrieve (t.rule_id, t.next_fire) from t in RULE_TIME"));
   std::printf("\nRULE-TIME (next firing of each rule):\n%s",
               pending.ToString().c_str());
   return Status::OK();

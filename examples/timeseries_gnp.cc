@@ -8,22 +8,27 @@
 //
 // Here the quarter-end calendar IS expressible, so the series stores only
 // values and regenerates its time points on request.  The example closes
-// with the paper's future-work pattern query (§6a).
+// with the paper's future-work pattern query (§6a).  Built on the public
+// facade (caldb.h): the Engine owns the catalog; the series reads it.
 
 #include <cstdio>
 
-#include "timeseries/pattern.h"
-#include "timeseries/time_series.h"
+#include "caldb.h"
 
 using namespace caldb;
 
 int main() {
-  CalendarCatalog catalog{TimeSystem{CivilDate{1985, 1, 1}}};
-  const TimeSystem& ts = catalog.time_system();
+  EngineOptions opts;
+  opts.epoch = CivilDate{1985, 1, 1};
+  auto engine = Engine::Create(opts).value();
+  std::unique_ptr<Session> session = engine->CreateSession();
+  const TimeSystem& ts = engine->time_system();
 
   // The valid-time calendar: last day of every quarter.
-  Status st = catalog.DefineDerived("QUARTER_ENDS",
-                                    "[n]/DAYS:during:caloperate(MONTHS, *, 3)");
+  Status st = session
+                  ->Execute("define calendar QUARTER_ENDS as "
+                            "[n]/DAYS:during:caloperate(MONTHS, *, 3)")
+                  .status();
   if (!st.ok()) {
     std::printf("define failed: %s\n", st.ToString().c_str());
     return 1;
@@ -31,7 +36,7 @@ int main() {
 
   // Synthetic US GNP-like levels (billions), 1985Q1..1993Q4: 36 values.
   // Only these 36 doubles are stored — no time points.
-  RegularTimeSeries gnp(&catalog, "QUARTER_ENDS", /*anchor_day=*/1);
+  RegularTimeSeries gnp(&engine->catalog(), "QUARTER_ENDS", /*anchor_day=*/1);
   double level = 4200.0;
   unsigned seed = 12345;
   for (int q = 0; q < 36; ++q) {
@@ -61,7 +66,7 @@ int main() {
   }
 
   // Slice 1991 (paper: "Retrieve ... on expiration-date" style windows).
-  auto slice = gnp.Slice(*catalog.YearWindow(1991, 1991));
+  auto slice = gnp.Slice(*engine->catalog().YearWindow(1991, 1991));
   std::printf("\n1991 observations: %zu\n", slice->size());
 
   // Future-work pattern (§6a): quarters where GNP fell.

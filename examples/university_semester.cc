@@ -3,43 +3,46 @@
 //   "Retrieve the names of all foreign students who worked more than 20
 //    hours in any week during the semester."
 //
-// The semester is an application-specific calendar; calendar operators
-// registered with the extensible DB make the query expressible.
+// The semester is an application-specific calendar; the calendar operators
+// an Engine registers with its database make the query expressible.  Built
+// on the public facade (caldb.h) only.
 
 #include <cstdio>
 
-#include "catalog/calendar_functions.h"
-#include "common/macros.h"
+#include "caldb.h"
 
 using namespace caldb;
 
 namespace {
 
 Status Run() {
-  CalendarCatalog catalog{TimeSystem{CivilDate{1993, 1, 1}}};
-  Database db;
-  CALDB_RETURN_IF_ERROR(RegisterCalendarFunctions(&db, &catalog));
+  CALDB_ASSIGN_OR_RETURN(std::unique_ptr<Engine> engine, Engine::Create());
+  std::unique_ptr<Session> session = engine->CreateSession();
+  const TimeSystem& ts = engine->time_system();
 
   // The Fall 1993 semester: Aug 30 (day 242) .. Dec 17 (day 351), an
-  // application-specific calendar only the university knows.
-  const TimeSystem& ts = catalog.time_system();
+  // application-specific calendar only the university knows.  Literal
+  // values go in through DefineValues; the weeks derive via the algebra.
   CALDB_ASSIGN_OR_RETURN(Interval semester,
                          ts.DayIntervalFromCivil({1993, 8, 30}, {1993, 12, 17}));
-  CALDB_RETURN_IF_ERROR(catalog.DefineValues(
+  CALDB_RETURN_IF_ERROR(engine->catalog().DefineValues(
       "FALL_SEMESTER", Calendar::Order1(Granularity::kDays, {semester})));
-  // Weeks of the semester (derived through the algebra).
   CALDB_RETURN_IF_ERROR(
-      catalog.DefineDerived("SEMESTER_WEEKS", "WEEKS:overlaps:FALL_SEMESTER"));
+      session
+          ->Execute(
+              "define calendar SEMESTER_WEEKS as WEEKS:overlaps:FALL_SEMESTER")
+          .status());
 
   // Tables: students and their weekly work records, keyed by the Monday
   // (day point) of the week worked.
   CALDB_RETURN_IF_ERROR(
-      db.Execute("create table students (name text, foreign_student bool)")
+      session->Execute("create table students (name text, foreign_student bool)")
           .status());
   CALDB_RETURN_IF_ERROR(
-      db.Execute("create table work (name text, week_start int, hours int)")
+      session->Execute("create table work (name text, week_start int, hours int)")
           .status());
-  CALDB_RETURN_IF_ERROR(db.Execute("create index on work (week_start)").status());
+  CALDB_RETURN_IF_ERROR(
+      session->Execute("create index on work (week_start)").status());
 
   struct Student {
     const char* name;
@@ -48,9 +51,10 @@ Status Run() {
   for (const Student& s : {Student{"amara", true}, Student{"bo", true},
                            Student{"carol", false}, Student{"dmitri", true}}) {
     CALDB_RETURN_IF_ERROR(
-        db.Execute(std::string("append students (name = '") + s.name +
-                   "', foreign_student = " + (s.foreign_student ? "true" : "false") +
-                   ")")
+        session
+            ->Execute(std::string("append students (name = '") + s.name +
+                      "', foreign_student = " +
+                      (s.foreign_student ? "true" : "false") + ")")
             .status());
   }
 
@@ -68,10 +72,11 @@ Status Run() {
   };
   for (const WorkRow& w : rows) {
     CALDB_RETURN_IF_ERROR(
-        db.Execute("append work (name = '" + std::string(w.name) +
-                   "', week_start = " +
-                   std::to_string(ts.DayPointFromCivil(w.monday)) +
-                   ", hours = " + std::to_string(w.hours) + ")")
+        session
+            ->Execute("append work (name = '" + std::string(w.name) +
+                      "', week_start = " +
+                      std::to_string(ts.DayPointFromCivil(w.monday)) +
+                      ", hours = " + std::to_string(w.hours) + ")")
             .status());
   }
 
@@ -80,9 +85,9 @@ Status Run() {
   std::printf("Overworked weeks during the Fall 1993 semester:\n");
   CALDB_ASSIGN_OR_RETURN(
       QueryResult overworked,
-      db.Execute("retrieve (w.name, w.week_start, w.hours) from w in work "
-                 "where w.hours > 20 and "
-                 "cal_contains('FALL_SEMESTER', w.week_start)"));
+      session->Execute("retrieve (w.name, w.week_start, w.hours) from w in work "
+                       "where w.hours > 20 and "
+                       "cal_contains('FALL_SEMESTER', w.week_start)"));
   for (const Row& row : overworked.rows) {
     CALDB_ASSIGN_OR_RETURN(int64_t day, row[1].AsInt());
     std::printf("  %-8s week of %s: %s hours\n",
@@ -99,12 +104,12 @@ Status Run() {
   //    hours in any week during the semester"
   CALDB_ASSIGN_OR_RETURN(
       QueryResult foreigners,
-      db.Execute("retrieve (s.name, max(w.hours) as peak) "
-                 "from s in students, w in work "
-                 "where s.foreign_student = true and s.name = w.name "
-                 "and w.hours > 20 "
-                 "and cal_contains('FALL_SEMESTER', w.week_start) "
-                 "group by s.name"));
+      session->Execute("retrieve (s.name, max(w.hours) as peak) "
+                       "from s in students, w in work "
+                       "where s.foreign_student = true and s.name = w.name "
+                       "and w.hours > 20 "
+                       "and cal_contains('FALL_SEMESTER', w.week_start) "
+                       "group by s.name"));
   std::printf("\nForeign students working > 20 hours in any semester week:\n");
   for (const Row& f : foreigners.rows) {
     std::printf("  %s (peak %s hours)\n", f[0].AsText().value().c_str(),
@@ -112,11 +117,9 @@ Status Run() {
   }
 
   // The semester's weeks themselves, straight from the algebra.
-  CALDB_ASSIGN_OR_RETURN(
-      Calendar weeks,
-      catalog.EvaluateCalendar(
-          "SEMESTER_WEEKS",
-          EvalOptions{.window_days = catalog.YearWindow(1993, 1993).value()}));
+  CALDB_RETURN_IF_ERROR(session->SetWindowYears(1993, 1993));
+  CALDB_ASSIGN_OR_RETURN(Calendar weeks,
+                         session->EvalCalendar("SEMESTER_WEEKS"));
   std::printf("\nThe semester spans %zu weeks: first %s, last %s\n",
               weeks.size(),
               FormatInterval(weeks.intervals().front()).c_str(),

@@ -1,0 +1,78 @@
+// caldb.h — the stable public facade of caldb.
+//
+// Applications include this single header and program against:
+//
+//   caldb::Engine        the thread-safe run-time (engine/engine.h):
+//                        owns the database, the CALENDARS catalog, the
+//                        temporal-rule manager and the DBCRON daemon;
+//                        executes statements concurrently on a thread
+//                        pool behind a reader/writer lock.
+//   caldb::Session       a per-client handle (engine/session.h): window,
+//                        `today`, a private evaluator with a warm
+//                        gen-cache, and the uniform Execute() entry point
+//                        (database statements, calendar scripts, EXPLAIN/
+//                        PROFILE, catalog and rule DDL, clock control).
+//   caldb::QueryResult   columns + rows, or a DML/DDL summary message.
+//   caldb::Status        error model (common/status.h): caldb never
+//   caldb::Result<T>     throws across this facade; every fallible call
+//                        returns Status or Result<T> (common/result.h).
+//
+// Typical use:
+//
+//   #include "caldb.h"
+//
+//   auto engine = caldb::Engine::Create().value();
+//   auto session = engine->CreateSession();
+//   session->Execute("create table alerts (day int, what text)");
+//   session->Execute("define calendar Tuesdays as [2]/DAYS:during:WEEKS");
+//   session->Execute("declare rule t on Tuesdays do "
+//                    "append alerts (day = fire_day(), what = 'tuesday')");
+//   session->Execute("advance to 1993-02-01");
+//   auto rows = session->Execute(
+//       "retrieve (a.day, a.what) from a in alerts");
+//
+// The subsystem headers pulled in below remain public for library-level
+// embedding (calendar algebra without a database, finance day counts,
+// time-series patterns), but constructing Database / DbCron /
+// TemporalRuleManager directly is deprecated for concurrent use — go
+// through Engine, which serializes access correctly (see the threading
+// contract in docs/API.md).
+
+#ifndef CALDB_CALDB_H_
+#define CALDB_CALDB_H_
+
+// Error model and the CALDB_RETURN_IF_ERROR / CALDB_ASSIGN_OR_RETURN
+// propagation macros, plus small string helpers.
+#include "common/macros.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+// Time: civil dates, granularities, skip-zero points, the time system.
+#include "time/civil.h"
+#include "time/granularity.h"
+#include "time/time_system.h"
+#include "time/timepoint.h"
+
+// Calendar values and the interval algebra of §3.
+#include "core/calendar.h"
+#include "core/generate.h"
+#include "core/interval.h"
+
+// The engine and sessions (the concurrent §4 architecture).
+#include "engine/engine.h"
+#include "engine/session.h"
+
+// Library-level extras reachable through the facade: catalog persistence,
+// market calendars / day counts (§5 workloads), time-series patterns.
+#include "catalog/catalog_io.h"
+#include "finance/day_count.h"
+#include "finance/market_calendars.h"
+#include "timeseries/pattern.h"
+#include "timeseries/time_series.h"
+
+// Observability: EXPLAIN/PROFILE reports come back through Execute();
+// metric export and tracing for dashboards.
+#include "obs/obs.h"
+
+#endif  // CALDB_CALDB_H_

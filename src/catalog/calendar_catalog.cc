@@ -34,7 +34,7 @@ CatalogMetrics& Metrics() {
 
 }  // namespace
 
-Status CalendarCatalog::CheckNameFree(const std::string& name) const {
+Status CalendarCatalog::CheckNameFreeLocked(const std::string& name) const {
   if (name.empty()) {
     return Status::InvalidArgument("calendar name must not be empty");
   }
@@ -56,7 +56,12 @@ Status CalendarCatalog::DefineDerived(const std::string& name,
   obs::Tracer::Span span = obs::StartSpan("catalog.define");
   span.AddAttr("name", name);
   Metrics().defines->Increment();
-  CALDB_RETURN_IF_ERROR(CheckNameFree(name));
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    CALDB_RETURN_IF_ERROR(CheckNameFreeLocked(name));
+  }
+  // Compile outside the lock: analysis re-enters Resolve(), and plans can
+  // take a while to build.  The name is re-checked before insertion.
   Result<Script> parsed = ParseScript(script_text);
   if (!parsed.ok()) {
     return parsed.status().WithContext("defining calendar '" + name + "'");
@@ -78,14 +83,18 @@ Status CalendarCatalog::DefineDerived(const std::string& name,
   def.parsed_script = std::make_shared<const Script>(std::move(script));
   def.eval_plan = std::make_shared<const Plan>(std::move(plan).value());
   def.lifespan_days = lifespan_days;
-  defs_[name] = std::move(def);
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    CALDB_RETURN_IF_ERROR(CheckNameFreeLocked(name));
+    defs_[name] = std::move(def);
+  }
+  std::lock_guard<std::mutex> cache_lock(cache_mu_);
   eval_cache_.clear();
   return Status::OK();
 }
 
 Status CalendarCatalog::DefineValues(const std::string& name, Calendar values,
                                      std::optional<Interval> lifespan_days) {
-  CALDB_RETURN_IF_ERROR(CheckNameFree(name));
   if (values.order() != 1) {
     return Status::InvalidArgument(
         "explicit calendar values must be an order-1 calendar");
@@ -95,23 +104,32 @@ Status CalendarCatalog::DefineValues(const std::string& name, Calendar values,
   def.granularity = values.granularity();
   def.values = std::move(values);
   def.lifespan_days = lifespan_days;
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  CALDB_RETURN_IF_ERROR(CheckNameFreeLocked(name));
   defs_[name] = std::move(def);
   return Status::OK();
 }
 
 Status CalendarCatalog::Drop(const std::string& name) {
-  if (defs_.erase(name) == 0) {
-    return Status::NotFound("calendar '" + name + "' does not exist");
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    if (defs_.erase(name) == 0) {
+      return Status::NotFound("calendar '" + name + "' does not exist");
+    }
   }
+  std::lock_guard<std::mutex> cache_lock(cache_mu_);
   eval_cache_.clear();
   return Status::OK();
 }
 
 bool CalendarCatalog::Contains(const std::string& name) const {
-  return defs_.count(name) > 0 || IsBaseName(name);
+  if (IsBaseName(name)) return true;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return defs_.count(name) > 0;
 }
 
 Result<CalendarDef> CalendarCatalog::Describe(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = defs_.find(name);
   if (it == defs_.end()) {
     return Status::NotFound("calendar '" + name + "' has no catalog row");
@@ -120,6 +138,7 @@ Result<CalendarDef> CalendarCatalog::Describe(const std::string& name) const {
 }
 
 std::vector<std::string> CalendarCatalog::ListCalendars() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(defs_.size());
   for (const auto& [name, def] : defs_) names.push_back(name);
@@ -159,10 +178,13 @@ Result<ResolvedCalendar> CalendarCatalog::Resolve(const std::string& name) const
     resolved.granularity = *base;
     return resolved;
   }
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = defs_.find(name);
   if (it == defs_.end()) {
     return Status::NotFound("unknown calendar '" + name + "'");
   }
+  // Copied out (shared_ptr script/plan, COW values), so the caller holds
+  // no lock while it evaluates.
   const CalendarDef& def = it->second;
   ResolvedCalendar resolved;
   resolved.granularity = def.granularity;
@@ -183,10 +205,14 @@ Result<Calendar> CalendarCatalog::EvaluateCalendar(const std::string& name,
   CALDB_ASSIGN_OR_RETURN(ResolvedCalendar resolved, Resolve(name));
   // A calendar has no values outside its lifespan: clamp the window.
   EvalOptions opts = opts_in;
-  auto def = defs_.find(name);
-  if (def != defs_.end() && def->second.lifespan_days.has_value()) {
-    std::optional<Interval> clamped =
-        Intersect(opts.window_days, *def->second.lifespan_days);
+  std::optional<Interval> lifespan;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto def = defs_.find(name);
+    if (def != defs_.end()) lifespan = def->second.lifespan_days;
+  }
+  if (lifespan.has_value()) {
+    std::optional<Interval> clamped = Intersect(opts.window_days, *lifespan);
     if (!clamped.has_value()) {
       return Calendar::Order1(resolved.granularity, {});
     }
@@ -209,11 +235,16 @@ Result<Calendar> CalendarCatalog::EvaluateCalendar(const std::string& name,
     }
     case ResolvedCalendar::Kind::kDerived: {
       auto key = std::make_tuple(name, opts.window_days.lo, opts.window_days.hi);
-      auto cached = eval_cache_.find(key);
-      if (cached != eval_cache_.end()) {
-        Metrics().eval_cache_hits->Increment();
-        return cached->second;
+      {
+        std::lock_guard<std::mutex> cache_lock(cache_mu_);
+        auto cached = eval_cache_.find(key);
+        if (cached != eval_cache_.end()) {
+          Metrics().eval_cache_hits->Increment();
+          return cached->second;  // a COW handle copy
+        }
       }
+      // Evaluate unlocked: two racing misses both compute the (identical)
+      // value; the second insert overwrites the first.
       Metrics().eval_cache_misses->Increment();
       obs::ScopedLatency latency(Metrics().eval_ns);
       Evaluator evaluator(&time_system_, this);
@@ -226,7 +257,10 @@ Result<Calendar> CalendarCatalog::EvaluateCalendar(const std::string& name,
         return Status::EvalError("calendar '" + name +
                                  "' evaluated to a non-calendar value");
       }
-      eval_cache_[key] = value.calendar;
+      {
+        std::lock_guard<std::mutex> cache_lock(cache_mu_);
+        eval_cache_[key] = value.calendar;
+      }
       return value.calendar;
     }
   }

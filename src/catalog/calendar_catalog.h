@@ -13,7 +13,9 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -125,13 +127,31 @@ class CalendarCatalog : public CalendarSource {
                                                         Granularity unit) const;
 
  private:
-  Status CheckNameFree(const std::string& name) const;
+  // Requires mu_ held (either mode); callers lock.
+  Status CheckNameFreeLocked(const std::string& name) const;
 
   TimeSystem time_system_;
+
+  // Thread safety: the catalog is shared by every Session of an Engine, so
+  // it locks internally.  `mu_` guards `defs_` — lookups take the shared
+  // side and *copy out* what they need (rows hold shared_ptr plans and
+  // COW Calendar handles, so a copy is cheap); Define*/Drop take the
+  // exclusive side.  No lock is ever held across evaluation or script
+  // compilation: a plan being compiled re-enters Resolve(), which takes
+  // and releases the shared lock per call — holding mu_ across the
+  // compile would self-deadlock and stall writers behind long
+  // evaluations.  `cache_mu_` guards only `eval_cache_`; a miss evaluates
+  // unlocked and inserts afterwards (two racing misses both compute; the
+  // values are identical, last insert wins).
+  // Lock ordering: an Engine's db lock may be held when these are taken
+  // (calendar operators run inside query execution); the reverse never
+  // happens — the catalog does not call into the database.
+  mutable std::shared_mutex mu_;
   std::map<std::string, CalendarDef> defs_;
   // Evaluated values of derived calendars, keyed by (name, window) — the
   // caching role of the CALENDARS row's `values` column.  Invalidated on
-  // Define/Drop.  The catalog is single-threaded, like the rest of caldb.
+  // Define/Drop.
+  mutable std::mutex cache_mu_;
   mutable std::map<std::tuple<std::string, TimePoint, TimePoint>, Calendar>
       eval_cache_;
 };

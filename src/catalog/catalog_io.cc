@@ -203,7 +203,7 @@ Status RestoreCatalog(const std::string& dump, CalendarCatalog* catalog) {
   return Status::OK();
 }
 
-Result<CalendarCatalog> LoadCatalog(const std::string& dump) {
+Result<std::unique_ptr<CalendarCatalog>> LoadCatalog(const std::string& dump) {
   // Peek the epoch to construct the catalog.
   for (std::string_view line : StrSplit(dump, '\n')) {
     line = TrimWhitespace(line);
@@ -211,8 +211,8 @@ Result<CalendarCatalog> LoadCatalog(const std::string& dump) {
     if (line.substr(0, 6) != "epoch ") break;
     CALDB_ASSIGN_OR_RETURN(CivilDate epoch,
                            ParseCivil(TrimWhitespace(line.substr(6))));
-    CalendarCatalog catalog{TimeSystem{epoch}};
-    CALDB_RETURN_IF_ERROR(RestoreCatalog(dump, &catalog));
+    auto catalog = std::make_unique<CalendarCatalog>(TimeSystem{epoch});
+    CALDB_RETURN_IF_ERROR(RestoreCatalog(dump, catalog.get()));
     return catalog;
   }
   return Status::ParseError("catalog dump must start with an 'epoch' line");

@@ -21,8 +21,9 @@ Result<std::string> DumpCatalog(const CalendarCatalog& catalog);
 /// calendars with clashing names cause AlreadyExists.
 Status RestoreCatalog(const std::string& dump, CalendarCatalog* catalog);
 
-/// Convenience: builds a fresh catalog from a dump.
-Result<CalendarCatalog> LoadCatalog(const std::string& dump);
+/// Convenience: builds a fresh catalog from a dump.  Returned by pointer:
+/// the catalog owns internal locks and is neither movable nor copyable.
+Result<std::unique_ptr<CalendarCatalog>> LoadCatalog(const std::string& dump);
 
 }  // namespace caldb
 

@@ -1,5 +1,27 @@
 // Result<T>: a value-or-Status, the return type of fallible caldb
 // operations that produce a value.
+//
+// The no-throw contract
+// ---------------------
+// caldb never throws across a public API.  Every fallible operation
+// reachable from the facade (caldb.h) — parsing, evaluation, catalog and
+// database calls, Engine/Session entry points — reports failure as a
+// Status or Result<T>; exceptions are not part of the error surface:
+//
+//  - Library code does not `throw`, and avoids throwing std:: helpers on
+//    user-controlled input (e.g. ParseDouble in common/strings.h instead
+//    of std::stod, which raises out_of_range).
+//  - The facade entry points (Engine::Execute, Session::Execute and the
+//    typed Session surface) additionally wrap their implementations in a
+//    catch-all that converts any escaped exception — out-of-memory aside,
+//    these would be defects — into Status::Internal, so a bug below the
+//    facade degrades into an error return instead of terminating a server
+//    worker thread.
+//  - Accessing value() on an error Result is a programming error checked
+//    by assert, not an exception.
+//
+// Callers may therefore invoke any public caldb function from
+// exception-unaware code (worker threads, C callbacks) safely.
 
 #ifndef CALDB_COMMON_RESULT_H_
 #define CALDB_COMMON_RESULT_H_

@@ -1,7 +1,10 @@
 #include "common/strings.h"
 
 #include <cctype>
+#include <cerrno>
 #include <charconv>
+#include <cmath>
+#include <cstdlib>
 
 namespace caldb {
 
@@ -63,6 +66,22 @@ Result<int64_t> ParseInt64(std::string_view s) {
   auto [ptr, ec] = std::from_chars(first, last, value);
   if (ec != std::errc() || ptr != last) {
     return Status::ParseError("not an integer: '" + std::string(s) + "'");
+  }
+  return value;
+}
+
+Result<double> ParseDouble(std::string_view s) {
+  // strtod needs a NUL terminator; literals are short, so the copy is
+  // noise.  errno (not an exception) reports range errors.
+  std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || buf.empty()) {
+    return Status::ParseError("not a number: '" + buf + "'");
+  }
+  if (errno == ERANGE && (value == HUGE_VAL || value == -HUGE_VAL)) {
+    return Status::ParseError("number out of range: '" + buf + "'");
   }
   return value;
 }

@@ -29,6 +29,11 @@ bool EqualsIgnoreCase(std::string_view a, std::string_view b);
 /// Parses a base-10 signed integer occupying the whole string.
 Result<int64_t> ParseInt64(std::string_view s);
 
+/// Parses a decimal floating-point literal occupying the whole string.
+/// Never throws (unlike std::stod, which raises out_of_range on
+/// magnitudes beyond double): overflow comes back as a ParseError.
+Result<double> ParseDouble(std::string_view s);
+
 }  // namespace caldb
 
 #endif  // CALDB_COMMON_STRINGS_H_

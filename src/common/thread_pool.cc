@@ -1,0 +1,94 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "obs/obs.h"
+
+namespace caldb {
+
+namespace {
+
+struct PoolMetrics {
+  obs::Counter* tasks = obs::Metrics().counter("caldb.engine.pool.tasks");
+  obs::Gauge* queue_depth =
+      obs::Metrics().gauge("caldb.engine.pool.queue_depth");
+  obs::Gauge* queue_depth_max =
+      obs::Metrics().gauge("caldb.engine.pool.queue_depth_max");
+  obs::Histogram* wait_ns =
+      obs::Metrics().histogram("caldb.engine.pool.wait_ns");
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics* m = new PoolMetrics();
+  return *m;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = std::max(1, threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return false;
+    queue_.emplace_back(std::move(fn), obs::NowNs());
+    Metrics().tasks->Increment();
+    Metrics().queue_depth->SetWithMax(static_cast<int64_t>(queue_.size()),
+                                      Metrics().queue_depth_max);
+  }
+  work_cv_.notify_one();
+  return true;
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_ && workers_.empty()) return;
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+}
+
+void ThreadPool::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      auto [fn, submitted_ns] = std::move(queue_.front());
+      queue_.pop_front();
+      task = std::move(fn);
+      ++active_;
+      Metrics().queue_depth->Set(static_cast<int64_t>(queue_.size()));
+      if (obs::Enabled()) {
+        Metrics().wait_ns->Record(obs::NowNs() - submitted_ns);
+      }
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace caldb

@@ -1,0 +1,81 @@
+// ThreadPool: a fixed-size worker pool with a FIFO task queue.
+//
+// The pool is the execution substrate of caldb::Engine (parallel query /
+// script execution); it is deliberately minimal: Submit enqueues a
+// callable, workers drain the queue, the destructor (or Shutdown) stops
+// accepting work, runs everything already queued to completion and joins.
+// SubmitTask wraps the callable in a std::packaged_task so callers can
+// wait on a std::future of the result.
+//
+// Observability ("caldb.engine.pool.*", docs/OBSERVABILITY.md):
+//   pool.tasks        counter   tasks submitted
+//   pool.queue_depth  gauge     current queue length
+//   pool.queue_depth_max gauge  high-water mark
+//   pool.wait_ns      histogram queue wait per task (submit -> start)
+
+#ifndef CALDB_COMMON_THREAD_POOL_H_
+#define CALDB_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace caldb {
+
+class ThreadPool {
+ public:
+  /// Starts `threads` workers (values < 1 are clamped to 1; pass
+  /// std::thread::hardware_concurrency() yourself if that is what you
+  /// want — the pool does not guess).
+  explicit ThreadPool(int threads);
+
+  /// Runs queued tasks to completion, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `fn`.  Returns false (and drops the task) after Shutdown.
+  bool Submit(std::function<void()> fn);
+
+  /// Enqueues a callable and returns a future of its result.  If the pool
+  /// is shut down the returned future holds a broken_promise error.
+  template <typename F, typename R = std::invoke_result_t<F&>>
+  std::future<R> SubmitTask(F&& fn) {
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    Submit([task]() { (*task)(); });
+    return result;
+  }
+
+  /// Stops accepting tasks, drains the queue and joins (idempotent).
+  void Shutdown();
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void Drain();
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for tasks
+  std::condition_variable idle_cv_;   // Drain waits for quiescence
+  // Each entry carries its submit time so the dequeue can record queue
+  // wait into the pool.wait_ns histogram.
+  std::deque<std::pair<std::function<void()>, int64_t>> queue_;
+  std::vector<std::thread> workers_;
+  int active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace caldb
+
+#endif  // CALDB_COMMON_THREAD_POOL_H_

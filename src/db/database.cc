@@ -201,7 +201,7 @@ Status Database::CollectMatches(Table* table, const std::string& var,
   EvalScope scope = MakeScope(ambient);
   Status visit_status = Status::OK();
   auto visit = [&](RowId id, const Row& row) {
-    ++stats_.rows_scanned;
+    stats_.rows_scanned.fetch_add(1, std::memory_order_relaxed);
     Metrics().rows_scanned->Increment();
     if (where != nullptr) {
       scope.tuples[var] = TupleBinding{&table->schema(), &row};
@@ -223,13 +223,13 @@ Status Database::CollectMatches(Table* table, const std::string& var,
 
   // Try index acceleration: any indexed int column constrained by `where`.
   if (std::optional<IndexChoice> choice = ChooseIndex(*table, var, where)) {
-    ++stats_.index_scans;
+    stats_.index_scans.fetch_add(1, std::memory_order_relaxed);
     Metrics().index_scans->Increment();
     CALDB_RETURN_IF_ERROR(
         table->IndexScan(choice->column, choice->lo, choice->hi, visit));
     return visit_status;
   }
-  ++stats_.full_scans;
+  stats_.full_scans.fetch_add(1, std::memory_order_relaxed);
   Metrics().full_scans->Increment();
   table->Scan(visit);
   return visit_status;
@@ -238,7 +238,17 @@ Status Database::CollectMatches(Table* table, const std::string& var,
 Status Database::FireRules(DbEvent event, const std::string& table,
                            const Schema& schema, const Row* new_row,
                            const Row* current_row) {
-  if (rules_.empty()) return Status::OK();
+  // Match before touching any mutable state: retrieves run concurrently
+  // under the Engine's shared lock when no retrieve rule is armed, and on
+  // that path this function must stay read-only.
+  bool any_match = false;
+  for (const EventRule& rule : rules_) {
+    if (rule.event == event && rule.table == table) {
+      any_match = true;
+      break;
+    }
+  }
+  if (!any_match) return Status::OK();
   if (fire_depth_ >= kMaxRuleDepth) {
     return Status::EvalError("rule cascade exceeds depth " +
                              std::to_string(kMaxRuleDepth));
@@ -270,7 +280,7 @@ Status Database::FireRules(DbEvent event, const std::string& table,
         continue;
       }
     }
-    ++stats_.rules_fired;
+    stats_.rules_fired.fetch_add(1, std::memory_order_relaxed);
     Metrics().rules_fired->Increment();
     if (rule.callback) {
       status = rule.callback(*this, scope);
@@ -302,6 +312,9 @@ Status Database::DefineRule(EventRule rule) {
   if (!rule.callback && rule.command.empty()) {
     return Status::InvalidArgument("rule '" + rule.name + "' has no action");
   }
+  if (rule.event == DbEvent::kRetrieve) {
+    retrieve_rules_.fetch_add(1, std::memory_order_release);
+  }
   rules_.push_back(std::move(rule));
   return Status::OK();
 }
@@ -309,6 +322,9 @@ Status Database::DefineRule(EventRule rule) {
 Status Database::DropRule(const std::string& name) {
   for (auto it = rules_.begin(); it != rules_.end(); ++it) {
     if (it->name == name) {
+      if (it->event == DbEvent::kRetrieve) {
+        retrieve_rules_.fetch_sub(1, std::memory_order_release);
+      }
       rules_.erase(it);
       return Status::OK();
     }
@@ -544,7 +560,7 @@ Result<QueryResult> Database::ExecuteRetrieve(const RetrieveStmt& stmt,
     Table* table = tables[level];
     Status inner_status = Status::OK();
     auto visit = [&](RowId id, const Row& row) {
-      ++stats_.rows_scanned;
+      stats_.rows_scanned.fetch_add(1, std::memory_order_relaxed);
       Metrics().rows_scanned->Increment();
       bound_rows[level] = row;
       scope.tuples[vars[level]] =
@@ -568,13 +584,13 @@ Result<QueryResult> Database::ExecuteRetrieve(const RetrieveStmt& stmt,
     };
     if (std::optional<IndexChoice> choice =
             ChooseIndex(*table, vars[level], stmt.where.get())) {
-      ++stats_.index_scans;
+      stats_.index_scans.fetch_add(1, std::memory_order_relaxed);
       Metrics().index_scans->Increment();
       CALDB_RETURN_IF_ERROR(
           table->IndexScan(choice->column, choice->lo, choice->hi, visit));
       return inner_status;
     }
-    ++stats_.full_scans;
+    stats_.full_scans.fetch_add(1, std::memory_order_relaxed);
     Metrics().full_scans->Increment();
     table->Scan(visit);
     return inner_status;
@@ -851,19 +867,19 @@ Result<QueryResult> Database::ExecuteExplain(const ExplainStmt& stmt,
   CALDB_ASSIGN_OR_RETURN(result.message, DescribePlan(inner));
   if (!stmt.profile) return result;
 
-  const Stats before = stats_;
+  const Stats before = stats();
   const int64_t t0 = obs::NowNs();
   CALDB_ASSIGN_OR_RETURN(QueryResult run, ExecuteParsed(inner, ambient));
   const int64_t ns = obs::NowNs() - t0;
 
   result.message += "profile: rows_scanned=" +
-                    std::to_string(stats_.rows_scanned - before.rows_scanned) +
+                    std::to_string(stats().rows_scanned - before.rows_scanned) +
                     " index_scans=" +
-                    std::to_string(stats_.index_scans - before.index_scans) +
+                    std::to_string(stats().index_scans - before.index_scans) +
                     " full_scans=" +
-                    std::to_string(stats_.full_scans - before.full_scans) +
+                    std::to_string(stats().full_scans - before.full_scans) +
                     " rules_fired=" +
-                    std::to_string(stats_.rules_fired - before.rules_fired) +
+                    std::to_string(stats().rules_fired - before.rules_fired) +
                     " rows_out=" + std::to_string(run.affected) + " time=" +
                     std::to_string(ns / 1000) + "." +
                     std::to_string(ns / 100 % 10) + "us\n";

@@ -4,6 +4,7 @@
 #ifndef CALDB_DB_DATABASE_H_
 #define CALDB_DB_DATABASE_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -42,6 +43,13 @@ struct EventRule {
   std::function<Status(Database&, const EvalScope&)> callback;
 };
 
+// Thread safety: the Database itself is NOT internally locked.  Concurrent
+// use goes through caldb::Engine (src/engine/engine.h), which serializes
+// statements with a reader/writer lock — any number of concurrent
+// retrieves, exclusive DDL/DML/rule firings.  Under that discipline the
+// only members mutated on the shared (read) path are the scan counters,
+// which are atomics below.  Direct construction is supported for
+// single-threaded library use and tests; servers should embed an Engine.
 class Database {
  public:
   Database() = default;
@@ -72,18 +80,39 @@ class Database {
   Status DropRule(const std::string& name);
   std::vector<std::string> ListRules() const;
 
+  /// Whether any retrieve-event rule is armed.  An atomic read: the
+  /// Engine uses it to classify retrieves (a retrieve that can fire rules
+  /// must take the exclusive lock, since rule actions may write).
+  bool HasRetrieveRules() const {
+    return retrieve_rules_.load(std::memory_order_acquire) > 0;
+  }
+
   // --- instrumentation (used by benches) -------------------------------
 
   /// Thin per-database view of the scan counters; the same events also
   /// feed the process-wide registry ("caldb.db.*", docs/OBSERVABILITY.md).
+  /// Counters are relaxed atomics internally (retrieves increment them
+  /// under the Engine's shared lock); stats() returns a snapshot.
   struct Stats {
     int64_t rows_scanned = 0;
     int64_t index_scans = 0;
     int64_t full_scans = 0;
     int64_t rules_fired = 0;
   };
-  const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = Stats{}; }
+  Stats stats() const {
+    Stats s;
+    s.rows_scanned = stats_.rows_scanned.load(std::memory_order_relaxed);
+    s.index_scans = stats_.index_scans.load(std::memory_order_relaxed);
+    s.full_scans = stats_.full_scans.load(std::memory_order_relaxed);
+    s.rules_fired = stats_.rules_fired.load(std::memory_order_relaxed);
+    return s;
+  }
+  void ResetStats() {
+    stats_.rows_scanned.store(0, std::memory_order_relaxed);
+    stats_.index_scans.store(0, std::memory_order_relaxed);
+    stats_.full_scans.store(0, std::memory_order_relaxed);
+    stats_.rules_fired.store(0, std::memory_order_relaxed);
+  }
 
  private:
   // The access path CollectMatches / the join enumerator would take for
@@ -125,10 +154,21 @@ class Database {
 
   EvalScope MakeScope(const EvalScope* ambient) const;
 
+  struct AtomicStats {
+    std::atomic<int64_t> rows_scanned{0};
+    std::atomic<int64_t> index_scans{0};
+    std::atomic<int64_t> full_scans{0};
+    std::atomic<int64_t> rules_fired{0};
+  };
+
   FunctionRegistry registry_;
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::vector<EventRule> rules_;
-  Stats stats_;
+  // Count of armed kRetrieve rules; see HasRetrieveRules().
+  std::atomic<int> retrieve_rules_{0};
+  AtomicStats stats_;
+  // Cascade depth.  Only touched when a rule matching (event, table)
+  // exists, which forces the statement onto the exclusive path.
   int fire_depth_ = 0;
   static constexpr int kMaxRuleDepth = 16;
 };

@@ -71,7 +71,11 @@ Result<std::vector<QToken>> QLex(std::string_view src) {
           ++i;
         }
         tok.kind = QTok::kFloat;
-        tok.float_value = std::stod(std::string(src.substr(start, i - start)));
+        // ParseDouble, not std::stod: an over-long literal must come back
+        // as a ParseError, not an exception (no-throw contract,
+        // common/result.h).
+        CALDB_ASSIGN_OR_RETURN(tok.float_value,
+                               ParseDouble(src.substr(start, i - start)));
       } else {
         tok.kind = QTok::kInt;
         tok.int_value = 0;

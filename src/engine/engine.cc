@@ -1,0 +1,279 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <exception>
+#include <variant>
+
+#include "catalog/calendar_functions.h"
+#include "common/macros.h"
+#include "engine/session.h"
+#include "obs/obs.h"
+
+namespace caldb {
+
+namespace {
+
+struct EngineMetrics {
+  obs::Gauge* active_sessions =
+      obs::Metrics().gauge("caldb.engine.active_sessions");
+  obs::Gauge* active_sessions_max =
+      obs::Metrics().gauge("caldb.engine.active_sessions_max");
+  obs::Counter* statements = obs::Metrics().counter("caldb.engine.statements");
+  obs::Counter* read_locks = obs::Metrics().counter("caldb.engine.read_locks");
+  obs::Counter* write_locks =
+      obs::Metrics().counter("caldb.engine.write_locks");
+  obs::Histogram* read_wait_ns =
+      obs::Metrics().histogram("caldb.engine.lock_wait_ns.read");
+  obs::Histogram* write_wait_ns =
+      obs::Metrics().histogram("caldb.engine.lock_wait_ns.write");
+  obs::Counter* cron_advances =
+      obs::Metrics().counter("caldb.engine.cron.advances");
+};
+
+EngineMetrics& Metrics() {
+  static EngineMetrics* m = new EngineMetrics();
+  return *m;
+}
+
+// Whether executing `stmt` can modify database state.  Retrieves are
+// reads unless they materialize ("retrieve into") or retrieve-event rules
+// are armed (a §4 event rule's action may write).  EXPLAIN describes the
+// plan without running it; PROFILE executes the inner statement, so it
+// inherits the inner statement's classification.
+bool StatementWrites(const Statement& stmt, const Database& db) {
+  if (const auto* retrieve = std::get_if<RetrieveStmt>(&stmt)) {
+    return !retrieve->into.empty() || db.HasRetrieveRules();
+  }
+  if (const auto* explain = std::get_if<ExplainStmt>(&stmt)) {
+    if (!explain->profile) return false;
+    Result<Statement> inner = ParseStatement(explain->query);
+    // An unparsable inner statement fails identically under either lock.
+    if (!inner.ok()) return false;
+    return StatementWrites(*inner, db);
+  }
+  return true;
+}
+
+}  // namespace
+
+Engine::Engine(EngineOptions opts)
+    : opts_(opts),
+      catalog_(TimeSystem{opts.epoch}),
+      clock_(opts.start_day),
+      cron_target_(opts.start_day),
+      cron_reached_(opts.start_day) {}
+
+Result<std::unique_ptr<Engine>> Engine::Create(EngineOptions opts) {
+  opts.pool_threads = std::max(1, opts.pool_threads);
+  auto engine = std::unique_ptr<Engine>(new Engine(opts));
+  CALDB_RETURN_IF_ERROR(engine->Init());
+  return engine;
+}
+
+Status Engine::Init() {
+  CALDB_RETURN_IF_ERROR(RegisterCalendarFunctions(&db_, &catalog_));
+  CALDB_ASSIGN_OR_RETURN(
+      rules_, TemporalRuleManager::Create(&catalog_, &db_, opts_.rule_horizon,
+                                          opts_.rule_unit));
+  cron_ = std::make_unique<DbCron>(rules_.get(), &clock_, opts_.probe_period);
+  pool_ = std::make_unique<ThreadPool>(opts_.pool_threads);
+  cron_thread_ = std::thread([this] { CronLoop(); });
+  return Status::OK();
+}
+
+Engine::~Engine() { Stop(); }
+
+Engine::ReadLock Engine::AcquireRead() const {
+  Metrics().read_locks->Increment();
+  const int64_t t0 = obs::Enabled() ? obs::NowNs() : 0;
+  ReadLock lock(db_mu_);
+  if (t0 != 0) Metrics().read_wait_ns->Record(obs::NowNs() - t0);
+  return lock;
+}
+
+Engine::WriteLock Engine::AcquireWrite() const {
+  Metrics().write_locks->Increment();
+  const int64_t t0 = obs::Enabled() ? obs::NowNs() : 0;
+  WriteLock lock(db_mu_);
+  if (t0 != 0) Metrics().write_wait_ns->Record(obs::NowNs() - t0);
+  return lock;
+}
+
+std::unique_ptr<Session> Engine::CreateSession() {
+  Metrics().active_sessions->Add(1);
+  Metrics().active_sessions->SetWithMax(Metrics().active_sessions->value(),
+                                        Metrics().active_sessions_max);
+  return std::unique_ptr<Session>(new Session(this));
+}
+
+void Engine::ReleaseSession() {
+  Metrics().active_sessions->Add(-1);
+}
+
+Result<QueryResult> Engine::Execute(const std::string& statement,
+                                    const EvalScope* ambient) {
+  // The facade's no-throw contract (common/result.h): a defect below this
+  // frame surfaces as kInternal, never as an exception crossing the API.
+  try {
+    return ExecuteImpl(statement, ambient);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("uncaught exception in Execute: ") +
+                            e.what());
+  } catch (...) {
+    return Status::Internal("uncaught non-exception throw in Execute");
+  }
+}
+
+Result<QueryResult> Engine::ExecuteImpl(const std::string& statement,
+                                        const EvalScope* ambient) {
+  Metrics().statements->Increment();
+  CALDB_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(statement));
+  // HasRetrieveRules is an atomic read, so classification needs no lock;
+  // rules armed between classification and acquisition are picked up by
+  // the next statement (same guarantee a probing daemon gives).
+  if (StatementWrites(stmt, db_)) {
+    WriteLock lock = AcquireWrite();
+    return db_.ExecuteParsed(stmt, ambient);
+  }
+  ReadLock lock = AcquireRead();
+  return db_.ExecuteParsed(stmt, ambient);
+}
+
+std::future<Result<QueryResult>> Engine::ExecuteAsync(std::string statement) {
+  // Not SubmitTask: when Stop() races the submit, a dropped packaged_task
+  // would surface as a broken_promise *exception* from future::get — the
+  // rejection has to come back as a Status like every other failure.
+  auto task = std::make_shared<std::packaged_task<Result<QueryResult>()>>(
+      [this, stmt = std::move(statement)] { return Execute(stmt); });
+  std::future<Result<QueryResult>> result = task->get_future();
+  if (stopped() || !pool_->Submit([task] { (*task)(); })) {
+    std::promise<Result<QueryResult>> p;
+    p.set_value(Status::InvalidArgument("engine is stopped"));
+    return p.get_future();
+  }
+  return result;
+}
+
+std::vector<Result<QueryResult>> Engine::ExecuteBatch(
+    const std::vector<std::string>& statements) {
+  std::vector<std::future<Result<QueryResult>>> futures;
+  futures.reserve(statements.size());
+  for (const std::string& stmt : statements) {
+    futures.push_back(ExecuteAsync(stmt));
+  }
+  std::vector<Result<QueryResult>> results;
+  results.reserve(statements.size());
+  for (auto& f : futures) results.push_back(f.get());
+  return results;
+}
+
+Result<int64_t> Engine::DeclareRule(const std::string& name,
+                                    const std::string& expression,
+                                    TemporalAction action,
+                                    const std::string& condition_query) {
+  try {
+    WriteLock lock = AcquireWrite();
+    return rules_->DeclareRule(name, expression, std::move(action), Now(),
+                               condition_query);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("uncaught exception in DeclareRule: ") +
+                            e.what());
+  }
+}
+
+Status Engine::DropTemporalRule(const std::string& name) {
+  WriteLock lock = AcquireWrite();
+  return rules_->DropRule(name);
+}
+
+Status Engine::AdvanceTo(TimePoint day) {
+  if (!IsValidPoint(day)) {
+    return Status::InvalidArgument("cannot advance to point 0");
+  }
+  std::unique_lock<std::mutex> lock(cron_mu_);
+  if (cron_stop_) return Status::InvalidArgument("engine is stopped");
+  if (day > cron_target_) {
+    cron_target_ = day;
+    cron_cv_.notify_one();
+  }
+  cron_done_cv_.wait(lock,
+                     [&] { return cron_reached_ >= day || cron_stop_; });
+  return cron_status_;
+}
+
+Status Engine::AdvanceToCivil(const CivilDate& date) {
+  return AdvanceTo(time_system().DayPointFromCivil(date));
+}
+
+DbCron::CronStats Engine::CronStats() const {
+  // Firings mutate the stats under the exclusive lock (CronLoop), so a
+  // shared lock makes this snapshot race-free.
+  ReadLock lock = AcquireRead();
+  return cron_->stats();
+}
+
+void Engine::CronLoop() {
+  for (;;) {
+    TimePoint target;
+    {
+      std::unique_lock<std::mutex> lock(cron_mu_);
+      cron_cv_.wait(lock,
+                    [&] { return cron_stop_ || cron_target_ > cron_reached_; });
+      if (cron_stop_ && cron_target_ <= cron_reached_) return;
+      target = cron_target_;
+    }
+    // Advance in probe-period chunks so readers interleave with firings
+    // instead of stalling behind one long exclusive section.
+    TimePoint reached;
+    {
+      std::unique_lock<std::mutex> lock(cron_mu_);
+      reached = cron_reached_;
+    }
+    while (reached < target) {
+      const TimePoint chunk =
+          std::min(target, PointAdd(reached, cron_->probe_period_days()));
+      Status st;
+      {
+        WriteLock db_lock = AcquireWrite();
+        st = cron_->AdvanceTo(chunk);
+      }
+      Metrics().cron_advances->Increment();
+      reached = chunk;
+      std::unique_lock<std::mutex> lock(cron_mu_);
+      cron_reached_ = chunk;
+      if (!st.ok() && cron_status_.ok()) cron_status_ = st;
+      cron_done_cv_.notify_all();
+      // A concurrent AdvanceTo may have raised the target mid-advance.
+      target = cron_target_;
+      if (cron_stop_ && !st.ok()) break;
+    }
+  }
+}
+
+Status Engine::Stop() {
+  bool expected = false;
+  if (!stopped_.compare_exchange_strong(expected, true)) {
+    return Status::OK();
+  }
+  {
+    std::unique_lock<std::mutex> lock(cron_mu_);
+    cron_stop_ = true;
+    cron_cv_.notify_all();
+    cron_done_cv_.notify_all();
+  }
+  if (cron_thread_.joinable()) cron_thread_.join();
+  {
+    // Waiters blocked in AdvanceTo must observe the stop.
+    std::unique_lock<std::mutex> lock(cron_mu_);
+    cron_done_cv_.notify_all();
+  }
+  if (pool_ != nullptr) pool_->Shutdown();
+  Status st;
+  {
+    std::unique_lock<std::mutex> lock(cron_mu_);
+    st = cron_status_;
+  }
+  return st;
+}
+
+}  // namespace caldb

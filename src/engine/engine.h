@@ -1,0 +1,223 @@
+// caldb::Engine — the concurrent run-time of the §4 architecture.
+//
+// The paper assumes DBCRON runs as a daemon *concurrent with* user
+// sessions probing RULE-TIME.  The Engine realizes that: it owns the
+// database, the CALENDARS catalog, the temporal-rule manager and DBCRON
+// behind one thread-safe object, hands out per-client Session handles
+// (see session.h), and executes statements from any number of threads:
+//
+//  - Database statements are serialized through a std::shared_mutex:
+//    retrieves run under a shared (reader) lock and scale across cores;
+//    DDL/DML, rule definitions and rule firings take the exclusive lock.
+//  - The CALENDARS catalog carries its own internal locks (readers
+//    scale; DefineDerived/DefineValues/Drop are exclusive), so calendar
+//    evaluation never contends with table scans.
+//  - DBCRON runs on a background thread that sleeps on a condition
+//    variable until the virtual clock is advanced; rule firings happen
+//    under the exclusive database lock, serialized against conflicting
+//    writes.  Stop() drains the pending advance and joins.
+//  - A fixed-size ThreadPool backs ExecuteAsync/ExecuteBatch for
+//    parallel query execution.
+//
+// Construction of Database / DbCron / TemporalRuleManager directly is
+// deprecated for servers: embed an Engine and use its accessors (the
+// parts remain public for single-threaded library use and tests).
+//
+// Lock ordering (to stay deadlock-free): db_mu_ before any catalog
+// internal mutex.  The catalog never calls into the database, so the
+// reverse edge cannot occur.
+//
+// Observability: "caldb.engine.*" (docs/OBSERVABILITY.md) — active
+// session count, pool queue depth, per-mode lock wait histograms,
+// statement/script counters.
+
+#ifndef CALDB_ENGINE_ENGINE_H_
+#define CALDB_ENGINE_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "catalog/calendar_catalog.h"
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "db/database.h"
+#include "rules/clock.h"
+#include "rules/dbcron.h"
+#include "rules/temporal_rules.h"
+
+namespace caldb {
+
+class Session;
+
+struct EngineOptions {
+  /// Day 1 of the engine's time system.
+  CivilDate epoch{1993, 1, 1};
+  /// The virtual clock's starting day.
+  TimePoint start_day = 1;
+  /// Worker threads backing ExecuteAsync / ExecuteBatch (>= 1).
+  int pool_threads = 4;
+  /// DBCRON probe period T, in rule-unit granules.
+  int64_t probe_period = 7;
+  /// Rule scheduling horizon, in rule-unit granules.
+  TimePoint rule_horizon = 20000;
+  /// Granularity of rule time points (DAYS; HOURS for process control).
+  Granularity rule_unit = Granularity::kDays;
+  /// Default gen-cache budget handed to each new Session's evaluator.
+  size_t session_gen_cache_entries = 64;
+  size_t session_gen_cache_bytes = 16u << 20;
+};
+
+class Engine {
+ public:
+  /// Builds the catalog, database (with the calendar operators of §5
+  /// registered), temporal-rule manager and DBCRON, and starts the
+  /// background threads.
+  static Result<std::unique_ptr<Engine>> Create(EngineOptions opts = {});
+
+  /// Stops the engine (see Stop) and tears the parts down.
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// A new client session.  Sessions are cheap, single-threaded handles;
+  /// create one per thread.  The Engine must outlive it.
+  std::unique_ptr<Session> CreateSession();
+
+  // --- statements -----------------------------------------------------------
+
+  /// Parses and executes one database statement under the appropriate
+  /// lock: shared for retrieve/explain, exclusive for anything that can
+  /// write (including retrieves when retrieve-event rules are armed, and
+  /// "retrieve into").  Never throws; never lets a callee's exception
+  /// escape.
+  Result<QueryResult> Execute(const std::string& statement,
+                              const EvalScope* ambient = nullptr);
+
+  /// Enqueues a statement on the pool; the future carries its result.
+  std::future<Result<QueryResult>> ExecuteAsync(std::string statement);
+
+  /// Executes a batch on the pool, preserving order of results.
+  std::vector<Result<QueryResult>> ExecuteBatch(
+      const std::vector<std::string>& statements);
+
+  // --- temporal rules / clock -----------------------------------------------
+
+  /// Declares a temporal rule ("On <expr> do <action>", §4) as of the
+  /// current virtual day, under the exclusive lock.
+  Result<int64_t> DeclareRule(const std::string& name,
+                              const std::string& expression,
+                              TemporalAction action,
+                              const std::string& condition_query = "");
+
+  /// Drops a temporal rule, under the exclusive lock.
+  Status DropTemporalRule(const std::string& name);
+
+  /// The current day on the engine's virtual clock.
+  TimePoint Now() const { return clock_.NowDay(); }
+
+  /// Plays the virtual clock forward to `day`, firing due temporal rules
+  /// from the DBCRON thread.  Blocks until time has reached `day`; rules
+  /// fire under the exclusive database lock, interleaved with (not inside)
+  /// concurrent statements.  Returns the first firing error, if any.
+  Status AdvanceTo(TimePoint day);
+  Status AdvanceToCivil(const CivilDate& date);
+
+  /// Snapshot of DBCRON's probe/fire counters (taken under a shared lock,
+  /// so it is consistent with respect to firings).
+  DbCron::CronStats CronStats() const;
+
+  /// Drains the DBCRON thread's pending advance and the pool, then joins
+  /// both.  Idempotent; called by the destructor.  After Stop, Execute
+  /// keeps working single-threaded but AdvanceTo / ExecuteAsync fail.
+  Status Stop();
+
+  // --- locked access to the parts -------------------------------------------
+
+  /// Runs `fn(const Database&)` under the shared lock.
+  template <typename F>
+  auto WithDbRead(F&& fn) const {
+    ReadLock lock = AcquireRead();
+    return fn(static_cast<const Database&>(db_));
+  }
+
+  /// Runs `fn(Database&)` under the exclusive lock.
+  template <typename F>
+  auto WithDbWrite(F&& fn) {
+    WriteLock lock = AcquireWrite();
+    return fn(db_);
+  }
+
+  /// Runs `fn(const TemporalRuleManager&)` under the shared lock (rule
+  /// metadata lives both in the manager and in RULE-INFO/RULE-TIME rows).
+  template <typename F>
+  auto WithRulesRead(F&& fn) const {
+    ReadLock lock = AcquireRead();
+    return fn(static_cast<const TemporalRuleManager&>(*rules_));
+  }
+
+  // --- accessors ------------------------------------------------------------
+
+  const TimeSystem& time_system() const { return catalog_.time_system(); }
+  /// The catalog is internally thread-safe; use it directly.
+  CalendarCatalog& catalog() { return catalog_; }
+  const CalendarCatalog& catalog() const { return catalog_; }
+  const EngineOptions& options() const { return opts_; }
+  ThreadPool& pool() { return *pool_; }
+  bool stopped() const { return stopped_.load(std::memory_order_acquire); }
+
+ private:
+  using ReadLock = std::shared_lock<std::shared_mutex>;
+  using WriteLock = std::unique_lock<std::shared_mutex>;
+
+  explicit Engine(EngineOptions opts);
+  Status Init();
+  // Bookkeeping for the active_sessions gauge (called by ~Session).
+  void ReleaseSession();
+
+  ReadLock AcquireRead() const;
+  WriteLock AcquireWrite() const;
+
+  Result<QueryResult> ExecuteImpl(const std::string& statement,
+                                  const EvalScope* ambient);
+  void CronLoop();
+
+  EngineOptions opts_;
+  CalendarCatalog catalog_;
+  Database db_;
+  VirtualClock clock_;
+  std::unique_ptr<TemporalRuleManager> rules_;
+  std::unique_ptr<DbCron> cron_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  // Reader/writer lock over the database (tables, event rules, the rule
+  // manager's in-memory state, and DBCRON's heap — everything the firing
+  // path touches).  mutable: const snapshot methods take the shared side.
+  mutable std::shared_mutex db_mu_;
+
+  // DBCRON thread coordination.  cron_target_ only grows; cron_reached_
+  // trails it; both are guarded by cron_mu_.
+  std::thread cron_thread_;
+  mutable std::mutex cron_mu_;
+  std::condition_variable cron_cv_;       // wakes the DBCRON thread
+  std::condition_variable cron_done_cv_;  // wakes AdvanceTo waiters
+  TimePoint cron_target_ = 1;
+  TimePoint cron_reached_ = 1;
+  Status cron_status_;
+  bool cron_stop_ = false;
+
+  std::atomic<bool> stopped_{false};
+
+  friend class Session;
+};
+
+}  // namespace caldb
+
+#endif  // CALDB_ENGINE_ENGINE_H_

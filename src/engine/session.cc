@@ -1,0 +1,226 @@
+#include "engine/session.h"
+
+#include <exception>
+
+#include "common/macros.h"
+#include "common/strings.h"
+#include "engine/engine.h"
+#include "obs/obs.h"
+#include "time/civil.h"
+
+namespace caldb {
+
+namespace {
+
+struct SessionMetrics {
+  obs::Counter* scripts = obs::Metrics().counter("caldb.engine.scripts");
+};
+
+SessionMetrics& Metrics() {
+  static SessionMetrics* m = new SessionMetrics();
+  return *m;
+}
+
+// If `text` begins with the given space-separated keywords (ASCII
+// case-insensitive), strips them and returns the trimmed remainder.
+bool ConsumeKeywords(std::string_view text,
+                     std::initializer_list<std::string_view> keywords,
+                     std::string_view* rest) {
+  std::string_view s = TrimWhitespace(text);
+  for (std::string_view kw : keywords) {
+    size_t end = s.find_first_of(" \t\r\n");
+    std::string_view word = end == std::string_view::npos ? s : s.substr(0, end);
+    if (!EqualsIgnoreCase(word, kw)) return false;
+    s = end == std::string_view::npos ? std::string_view{}
+                                      : TrimWhitespace(s.substr(end));
+  }
+  *rest = s;
+  return true;
+}
+
+QueryResult MessageResult(std::string message) {
+  QueryResult result;
+  result.message = std::move(message);
+  return result;
+}
+
+std::string RenderScriptValue(const ScriptValue& value) {
+  switch (value.kind) {
+    case ScriptValue::Kind::kCalendar:
+      return value.calendar.ToString();
+    case ScriptValue::Kind::kString:
+      return "\"" + value.text + "\"";
+    case ScriptValue::Kind::kBlocked:
+      return "(blocked: the script is waiting for a later day)";
+    case ScriptValue::Kind::kNull:
+      return "(null)";
+  }
+  return "(?)";
+}
+
+}  // namespace
+
+Session::Session(Engine* engine)
+    : engine_(engine),
+      evaluator_(&engine->time_system(), &engine->catalog()) {
+  opts_.window_days = Interval{1, 365};
+  opts_.gen_cache_max_entries = engine->options().session_gen_cache_entries;
+  opts_.gen_cache_max_bytes = engine->options().session_gen_cache_bytes;
+}
+
+Session::~Session() { engine_->ReleaseSession(); }
+
+TimePoint Session::Today() const {
+  return today_override_.value_or(engine_->Now());
+}
+
+EvalOptions Session::EffectiveOptions() const {
+  EvalOptions opts = opts_;
+  opts.today_day = Today();
+  return opts;
+}
+
+Status Session::SetWindowYears(int32_t first_year, int32_t last_year) {
+  CALDB_ASSIGN_OR_RETURN(opts_.window_days,
+                         engine_->catalog().YearWindow(first_year, last_year));
+  return Status::OK();
+}
+
+Result<ScriptValue> Session::EvalScript(const std::string& script) {
+  try {
+    Metrics().scripts->Increment();
+    CALDB_ASSIGN_OR_RETURN(Plan plan,
+                           engine_->catalog().CompileScriptText(script));
+    last_stats_ = EvalStats{};
+    return evaluator_.Run(plan, EffectiveOptions(), &last_stats_);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("uncaught exception in EvalScript: ") +
+                            e.what());
+  } catch (...) {
+    return Status::Internal("uncaught non-exception throw in EvalScript");
+  }
+}
+
+Result<Calendar> Session::EvalCalendar(const std::string& name) {
+  try {
+    last_stats_ = EvalStats{};
+    return engine_->catalog().EvaluateCalendar(name, EffectiveOptions(),
+                                               &last_stats_);
+  } catch (const std::exception& e) {
+    return Status::Internal(
+        std::string("uncaught exception in EvalCalendar: ") + e.what());
+  } catch (...) {
+    return Status::Internal("uncaught non-exception throw in EvalCalendar");
+  }
+}
+
+Result<std::string> Session::ExplainScript(const std::string& script) {
+  try {
+    return engine_->catalog().ExplainScript(script, EffectiveOptions());
+  } catch (const std::exception& e) {
+    return Status::Internal(
+        std::string("uncaught exception in ExplainScript: ") + e.what());
+  } catch (...) {
+    return Status::Internal("uncaught non-exception throw in ExplainScript");
+  }
+}
+
+Status Session::DefineCalendar(const std::string& name,
+                               const std::string& script,
+                               std::optional<Interval> lifespan_days) {
+  try {
+    return engine_->catalog().DefineDerived(name, script, lifespan_days);
+  } catch (const std::exception& e) {
+    return Status::Internal(
+        std::string("uncaught exception in DefineCalendar: ") + e.what());
+  } catch (...) {
+    return Status::Internal("uncaught non-exception throw in DefineCalendar");
+  }
+}
+
+Result<QueryResult> Session::Execute(const std::string& text) {
+  try {
+    return ExecuteImpl(text);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("uncaught exception in Execute: ") +
+                            e.what());
+  } catch (...) {
+    return Status::Internal("uncaught non-exception throw in Execute");
+  }
+}
+
+Result<QueryResult> Session::ExecuteImpl(const std::string& text) {
+  std::string_view rest;
+
+  // Calendar-expression verbs, layered over the database language so the
+  // whole system is reachable through one entry point.
+  if (ConsumeKeywords(text, {"cal"}, &rest)) {
+    CALDB_ASSIGN_OR_RETURN(ScriptValue value, EvalScript(std::string(rest)));
+    return MessageResult(RenderScriptValue(value));
+  }
+  if (ConsumeKeywords(text, {"explain", "cal"}, &rest) ||
+      ConsumeKeywords(text, {"profile", "cal"}, &rest)) {
+    CALDB_ASSIGN_OR_RETURN(std::string report,
+                           ExplainScript(std::string(rest)));
+    return MessageResult(std::move(report));
+  }
+  if (ConsumeKeywords(text, {"define", "calendar"}, &rest)) {
+    size_t as_pos = AsciiToLower(std::string(rest)).find(" as ");
+    if (as_pos == std::string::npos || as_pos == 0) {
+      return Status::ParseError(
+          "usage: define calendar <name> as <script>");
+    }
+    std::string name(TrimWhitespace(rest.substr(0, as_pos)));
+    std::string script(TrimWhitespace(rest.substr(as_pos + 4)));
+    CALDB_RETURN_IF_ERROR(DefineCalendar(name, script));
+    return MessageResult("defined calendar " + name);
+  }
+  if (ConsumeKeywords(text, {"drop", "calendar"}, &rest)) {
+    std::string name(rest);
+    CALDB_RETURN_IF_ERROR(engine_->catalog().Drop(name));
+    return MessageResult("dropped calendar " + name);
+  }
+  if (ConsumeKeywords(text, {"declare", "rule"}, &rest)) {
+    size_t on_pos = AsciiToLower(std::string(rest)).find(" on ");
+    size_t do_pos = AsciiToLower(std::string(rest)).find(" do ");
+    if (on_pos == std::string::npos || do_pos == std::string::npos ||
+        do_pos < on_pos) {
+      return Status::ParseError(
+          "usage: declare rule <name> on <calendar-expr> do <command>");
+    }
+    std::string name(TrimWhitespace(rest.substr(0, on_pos)));
+    std::string expr(
+        TrimWhitespace(rest.substr(on_pos + 4, do_pos - on_pos - 4)));
+    TemporalAction action;
+    action.command = std::string(TrimWhitespace(rest.substr(do_pos + 4)));
+    CALDB_ASSIGN_OR_RETURN(int64_t id,
+                           engine_->DeclareRule(name, expr, std::move(action)));
+    return MessageResult("declared rule " + name + " (id " +
+                         std::to_string(id) + ")");
+  }
+  if (ConsumeKeywords(text, {"drop", "temporal", "rule"}, &rest)) {
+    std::string name(rest);
+    CALDB_RETURN_IF_ERROR(engine_->DropTemporalRule(name));
+    return MessageResult("dropped temporal rule " + name);
+  }
+  if (ConsumeKeywords(text, {"advance", "to"}, &rest)) {
+    TimePoint target = 0;
+    Result<CivilDate> date = ParseCivil(rest);
+    if (date.ok()) {
+      target = engine_->time_system().DayPointFromCivil(*date);
+    } else {
+      CALDB_ASSIGN_OR_RETURN(int64_t day, ParseInt64(rest));
+      target = day;
+    }
+    CALDB_RETURN_IF_ERROR(engine_->AdvanceTo(target));
+    return MessageResult(
+        "advanced to day " + std::to_string(engine_->Now()) + " (" +
+        std::to_string(engine_->CronStats().fires) + " firings so far)");
+  }
+
+  // Everything else is a database statement (including explain/profile of
+  // one), executed under the engine's reader/writer lock.
+  return engine_->Execute(text);
+}
+
+}  // namespace caldb

@@ -1,0 +1,107 @@
+// caldb::Session — a per-client handle on a caldb::Engine.
+//
+// A Session carries the client-local state a connection would hold in the
+// paper's DBMS: the evaluation window, "today" (pinned or tracking the
+// engine's virtual clock), and a private Evaluator whose bounded gen-cache
+// stays warm across calls — so repeated calendar probes from one client
+// cost pointer copies, while different clients never contend on a shared
+// evaluator.
+//
+// Sessions are single-threaded by design (create one per thread via
+// Engine::CreateSession); the Engine they point into is fully thread-safe
+// and must outlive them.
+//
+// Execute() is the uniform entry point of the facade: every verb of the
+// system is reachable through it —
+//
+//   retrieve (w.day) from w in alerts       database statements (Postquel)
+//   explain <stmt> / profile <stmt>         DB access-plan EXPLAIN (§5)
+//   cal <script>                            calendar-expression evaluation
+//   explain cal <script>                    CalendarCatalog::ExplainScript
+//   define calendar <name> as <script>      catalog DDL
+//   drop calendar <name>
+//   declare rule <name> on <expr> do <cmd>  temporal rules (§4)
+//   drop temporal rule <name>
+//   advance to <YYYY-MM-DD | day>           drive DBCRON's virtual clock
+//
+// No exception escapes Execute or any other public method (see the
+// no-throw contract in common/result.h).
+
+#ifndef CALDB_ENGINE_SESSION_H_
+#define CALDB_ENGINE_SESSION_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "db/database.h"
+#include "lang/evaluator.h"
+
+namespace caldb {
+
+class Engine;
+
+class Session {
+ public:
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // --- the uniform entry point ----------------------------------------------
+
+  /// Executes one command (see the header comment for the verb list).
+  /// Calendar values and reports are rendered into QueryResult::message.
+  Result<QueryResult> Execute(const std::string& text);
+
+  // --- typed calendar surface -----------------------------------------------
+
+  /// Compiles and runs a calendar script on this session's evaluator.
+  Result<ScriptValue> EvalScript(const std::string& script);
+
+  /// Evaluates a named calendar over this session's window.
+  Result<Calendar> EvalCalendar(const std::string& name);
+
+  /// CalendarCatalog::ExplainScript with this session's options.
+  Result<std::string> ExplainScript(const std::string& script);
+
+  /// Defines a derived calendar in the engine's catalog.
+  Status DefineCalendar(const std::string& name, const std::string& script,
+                        std::optional<Interval> lifespan_days = std::nullopt);
+
+  // --- session state --------------------------------------------------------
+
+  /// Evaluation window, in DAYS points.
+  void SetWindow(Interval window_days) { opts_.window_days = window_days; }
+  /// Convenience: the window covering civil years [first, last].
+  Status SetWindowYears(int32_t first_year, int32_t last_year);
+  Interval window() const { return opts_.window_days; }
+
+  /// Pins `today` for this session; by default it tracks the engine's
+  /// virtual clock.
+  void SetToday(TimePoint day) { today_override_ = day; }
+  void ClearToday() { today_override_.reset(); }
+  TimePoint Today() const;
+
+  /// Evaluation counters of the most recent EvalScript/EvalCalendar.
+  const EvalStats& last_eval_stats() const { return last_stats_; }
+
+  Engine& engine() { return *engine_; }
+
+ private:
+  friend class Engine;
+  explicit Session(Engine* engine);
+
+  EvalOptions EffectiveOptions() const;
+  Result<QueryResult> ExecuteImpl(const std::string& text);
+
+  Engine* engine_;
+  Evaluator evaluator_;
+  EvalOptions opts_;
+  std::optional<TimePoint> today_override_;
+  EvalStats last_stats_;
+};
+
+}  // namespace caldb
+
+#endif  // CALDB_ENGINE_SESSION_H_

@@ -8,6 +8,7 @@
 #ifndef CALDB_RULES_CLOCK_H_
 #define CALDB_RULES_CLOCK_H_
 
+#include <atomic>
 #include <chrono>
 
 #include "time/time_system.h"
@@ -23,22 +24,30 @@ class Clock {
 };
 
 /// A manually advanced clock.  Time never goes backwards.
+///
+/// `now_` is atomic so concurrent sessions can read the clock while the
+/// DBCRON thread advances it (caldb::Engine).  Advancing itself is
+/// single-writer: only DBCRON (or a single-threaded driver) moves time.
 class VirtualClock : public Clock {
  public:
   explicit VirtualClock(TimePoint start_day = 1) : now_(start_day) {}
 
-  TimePoint NowDay() const override { return now_; }
+  TimePoint NowDay() const override {
+    return now_.load(std::memory_order_acquire);
+  }
 
   /// Moves to `day` (no-op when `day` is in the past).
   void AdvanceTo(TimePoint day) {
-    if (day > now_) now_ = day;
+    if (day > NowDay()) now_.store(day, std::memory_order_release);
   }
 
   /// Moves forward by `days` granules.
-  void Tick(int64_t days = 1) { now_ = PointAdd(now_, days); }
+  void Tick(int64_t days = 1) {
+    now_.store(PointAdd(NowDay(), days), std::memory_order_release);
+  }
 
  private:
-  TimePoint now_;
+  std::atomic<TimePoint> now_;
 };
 
 /// Reads the OS clock and converts to a day point of `time_system`.

@@ -10,6 +10,14 @@
 // plays time forward, probing RULE-TIME every `probe_period` days (via
 // the B+tree index on next_fire) and firing due rules in time order from
 // a min-heap.
+//
+// Direct construction is deprecated for concurrent use: DbCron itself is
+// single-threaded, and running it next to live sessions needs the
+// serialization caldb::Engine provides (engine/engine.h) — the Engine
+// owns a DbCron, runs it on a background thread, and fires rules under
+// the exclusive database lock.  Construct one directly only in
+// single-threaded library code and tests (Engine::AdvanceTo is the
+// server-side entry point).
 
 #ifndef CALDB_RULES_DBCRON_H_
 #define CALDB_RULES_DBCRON_H_

@@ -58,11 +58,11 @@ Result<std::vector<PToken>> PLex(std::string_view src) {
         ++i;
       }
       tok.kind = PToken::Kind::kNumber;
-      try {
-        tok.number = std::stod(std::string(src.substr(start, i - start)));
-      } catch (...) {
+      Result<double> number = ParseDouble(src.substr(start, i - start));
+      if (!number.ok()) {
         return Status::ParseError("bad number in pattern");
       }
+      tok.number = *number;
     } else {
       tok.kind = PToken::Kind::kPunct;
       if (i + 1 < src.size()) {

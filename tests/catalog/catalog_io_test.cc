@@ -31,21 +31,21 @@ return (LDOM - LDOM_HOL);})")
 
   auto restored = LoadCatalog(*dump);
   ASSERT_TRUE(restored.ok()) << restored.status();
-  EXPECT_EQ(restored->ListCalendars(), catalog_.ListCalendars());
+  EXPECT_EQ((*restored)->ListCalendars(), catalog_.ListCalendars());
 
   // Evaluations agree between original and restored catalogs.
   EvalOptions opts;
   opts.window_days = Interval{1, 120};
   for (const char* name : {"Tuesdays", "EMP-DAYS", "HOLIDAYS"}) {
     auto a = catalog_.EvaluateCalendar(name, opts);
-    auto b = restored->EvaluateCalendar(name, opts);
+    auto b = (*restored)->EvaluateCalendar(name, opts);
     ASSERT_TRUE(a.ok()) << name << ": " << a.status();
     ASSERT_TRUE(b.ok()) << name << ": " << b.status();
     EXPECT_EQ(a->ToString(), b->ToString()) << name;
   }
 
   // Lifespans survive.
-  auto def = restored->Describe("HOLIDAYS");
+  auto def = (*restored)->Describe("HOLIDAYS");
   ASSERT_TRUE(def.ok());
   ASSERT_TRUE(def->lifespan_days.has_value());
   EXPECT_EQ(*def->lifespan_days, (Interval{1, 365}));
@@ -71,7 +71,7 @@ TEST_F(CatalogIoTest, DependenciesAreOrderedForReload) {
   ASSERT_TRUE(restored.ok()) << restored.status();
   EvalOptions opts;
   opts.window_days = Interval{1, 31};
-  auto value = restored->EvaluateCalendar("A_Uses_Z", opts);
+  auto value = (*restored)->EvaluateCalendar("A_Uses_Z", opts);
   ASSERT_TRUE(value.ok());
   EXPECT_EQ(value->ToString(), "{(5,5)}");
 }
@@ -81,7 +81,7 @@ TEST_F(CatalogIoTest, EmptyCatalogRoundTrips) {
   ASSERT_TRUE(dump.ok());
   auto restored = LoadCatalog(*dump);
   ASSERT_TRUE(restored.ok());
-  EXPECT_TRUE(restored->ListCalendars().empty());
+  EXPECT_TRUE((*restored)->ListCalendars().empty());
 }
 
 TEST_F(CatalogIoTest, EpochMismatchRejected) {

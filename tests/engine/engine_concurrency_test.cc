@@ -1,0 +1,291 @@
+// Concurrency stress tests for caldb::Engine / caldb::Session.
+//
+// These are the tests tools/check.sh runs under -DCALDB_SANITIZE=thread:
+// N writer + M reader sessions hammer tables and calendar definitions
+// while DBCRON advances the virtual clock on its background thread.  The
+// assertions are serializable-visible invariants — facts any legal
+// interleaving of exclusively-locked writes and shared-locked reads must
+// preserve — plus clean shutdown.
+
+#include "caldb.h"
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace caldb {
+namespace {
+
+Result<QueryResult> MustOk(Result<QueryResult> result) {
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result;
+}
+
+int64_t RowCount(const Result<QueryResult>& result) {
+  return result.ok() ? static_cast<int64_t>(result->rows.size()) : -1;
+}
+
+TEST(EngineFacadeTest, ExecuteReachesEveryVerb) {
+  auto engine = Engine::Create().value();
+  auto session = engine->CreateSession();
+
+  // Database DDL/DML/query.
+  EXPECT_TRUE(session->Execute("create table t (x int)").ok());
+  EXPECT_TRUE(session->Execute("append t (x = 7)").ok());
+  auto rows = MustOk(session->Execute("retrieve (t.x) from t in t"));
+  ASSERT_EQ(RowCount(rows), 1);
+
+  // Calendar script evaluation and catalog DDL.
+  auto cal = MustOk(session->Execute("cal [2]/DAYS:during:WEEKS"));
+  EXPECT_NE(cal->message.find("("), std::string::npos);
+  EXPECT_TRUE(
+      session->Execute("define calendar Tu as [2]/DAYS:during:WEEKS").ok());
+  EXPECT_TRUE(session->Execute("cal Tu").ok());
+
+  // EXPLAIN both layers, uniformly through Execute.
+  auto explain_db =
+      MustOk(session->Execute("explain retrieve (t.x) from t in t"));
+  EXPECT_FALSE(explain_db->message.empty());
+  auto explain_cal = MustOk(session->Execute("explain cal Tu"));
+  EXPECT_FALSE(explain_cal->message.empty());
+
+  // Temporal rules and the clock.
+  EXPECT_TRUE(session
+                  ->Execute("declare rule r1 on Tu do "
+                            "append t (x = fire_day())")
+                  .ok());
+  EXPECT_TRUE(session->Execute("advance to 1993-01-20").ok());
+  auto after = MustOk(session->Execute("retrieve (t.x) from t in t"));
+  // Jan 5, 12, 19 1993 are Tuesdays: three firings on top of the seed row.
+  EXPECT_EQ(RowCount(after), 4);
+  EXPECT_TRUE(session->Execute("drop temporal rule r1").ok());
+
+  // Errors come back as Status, never as an exception.
+  EXPECT_FALSE(session->Execute("retrieve (z.x) from z in zebra").ok());
+  EXPECT_FALSE(session->Execute("cal NOT_A_CALENDAR").ok());
+  EXPECT_FALSE(session->Execute("define calendar broken as ((((").ok());
+  EXPECT_FALSE(session->Execute("advance to 0").ok());
+}
+
+TEST(EngineFacadeTest, StopIsIdempotentAndFailsFurtherAdvances) {
+  auto engine = Engine::Create().value();
+  auto session = engine->CreateSession();
+  EXPECT_TRUE(session->Execute("advance to 10").ok());
+  EXPECT_TRUE(engine->Stop().ok());
+  EXPECT_TRUE(engine->Stop().ok());
+  EXPECT_FALSE(engine->AdvanceTo(20).ok());
+  auto f = engine->ExecuteAsync("retrieve (t.x) from t in t");
+  EXPECT_FALSE(f.get().ok());
+  // Synchronous Execute keeps working after Stop (single-threaded mode).
+  EXPECT_TRUE(session->Execute("create table t (x int)").ok());
+}
+
+TEST(EngineFacadeTest, ExecuteBatchPreservesOrder) {
+  auto engine = Engine::Create().value();
+  auto session = engine->CreateSession();
+  ASSERT_TRUE(session->Execute("create table seq (x int)").ok());
+  std::vector<std::string> batch;
+  for (int i = 0; i < 32; ++i) {
+    batch.push_back("append seq (x = " + std::to_string(i) + ")");
+  }
+  batch.push_back("retrieve (s.x) from s in seq");
+  auto results = engine->ExecuteBatch(batch);
+  ASSERT_EQ(results.size(), batch.size());
+  for (size_t i = 0; i + 1 < results.size(); ++i) {
+    EXPECT_TRUE(results[i].ok()) << results[i].status().ToString();
+  }
+  // The final retrieve ran after every append in the batch was issued;
+  // because appends and the retrieve serialize on the db lock, it sees a
+  // prefix-closed subset.  All futures resolved, so it sees all 32.
+  EXPECT_EQ(RowCount(results.back()), 32);
+}
+
+// N appenders + M readers on one table, while DBCRON advances and a rule
+// fires into a second table.  Invariants:
+//  - each reader's observed row count never decreases (appends only add);
+//  - every append is visible at the end;
+//  - rows written by rule firings equal DBCRON's own fire count.
+TEST(EngineConcurrencyTest, WritersReadersAndCronInterleave) {
+  EngineOptions opts;
+  opts.pool_threads = 4;
+  auto engine = Engine::Create(opts).value();
+  auto setup = engine->CreateSession();
+  ASSERT_TRUE(setup->Execute("create table events (writer int, seq int)").ok());
+  ASSERT_TRUE(setup->Execute("create table fires (day int)").ok());
+  ASSERT_TRUE(setup
+                  ->Execute("declare rule daily on DAYS do "
+                            "append fires (day = fire_day())")
+                  .ok());
+
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 4;
+  constexpr int kAppendsPerWriter = 200;
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      auto session = engine->CreateSession();
+      for (int i = 0; i < kAppendsPerWriter; ++i) {
+        auto r = session->Execute("append events (writer = " +
+                                  std::to_string(w) +
+                                  ", seq = " + std::to_string(i) + ")");
+        if (!r.ok()) failed.store(true);
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&] {
+      auto session = engine->CreateSession();
+      int64_t last_seen = 0;
+      for (int i = 0; i < 100; ++i) {
+        auto rows = session->Execute("retrieve (e.seq) from e in events");
+        if (!rows.ok()) {
+          failed.store(true);
+          continue;
+        }
+        int64_t n = static_cast<int64_t>(rows.value().rows.size());
+        if (n < last_seen) failed.store(true);  // time ran backwards
+        last_seen = n;
+      }
+    });
+  }
+  // The clock advances concurrently with the traffic; firings serialize
+  // against the writes on the exclusive lock.
+  threads.emplace_back([&] {
+    for (TimePoint day = 10; day <= 120; day += 10) {
+      if (!engine->AdvanceTo(day).ok()) failed.store(true);
+    }
+  });
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(failed.load());
+
+  auto events = MustOk(setup->Execute("retrieve (e.seq) from e in events"));
+  EXPECT_EQ(RowCount(events), kWriters * kAppendsPerWriter);
+  auto fires = MustOk(setup->Execute("retrieve (f.day) from f in fires"));
+  EXPECT_EQ(RowCount(fires), static_cast<int64_t>(engine->CronStats().fires));
+  EXPECT_EQ(engine->Now(), 120);
+  EXPECT_TRUE(engine->Stop().ok());
+}
+
+// Calendar DDL racing calendar evaluation: writers define fresh derived
+// calendars; readers evaluate both the stable seed calendar and whatever
+// definitions have landed.  Afterwards every definition must resolve.
+TEST(EngineConcurrencyTest, CatalogDefinesRaceEvaluations) {
+  auto engine = Engine::Create().value();
+  {
+    auto setup = engine->CreateSession();
+    ASSERT_TRUE(
+        setup->Execute("define calendar Base as [2]/DAYS:during:WEEKS").ok());
+  }
+
+  constexpr int kDefiners = 3;
+  constexpr int kPerDefiner = 25;
+  constexpr int kEvaluators = 4;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int d = 0; d < kDefiners; ++d) {
+    threads.emplace_back([&, d] {
+      auto session = engine->CreateSession();
+      for (int i = 0; i < kPerDefiner; ++i) {
+        std::string name =
+            "Cal_" + std::to_string(d) + "_" + std::to_string(i);
+        // Derived both from primitives and from Base, so definition
+        // compiles resolve concurrently with other defines.
+        auto st = session->Execute("define calendar " + name +
+                                   " as Base + [" + std::to_string(i + 1) +
+                                   "]/DAYS:during:MONTHS");
+        if (!st.ok()) failed.store(true);
+      }
+    });
+  }
+  for (int e = 0; e < kEvaluators; ++e) {
+    threads.emplace_back([&] {
+      auto session = engine->CreateSession();
+      for (int i = 0; i < 120; ++i) {
+        auto v = session->Execute("cal Base:intersects:MONTHS");
+        if (!v.ok()) failed.store(true);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(failed.load());
+
+  auto session = engine->CreateSession();
+  for (int d = 0; d < kDefiners; ++d) {
+    for (int i = 0; i < kPerDefiner; ++i) {
+      std::string name = "Cal_" + std::to_string(d) + "_" + std::to_string(i);
+      EXPECT_TRUE(session->Execute("cal " + name).ok()) << name;
+    }
+  }
+}
+
+// The pool path: a read-mostly workload issued via ExecuteAsync from many
+// client threads at once, racing a writer.  Checks the futures all
+// resolve and the final state is exact.
+TEST(EngineConcurrencyTest, AsyncPoolExecution) {
+  EngineOptions opts;
+  opts.pool_threads = 4;
+  auto engine = Engine::Create(opts).value();
+  auto setup = engine->CreateSession();
+  ASSERT_TRUE(setup->Execute("create table kv (k int, v int)").ok());
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(setup
+                    ->Execute("append kv (k = " + std::to_string(i) +
+                              ", v = " + std::to_string(i * i) + ")")
+                    .ok());
+  }
+
+  std::vector<std::future<Result<QueryResult>>> futures;
+  futures.reserve(256);
+  for (int i = 0; i < 256; ++i) {
+    if (i % 16 == 0) {
+      futures.push_back(engine->ExecuteAsync(
+          "append kv (k = " + std::to_string(100 + i) + ", v = 0)"));
+    } else {
+      futures.push_back(
+          engine->ExecuteAsync("retrieve (e.k, e.v) from e in kv"));
+    }
+  }
+  for (auto& f : futures) {
+    auto r = f.get();
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+  }
+  auto final_rows = MustOk(setup->Execute("retrieve (e.k) from e in kv"));
+  EXPECT_EQ(RowCount(final_rows), 16 + 256 / 16);
+}
+
+// Destruction with traffic in flight: Engine::~Engine stops DBCRON and
+// drains the pool without losing already-queued work or deadlocking.
+TEST(EngineConcurrencyTest, CleanShutdownUnderLoad) {
+  for (int round = 0; round < 3; ++round) {
+    EngineOptions opts;
+    opts.pool_threads = 3;
+    auto engine = Engine::Create(opts).value();
+    auto session = engine->CreateSession();
+    ASSERT_TRUE(session->Execute("create table t (x int)").ok());
+    std::vector<std::future<Result<QueryResult>>> futures;
+    for (int i = 0; i < 64; ++i) {
+      futures.push_back(engine->ExecuteAsync("append t (x = 1)"));
+    }
+    std::thread advancer([&] { (void)engine->AdvanceTo(50); });
+    EXPECT_TRUE(engine->Stop().ok());
+    advancer.join();
+    int64_t succeeded = 0;
+    for (auto& f : futures) {
+      if (f.get().ok()) ++succeeded;
+    }
+    // Queued-before-shutdown tasks ran; tasks rejected after the cutoff
+    // failed cleanly.  Nothing hangs, nothing crashes.
+    auto rows = session->Execute("retrieve (t.x) from t in t");
+    ASSERT_TRUE(rows.ok());
+    EXPECT_EQ(static_cast<int64_t>(rows->rows.size()), succeeded);
+  }
+}
+
+}  // namespace
+}  // namespace caldb

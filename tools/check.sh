@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Smoke check: ASan/UBSan build + full test suite, then a standalone
-# UBSan build over the rep/sweep surface.
+# UBSan build over the rep/sweep surface, then a TSan build over the
+# engine's concurrency stress tests.
 #
 #   tools/check.sh [build-dir]
 #
@@ -30,3 +31,15 @@ cmake -B "$ubsan_dir" -S "$repo_root" -DCALDB_SANITIZE=undefined
 cmake --build "$ubsan_dir" -j "$(nproc)" --target sweep_test calendar_rep_test
 ctest --test-dir "$ubsan_dir" -R '^(sweep_test|calendar_rep_test)$' \
       --output-on-failure
+
+# TSan pass over the concurrent engine: N writer + M reader sessions
+# racing DBCRON (tests/engine/engine_concurrency_test.cc).  TSan cannot
+# combine with ASan, so it gets its own tree; any data race in the
+# Engine/Session/ThreadPool/catalog locking shows up here as a hard
+# failure.
+tsan_dir="$repo_root/build-tsan"
+cmake -B "$tsan_dir" -S "$repo_root" -DCALDB_SANITIZE=thread
+cmake --build "$tsan_dir" -j "$(nproc)" --target engine_concurrency_test
+TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir "$tsan_dir" -R '^engine_concurrency_test$' \
+          --output-on-failure
