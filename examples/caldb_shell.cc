@@ -97,7 +97,10 @@ class Shell {
     if (cmd == "dump") return Dump();
     if (cmd == "explain") return Uniform("explain cal " + rest);
     if (cmd == "stats") return ShowStats(rest);
-    if (cmd == "trace") return ShowTrace();
+    if (cmd == "trace") return ShowTrace(rest);
+    if (cmd == "audit") return ShowAudit(rest);
+    if (cmd == "log") return ShowLog(rest);
+    if (cmd == "top") return ShowTop();
     return Status::InvalidArgument("unknown command \\" + cmd +
                                    " (try \\help)");
   }
@@ -118,7 +121,13 @@ class Shell {
         "  \\explain <script>         run a calendar script with per-step "
         "profiling\n"
         "  \\stats [json|reset]       show (or reset) the metric registry\n"
-        "  \\trace                    show recent spans from the tracer\n"
+        "  \\trace [save <path>]      show recent spans, or export the span\n"
+        "                            ring as Chrome trace-event JSON\n"
+        "  \\audit [n]                last n rule firings (DBCRON + event "
+        "rules)\n"
+        "  \\log [n]                  last n structured log lines\n"
+        "  \\top                      dashboard frame: rates since the "
+        "previous \\top\n"
         "  anything else             executed through Session::Execute\n"
         "                            (db statements, explain/profile <stmt>,\n"
         "                             cal <script>, define calendar ... as ...,\n"
@@ -228,13 +237,77 @@ class Shell {
     return Status::OK();
   }
 
-  Status ShowTrace() {
-    std::printf("%s", obs::Trace().ToString().c_str());
+  Status ShowTrace(const std::string& rest) {
+    if (rest.empty()) {
+      std::printf("%s", obs::Trace().ToString().c_str());
+      return Status::OK();
+    }
+    std::istringstream in(rest);
+    std::string verb;
+    std::string path;
+    in >> verb >> path;
+    if (verb != "save" || path.empty()) {
+      return Status::InvalidArgument("usage: \\trace [save <path>]");
+    }
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      return Status::InvalidArgument("cannot open '" + path + "' for writing");
+    }
+    const std::string json = obs::Trace().ExportChromeTrace();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote %zu bytes to %s (load in chrome://tracing or "
+                "ui.perfetto.dev)\n",
+                json.size() + 1, path.c_str());
+    return Status::OK();
+  }
+
+  Status ShowAudit(const std::string& rest) {
+    size_t limit = 32;
+    if (!rest.empty()) {
+      CALDB_ASSIGN_OR_RETURN(int64_t n, ParseInt64(rest));
+      if (n < 1) return Status::InvalidArgument("usage: \\audit [n >= 1]");
+      limit = static_cast<size_t>(n);
+    }
+    std::printf("%s", obs::Audit().ToString(limit).c_str());
+    return Status::OK();
+  }
+
+  Status ShowLog(const std::string& rest) {
+    size_t limit = 20;
+    if (!rest.empty()) {
+      CALDB_ASSIGN_OR_RETURN(int64_t n, ParseInt64(rest));
+      if (n < 1) return Status::InvalidArgument("usage: \\log [n >= 1]");
+      limit = static_cast<size_t>(n);
+    }
+    const std::string out = obs::Log().Tail(limit);
+    if (out.empty()) {
+      std::printf("(log ring is empty)\n");
+    } else {
+      std::printf("%s", out.c_str());
+    }
+    return Status::OK();
+  }
+
+  Status ShowTop() {
+    // One dashboard frame per invocation: counter rates are computed over
+    // the wall time since the previous \top (since shell start the first
+    // time), from the same deltas the metrics snapshotter writes.
+    const int64_t now_ns = obs::NowNs();
+    const double interval_s =
+        static_cast<double>(now_ns - top_last_ns_) / 1e9;
+    top_last_ns_ = now_ns;
+    std::printf("%s", obs::RenderDashboard(obs::Metrics(), top_deltas_.Step(),
+                                           interval_s)
+                          .c_str());
     return Status::OK();
   }
 
   std::unique_ptr<Engine> engine_;
   std::unique_ptr<Session> session_;
+  obs::CounterDeltas top_deltas_;
+  int64_t top_last_ns_ = obs::NowNs();
 };
 
 }  // namespace

@@ -82,7 +82,16 @@ void ThreadPool::WorkerLoop() {
         Metrics().wait_ns->Record(obs::NowNs() - submitted_ns);
       }
     }
-    task();
+    {
+      // Isolate the task's span parentage: without this, a span leaked
+      // onto this worker's thread-local stack by an earlier task (e.g.
+      // one moved across threads and never Ended here) would become the
+      // silent parent of every span the next task starts.  A null
+      // context swaps in an empty stack; tasks that want propagation
+      // (Engine::ExecuteAsync) install their captured context inside.
+      obs::ScopedTraceContext isolate{obs::TraceContext{}};
+      task();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       --active_;

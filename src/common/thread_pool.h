@@ -12,6 +12,11 @@
 //   pool.queue_depth  gauge     current queue length
 //   pool.queue_depth_max gauge  high-water mark
 //   pool.wait_ns      histogram queue wait per task (submit -> start)
+//
+// Each task runs under an isolating obs::ScopedTraceContext, so spans a
+// task starts never parent to leftovers on the worker's span stack; a
+// task that wants to continue its submitter's trace installs the
+// submitter's captured TraceContext itself (see Engine::ExecuteAsync).
 
 #ifndef CALDB_COMMON_THREAD_POOL_H_
 #define CALDB_COMMON_THREAD_POOL_H_

@@ -1,6 +1,7 @@
 #include "db/database.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <functional>
 #include <map>
 #include <set>
@@ -22,6 +23,8 @@ struct DbMetrics {
   obs::Counter* index_scans = obs::Metrics().counter("caldb.db.index_scans");
   obs::Counter* full_scans = obs::Metrics().counter("caldb.db.full_scans");
   obs::Counter* rules_fired = obs::Metrics().counter("caldb.db.rules_fired");
+  obs::Counter* slow_statements =
+      obs::Metrics().counter("caldb.db.slow_statements");
   obs::Histogram* statement_ns =
       obs::Metrics().histogram("caldb.db.statement_ns");
 };
@@ -31,7 +34,30 @@ DbMetrics& Metrics() {
   return *m;
 }
 
+int64_t InitialSlowThresholdNs() {
+  constexpr int64_t kDefaultNs = 20 * 1000 * 1000;  // 20ms
+  const char* env = std::getenv("CALDB_SLOW_STMT_MS");
+  if (env == nullptr || *env == '\0') return kDefaultNs;
+  char* end = nullptr;
+  long ms = std::strtol(env, &end, 10);
+  if (end == env) return kDefaultNs;
+  return static_cast<int64_t>(ms) * 1000 * 1000;
+}
+
+std::atomic<int64_t>& SlowThresholdNs() {
+  static std::atomic<int64_t> ns{InitialSlowThresholdNs()};
+  return ns;
+}
+
 }  // namespace
+
+void Database::SetSlowStatementThresholdNs(int64_t ns) {
+  SlowThresholdNs().store(ns, std::memory_order_relaxed);
+}
+
+int64_t Database::SlowStatementThresholdNs() {
+  return SlowThresholdNs().load(std::memory_order_relaxed);
+}
 
 std::string QueryResult::ToString() const {
   if (columns.empty()) {
@@ -120,11 +146,37 @@ Result<QueryResult> Database::Execute(const std::string& query,
   obs::ScopedLatency latency(Metrics().statement_ns);
   obs::Tracer::Span span = obs::StartSpan("db.execute");
   CALDB_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(query));
-  return ExecuteParsed(stmt, ambient);
+  return ExecuteParsed(stmt, ambient, query);
 }
 
 Result<QueryResult> Database::ExecuteParsed(const Statement& stmt,
-                                            const EvalScope* ambient) {
+                                            const EvalScope* ambient,
+                                            std::string_view text) {
+  const int64_t threshold_ns = SlowStatementThresholdNs();
+  if (!obs::Enabled() || threshold_ns <= 0) {
+    return ExecuteParsedImpl(stmt, ambient);
+  }
+  const int64_t start_ns = obs::NowNs();
+  Result<QueryResult> result = ExecuteParsedImpl(stmt, ambient);
+  const int64_t elapsed_ns = obs::NowNs() - start_ns;
+  if (elapsed_ns >= threshold_ns) {
+    Metrics().slow_statements->Increment();
+    // Prefer the statement text we were handed; fall back to the thread's
+    // LogContext (set by Engine/Session) so even bare ExecuteParsed calls
+    // say what ran.
+    std::string_view stmt_text =
+        !text.empty() ? text : std::string_view(obs::CurrentLogContext().statement);
+    obs::LogEvent(obs::LogLevel::kWarn, "db.slow_statement",
+                  {{"stmt", stmt_text},
+                   {"elapsed_ms", static_cast<double>(elapsed_ns) / 1e6},
+                   {"threshold_ms", static_cast<double>(threshold_ns) / 1e6},
+                   {"ok", result.ok()}});
+  }
+  return result;
+}
+
+Result<QueryResult> Database::ExecuteParsedImpl(const Statement& stmt,
+                                                const EvalScope* ambient) {
   if (const auto* retrieve = std::get_if<RetrieveStmt>(&stmt)) {
     return ExecuteRetrieve(*retrieve, ambient);
   }
@@ -282,11 +334,29 @@ Status Database::FireRules(DbEvent event, const std::string& table,
     }
     stats_.rules_fired.fetch_add(1, std::memory_order_relaxed);
     Metrics().rules_fired->Increment();
+    const int64_t action_start_ns = obs::NowNs();
     if (rule.callback) {
       status = rule.callback(*this, scope);
     } else if (!rule.command.empty()) {
       Result<QueryResult> r = Execute(rule.command, &scope);
       status = r.status();
+    }
+    {
+      // The thread's LogContext still carries the outermost triggering
+      // statement/session here (nested rule-command Executes don't reset
+      // it), so cascaded firings attribute to the statement the user ran.
+      const obs::LogContext& ctx = obs::CurrentLogContext();
+      obs::AuditRecord record;
+      record.source = obs::AuditRecord::Source::kStatement;
+      record.rule = rule.name;
+      record.duration_ns = obs::NowNs() - action_start_ns;
+      record.session_id = ctx.session_id;
+      record.trigger = ctx.statement;
+      if (!status.ok()) {
+        record.outcome = obs::AuditRecord::Outcome::kError;
+        record.error = status.ToString();
+      }
+      obs::Audit().Record(std::move(record));
     }
     if (!status.ok()) {
       status = status.WithContext("rule " + rule.name);

@@ -9,6 +9,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -71,8 +72,18 @@ class Database {
   /// bindings (NEW / CURRENT) when executing rule actions.
   Result<QueryResult> Execute(const std::string& query,
                               const EvalScope* ambient = nullptr);
+  /// `text`, when provided, is the statement's source — it makes the
+  /// slow-statement log line actionable for callers (the Engine) that
+  /// parse themselves and skip Execute().
   Result<QueryResult> ExecuteParsed(const Statement& stmt,
-                                    const EvalScope* ambient = nullptr);
+                                    const EvalScope* ambient = nullptr,
+                                    std::string_view text = {});
+
+  /// Statements slower than this are logged ("db.slow_statement", warn)
+  /// and counted in caldb.db.slow_statements.  Process-wide; initialized
+  /// from CALDB_SLOW_STMT_MS (default 20ms); <= 0 disables.
+  static void SetSlowStatementThresholdNs(int64_t ns);
+  static int64_t SlowStatementThresholdNs();
 
   // --- event rules ----------------------------------------------------------
 
@@ -127,6 +138,11 @@ class Database {
   static std::optional<IndexChoice> ChooseIndex(const Table& table,
                                                 const std::string& var,
                                                 const DbExpr* where);
+
+  // The dispatch body behind ExecuteParsed (which adds the slow-statement
+  // timing envelope around it).
+  Result<QueryResult> ExecuteParsedImpl(const Statement& stmt,
+                                        const EvalScope* ambient);
 
   Result<QueryResult> ExecuteExplain(const ExplainStmt& stmt,
                                      const EvalScope* ambient);

@@ -1,6 +1,7 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <exception>
 #include <variant>
 
@@ -77,6 +78,31 @@ Status Engine::Init() {
                                           opts_.rule_unit));
   cron_ = std::make_unique<DbCron>(rules_.get(), &clock_, opts_.probe_period);
   pool_ = std::make_unique<ThreadPool>(opts_.pool_threads);
+  if (opts_.slow_statement_ns >= 0) {
+    Database::SetSlowStatementThresholdNs(opts_.slow_statement_ns);
+  }
+  std::string snapshot_path = opts_.metrics_snapshot_path;
+  int snapshot_interval_ms = opts_.metrics_snapshot_interval_ms;
+  if (snapshot_path.empty()) {
+    const char* env_path = std::getenv("CALDB_METRICS_FILE");
+    if (env_path != nullptr && *env_path != '\0') {
+      snapshot_path = env_path;
+      const char* env_ms = std::getenv("CALDB_METRICS_INTERVAL_MS");
+      if (env_ms != nullptr && *env_ms != '\0') {
+        snapshot_interval_ms = std::atoi(env_ms);
+      }
+    }
+  }
+  if (!snapshot_path.empty()) {
+    obs::SnapshotterOptions snap_opts;
+    snap_opts.path = snapshot_path;
+    snap_opts.interval_ms = snapshot_interval_ms;
+    snapshotter_ = std::make_unique<obs::MetricsSnapshotter>(snap_opts);
+    CALDB_RETURN_IF_ERROR(snapshotter_->Start());
+    obs::LogEvent(obs::LogLevel::kInfo, "engine.snapshotter",
+                  {{"path", snapshot_path},
+                   {"interval_ms", snapshot_interval_ms}});
+  }
   cron_thread_ = std::thread([this] { CronLoop(); });
   return Status::OK();
 }
@@ -103,7 +129,9 @@ std::unique_ptr<Session> Engine::CreateSession() {
   Metrics().active_sessions->Add(1);
   Metrics().active_sessions->SetWithMax(Metrics().active_sessions->value(),
                                         Metrics().active_sessions_max);
-  return std::unique_ptr<Session>(new Session(this));
+  const uint64_t id =
+      next_session_id_.fetch_add(1, std::memory_order_relaxed);
+  return std::unique_ptr<Session>(new Session(this, id));
 }
 
 void Engine::ReleaseSession() {
@@ -127,24 +155,43 @@ Result<QueryResult> Engine::Execute(const std::string& statement,
 Result<QueryResult> Engine::ExecuteImpl(const std::string& statement,
                                         const EvalScope* ambient) {
   Metrics().statements->Increment();
+  obs::Tracer::Span span = obs::StartSpan("engine.execute");
+  // Stamp the statement into the thread's LogContext (keeping whatever
+  // session a Session installed a frame up) so slow-statement log lines
+  // and event-rule audit records name what the user ran.
+  obs::LogContext log_ctx = obs::CurrentLogContext();
+  log_ctx.statement = statement;
+  obs::ScopedLogContext log_scope{std::move(log_ctx)};
   CALDB_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(statement));
   // HasRetrieveRules is an atomic read, so classification needs no lock;
   // rules armed between classification and acquisition are picked up by
   // the next statement (same guarantee a probing daemon gives).
   if (StatementWrites(stmt, db_)) {
+    span.AddAttr("lock", "write");
     WriteLock lock = AcquireWrite();
-    return db_.ExecuteParsed(stmt, ambient);
+    return db_.ExecuteParsed(stmt, ambient, statement);
   }
+  span.AddAttr("lock", "read");
   ReadLock lock = AcquireRead();
-  return db_.ExecuteParsed(stmt, ambient);
+  return db_.ExecuteParsed(stmt, ambient, statement);
 }
 
 std::future<Result<QueryResult>> Engine::ExecuteAsync(std::string statement) {
+  // Capture the submitter's trace and log context so the statement stays
+  // one span tree (and one session attribution) across the pool boundary;
+  // the pool's own isolating context is swapped out inside the task.
+  const obs::TraceContext trace_ctx = obs::Tracer::CurrentContext();
+  obs::LogContext log_ctx = obs::CurrentLogContext();
   // Not SubmitTask: when Stop() races the submit, a dropped packaged_task
   // would surface as a broken_promise *exception* from future::get — the
   // rejection has to come back as a Status like every other failure.
   auto task = std::make_shared<std::packaged_task<Result<QueryResult>()>>(
-      [this, stmt = std::move(statement)] { return Execute(stmt); });
+      [this, stmt = std::move(statement), trace_ctx,
+       log_ctx = std::move(log_ctx)] {
+        obs::ScopedTraceContext trace_scope{trace_ctx};
+        obs::ScopedLogContext log_scope{log_ctx};
+        return Execute(stmt);
+      });
   std::future<Result<QueryResult>> result = task->get_future();
   if (stopped() || !pool_->Submit([task] { (*task)(); })) {
     std::promise<Result<QueryResult>> p;
@@ -234,6 +281,11 @@ void Engine::CronLoop() {
           std::min(target, PointAdd(reached, cron_->probe_period_days()));
       Status st;
       {
+        // The root of this advance's span tree: cron.probe and cron.fire
+        // spans started inside AdvanceTo parent to it, so `\trace` shows
+        // one tree per clock advance on the daemon thread.
+        obs::Tracer::Span span = obs::StartSpan("cron.advance");
+        span.AddAttr("to_day", std::to_string(chunk));
         WriteLock db_lock = AcquireWrite();
         st = cron_->AdvanceTo(chunk);
       }
@@ -268,6 +320,7 @@ Status Engine::Stop() {
     cron_done_cv_.notify_all();
   }
   if (pool_ != nullptr) pool_->Shutdown();
+  if (snapshotter_ != nullptr) snapshotter_->Stop();
   Status st;
   {
     std::unique_lock<std::mutex> lock(cron_mu_);

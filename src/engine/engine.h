@@ -48,6 +48,7 @@
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "db/database.h"
+#include "obs/snapshot.h"
 #include "rules/clock.h"
 #include "rules/dbcron.h"
 #include "rules/temporal_rules.h"
@@ -72,6 +73,19 @@ struct EngineOptions {
   /// Default gen-cache budget handed to each new Session's evaluator.
   size_t session_gen_cache_entries = 64;
   size_t session_gen_cache_bytes = 16u << 20;
+
+  // --- telemetry ------------------------------------------------------------
+
+  /// Slow-statement threshold, ns.  < 0 keeps the process-wide default
+  /// (CALDB_SLOW_STMT_MS, else 20ms); 0 disables the slow-statement log.
+  int64_t slow_statement_ns = -1;
+  /// When nonempty (or CALDB_METRICS_FILE is set), the engine runs a
+  /// MetricsSnapshotter appending one metrics-delta JSON line to this
+  /// file every `metrics_snapshot_interval_ms` (see obs/snapshot.h).
+  std::string metrics_snapshot_path;
+  /// Snapshot period, ms (clamped to >= 10; CALDB_METRICS_INTERVAL_MS
+  /// overrides when the path came from the environment).
+  int metrics_snapshot_interval_ms = 1000;
 };
 
 class Engine {
@@ -196,6 +210,7 @@ class Engine {
   std::unique_ptr<TemporalRuleManager> rules_;
   std::unique_ptr<DbCron> cron_;
   std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<obs::MetricsSnapshotter> snapshotter_;
 
   // Reader/writer lock over the database (tables, event rules, the rule
   // manager's in-memory state, and DBCRON's heap — everything the firing
@@ -214,6 +229,7 @@ class Engine {
   bool cron_stop_ = false;
 
   std::atomic<bool> stopped_{false};
+  std::atomic<uint64_t> next_session_id_{1};
 
   friend class Session;
 };

@@ -60,8 +60,9 @@ std::string RenderScriptValue(const ScriptValue& value) {
 
 }  // namespace
 
-Session::Session(Engine* engine)
+Session::Session(Engine* engine, uint64_t id)
     : engine_(engine),
+      id_(id),
       evaluator_(&engine->time_system(), &engine->catalog()) {
   opts_.window_days = Interval{1, 365};
   opts_.gen_cache_max_entries = engine->options().session_gen_cache_entries;
@@ -140,6 +141,10 @@ Status Session::DefineCalendar(const std::string& name,
 
 Result<QueryResult> Session::Execute(const std::string& text) {
   try {
+    // Stamp this session (and the command text) into the thread's log
+    // context for the duration; Engine::ExecuteImpl narrows the statement
+    // but keeps the session id.
+    obs::ScopedLogContext log_scope{obs::LogContext{id_, text}};
     return ExecuteImpl(text);
   } catch (const std::exception& e) {
     return Status::Internal(std::string("uncaught exception in Execute: ") +

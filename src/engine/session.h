@@ -86,16 +86,21 @@ class Session {
   /// Evaluation counters of the most recent EvalScript/EvalCalendar.
   const EvalStats& last_eval_stats() const { return last_stats_; }
 
+  /// This session's engine-assigned id (1, 2, ...).  Log lines and audit
+  /// records produced while the session executes carry it ("session":N).
+  uint64_t id() const { return id_; }
+
   Engine& engine() { return *engine_; }
 
  private:
   friend class Engine;
-  explicit Session(Engine* engine);
+  Session(Engine* engine, uint64_t id);
 
   EvalOptions EffectiveOptions() const;
   Result<QueryResult> ExecuteImpl(const std::string& text);
 
   Engine* engine_;
+  const uint64_t id_;
   Evaluator evaluator_;
   EvalOptions opts_;
   std::optional<TimePoint> today_override_;

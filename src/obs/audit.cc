@@ -1,0 +1,157 @@
+#include "obs/audit.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/json.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace caldb::obs {
+
+namespace {
+
+struct AuditMetrics {
+  Counter* records = MetricRegistry::Global().counter("caldb.audit.records");
+  Counter* errors = MetricRegistry::Global().counter("caldb.audit.errors");
+};
+
+AuditMetrics& Metrics() {
+  static AuditMetrics* m = new AuditMetrics();
+  return *m;
+}
+
+const char* SourceName(AuditRecord::Source source) {
+  return source == AuditRecord::Source::kDbCron ? "dbcron" : "statement";
+}
+
+const char* OutcomeName(AuditRecord::Outcome outcome) {
+  switch (outcome) {
+    case AuditRecord::Outcome::kOk:
+      return "ok";
+    case AuditRecord::Outcome::kSuppressed:
+      return "suppressed";
+    case AuditRecord::Outcome::kError:
+      return "error";
+  }
+  return "ok";
+}
+
+}  // namespace
+
+std::string AuditRecord::ToString() const {
+  std::string out = "#" + std::to_string(seq) + " " + SourceName(source) +
+                    " rule=" + rule;
+  if (source == Source::kDbCron) {
+    out += " fired=day" + std::to_string(fired_day) +
+           " sched=day" + std::to_string(scheduled_day);
+    const int64_t lag = fired_day - scheduled_day;
+    if (lag != 0) out += " (late " + std::to_string(lag) + ")";
+  }
+  out += " ";
+  out += OutcomeName(outcome);
+  // Sub-microsecond firings render as 0.0ms; the trail is about outcomes
+  // and lateness, histograms carry the precise latency story.
+  const int64_t tenth_ms = duration_ns / 100000;
+  out += " " + std::to_string(tenth_ms / 10) + "." +
+         std::to_string(tenth_ms % 10) + "ms";
+  if (session_id != 0) out += " session=" + std::to_string(session_id);
+  if (!trigger.empty() && trigger != std::string(SourceName(source))) {
+    out += " trigger=\"" + trigger + "\"";
+  }
+  if (!error.empty()) out += " error=\"" + error + "\"";
+  return out;
+}
+
+std::string AuditRecord::ToJson() const {
+  std::string out = "{\"seq\":" + std::to_string(seq);
+  out += ",\"source\":\"";
+  out += SourceName(source);
+  out += "\",\"outcome\":\"";
+  out += OutcomeName(outcome);
+  out += "\",\"rule\":";
+  AppendJsonString(&out, rule);
+  if (rule_id != 0) out += ",\"rule_id\":" + std::to_string(rule_id);
+  if (scheduled_day != 0) {
+    out += ",\"scheduled_day\":" + std::to_string(scheduled_day);
+  }
+  if (fired_day != 0) out += ",\"fired_day\":" + std::to_string(fired_day);
+  out += ",\"wall_us\":" + std::to_string(wall_us);
+  out += ",\"duration_ns\":" + std::to_string(duration_ns);
+  if (session_id != 0) out += ",\"session\":" + std::to_string(session_id);
+  if (!trigger.empty()) {
+    out += ",\"trigger\":";
+    AppendJsonString(&out, trigger);
+  }
+  if (!error.empty()) {
+    out += ",\"error\":";
+    AppendJsonString(&out, error);
+  }
+  out += '}';
+  return out;
+}
+
+AuditTrail& AuditTrail::Global() {
+  static AuditTrail* trail = new AuditTrail();
+  return *trail;
+}
+
+AuditTrail::AuditTrail(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {
+  ring_.reserve(capacity_);
+}
+
+void AuditTrail::Record(AuditRecord record) {
+  record.wall_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::system_clock::now().time_since_epoch())
+                       .count();
+  Metrics().records->Increment();
+  if (record.outcome == AuditRecord::Outcome::kError) {
+    Metrics().errors->Increment();
+    LogEvent(LogLevel::kError, "rule.fire_error",
+             {{"rule", record.rule}, {"error", record.error}});
+  } else {
+    LogEvent(LogLevel::kDebug, "rule.fire",
+             {{"rule", record.rule}, {"fired_day", record.fired_day}});
+  }
+  total_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  record.seq = next_seq_++;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+  } else {
+    ring_[start_] = std::move(record);
+    start_ = (start_ + 1) % capacity_;
+  }
+}
+
+std::vector<AuditRecord> AuditTrail::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<AuditRecord> out;
+  out.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(start_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string AuditTrail::ToString(size_t limit) const {
+  std::vector<AuditRecord> records = Snapshot();
+  size_t first = records.size() > limit ? records.size() - limit : 0;
+  std::string out;
+  for (size_t i = first; i < records.size(); ++i) {
+    out += records[i].ToString();
+    out += '\n';
+  }
+  if (out.empty()) out = "(no rule firings recorded)\n";
+  return out;
+}
+
+void AuditTrail::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  start_ = 0;
+  total_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace caldb::obs

@@ -1,0 +1,91 @@
+// Rule-firing audit trail: who fired what, when, triggered by which
+// statement, and how it went.
+//
+// Every temporal-rule firing (DBCRON) and event-rule trigger (a
+// statement's append/replace/delete/retrieve) appends one AuditRecord to
+// a bounded ring.  Temporal records carry the scheduled firing point from
+// RULE-TIME next to the virtual-clock day the rule actually fired — the
+// two differ when a rule was declared after its window had been probed
+// and DBCRON caught up late, exactly the case an operator needs to see.
+// Event-rule records carry the triggering statement and session from the
+// thread's LogContext instead.
+//
+// The trail is the queryable counterpart of the `caldb.cron.fires` /
+// `caldb.db.rules_fired` counters: the shell's `\audit` renders the most
+// recent records, Snapshot() hands them to tests and tools.  Like every
+// obs ring it is bounded (oldest records overwritten) and thread-safe.
+
+#ifndef CALDB_OBS_AUDIT_H_
+#define CALDB_OBS_AUDIT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace caldb::obs {
+
+struct AuditRecord {
+  enum class Source { kDbCron, kStatement };
+  enum class Outcome { kOk, kSuppressed, kError };
+
+  int64_t seq = 0;  // assigned by the trail, monotonically increasing
+  Source source = Source::kDbCron;
+  Outcome outcome = Outcome::kOk;
+  std::string rule;
+  int64_t rule_id = 0;        // temporal-rule id; 0 for event rules
+  int64_t scheduled_day = 0;  // RULE-TIME firing point (temporal rules)
+  int64_t fired_day = 0;      // virtual-clock day at firing (0 = n/a)
+  int64_t wall_us = 0;        // wall clock at firing (stamped by the trail)
+  int64_t duration_ns = 0;    // condition + action execution time
+  uint64_t session_id = 0;    // triggering session (0 = daemon / none)
+  std::string trigger;        // "dbcron" or the triggering statement
+  std::string error;          // outcome == kError
+
+  /// One human-readable line (what `\audit` prints per record).
+  std::string ToString() const;
+  /// One JSON object (same field names as the struct).
+  std::string ToJson() const;
+};
+
+class AuditTrail {
+ public:
+  static constexpr size_t kDefaultCapacity = 1024;
+
+  static AuditTrail& Global();
+
+  explicit AuditTrail(size_t capacity = kDefaultCapacity);
+  AuditTrail(const AuditTrail&) = delete;
+  AuditTrail& operator=(const AuditTrail&) = delete;
+
+  /// Appends one record, stamping seq and wall_us.
+  void Record(AuditRecord record);
+
+  /// Ring contents, oldest first.
+  std::vector<AuditRecord> Snapshot() const;
+
+  /// The most recent `limit` records, oldest first, one line each.
+  std::string ToString(size_t limit = 32) const;
+
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+  /// Records appended since construction/Clear (>= ring occupancy).
+  int64_t total() const { return total_.load(std::memory_order_relaxed); }
+
+ private:
+  const size_t capacity_;
+  std::atomic<int64_t> total_{0};
+  int64_t next_seq_ = 1;  // guarded by mu_
+  mutable std::mutex mu_;
+  std::vector<AuditRecord> ring_;  // ring_[(start_ + i) % capacity_]
+  size_t start_ = 0;
+};
+
+/// The process-wide trail, by its short name (mirrors Metrics()/Trace()).
+inline AuditTrail& Audit() { return AuditTrail::Global(); }
+
+}  // namespace caldb::obs
+
+#endif  // CALDB_OBS_AUDIT_H_

@@ -1,0 +1,76 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace caldb::obs {
+
+void AppendJsonEscaped(std::string* out, std::string_view s) {
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\b':
+        *out += "\\b";
+        break;
+      case '\f':
+        *out += "\\f";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += static_cast<char>(c);
+        }
+    }
+  }
+}
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  *out += '"';
+  AppendJsonEscaped(out, s);
+  *out += '"';
+}
+
+void AppendJsonKey(std::string* out, std::string_view key) {
+  AppendJsonString(out, key);
+  *out += ':';
+}
+
+void AppendJsonMicros(std::string* out, int64_t ns) {
+  if (ns < 0) {
+    *out += '-';
+    ns = -ns;
+  }
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), ".%03d", static_cast<int>(ns % 1000));
+  *out += std::to_string(ns / 1000);
+  *out += buf;
+}
+
+void AppendJsonDouble(std::string* out, double v) {
+  if (!std::isfinite(v)) {
+    *out += '0';
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+}  // namespace caldb::obs

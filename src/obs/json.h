@@ -1,0 +1,37 @@
+// Minimal JSON emission helpers shared by every obs exporter (metric
+// registry JSON, structured log lines, Chrome trace events, audit
+// records, metrics snapshots).  Emission only — parsing lives in tests.
+//
+// All helpers append to an out-string; none allocate beyond it.  Strings
+// are escaped per RFC 8259: quote, backslash, and the C0 control range
+// (\b \f \n \r \t get their short forms, the rest \u00XX), so any byte
+// sequence round-trips through a standards-compliant parser.
+
+#ifndef CALDB_OBS_JSON_H_
+#define CALDB_OBS_JSON_H_
+
+#include <string>
+#include <string_view>
+
+namespace caldb::obs {
+
+/// Appends the escaped body of `s` (no surrounding quotes).
+void AppendJsonEscaped(std::string* out, std::string_view s);
+
+/// Appends `s` as a JSON string literal, quotes included.
+void AppendJsonString(std::string* out, std::string_view s);
+
+/// Appends `"key":` — a JSON object key plus its colon.
+void AppendJsonKey(std::string* out, std::string_view key);
+
+/// Appends `ns` nanoseconds as fractional microseconds with three decimal
+/// places ("12.345") — the time unit of Chrome trace events.
+void AppendJsonMicros(std::string* out, int64_t ns);
+
+/// Appends a double with enough precision to round-trip, rendering
+/// non-finite values as 0 (JSON has no NaN/Inf).
+void AppendJsonDouble(std::string* out, double v);
+
+}  // namespace caldb::obs
+
+#endif  // CALDB_OBS_JSON_H_

@@ -4,6 +4,8 @@
 #include <bit>
 #include <cmath>
 
+#include "obs/json.h"
+
 namespace caldb::obs {
 
 namespace {
@@ -115,6 +117,22 @@ std::vector<std::string> MetricRegistry::CounterNames() const {
   return names;
 }
 
+std::vector<std::string> MetricRegistry::GaugeNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> MetricRegistry::HistogramNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) names.push_back(name);
+  return names;
+}
+
 std::string MetricRegistry::ExportText() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
@@ -134,19 +152,6 @@ std::string MetricRegistry::ExportText() const {
   }
   return out;
 }
-
-namespace {
-
-void AppendJsonKey(std::string* out, const std::string& name) {
-  *out += '"';
-  for (char c : name) {
-    if (c == '"' || c == '\\') *out += '\\';
-    *out += c;
-  }
-  *out += "\":";
-}
-
-}  // namespace
 
 std::string MetricRegistry::ExportJson() const {
   std::lock_guard<std::mutex> lock(mu_);

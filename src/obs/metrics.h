@@ -110,6 +110,8 @@ class MetricRegistry {
 
   /// Instrument names currently registered, sorted.
   std::vector<std::string> CounterNames() const;
+  std::vector<std::string> GaugeNames() const;
+  std::vector<std::string> HistogramNames() const;
 
   /// Human-readable dump: one "name value" line per instrument, sorted;
   /// histograms show count/mean/p50/p95/p99/max.

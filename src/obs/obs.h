@@ -1,6 +1,8 @@
 // Umbrella header for the observability layer: the global metric
-// registry, the global tracer, the kill switch, and the scoped latency
-// timer that instrumentation sites use.
+// registry, the global tracer, the structured logger (obs/log.h), the
+// rule-firing audit trail (obs/audit.h), the metrics snapshotter and
+// dashboard renderer (obs/snapshot.h), the kill switch, and the scoped
+// latency timer that instrumentation sites use.
 //
 // Typical instrumentation site:
 //
@@ -24,7 +26,10 @@
 
 #include <atomic>
 
+#include "obs/audit.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/snapshot.h"
 #include "obs/trace.h"
 
 namespace caldb::obs {

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <map>
 
+#include "obs/json.h"
+
 namespace caldb::obs {
 
 namespace {
@@ -25,6 +27,23 @@ int64_t NowNs() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+uint32_t CurrentThreadId() {
+  static std::atomic<uint32_t> next_tid{1};
+  thread_local uint32_t tid = next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+TraceContext Tracer::CurrentContext() {
+  return TraceContext{t_span_stack.empty() ? 0 : t_span_stack.back()};
+}
+
+ScopedTraceContext::ScopedTraceContext(TraceContext ctx) {
+  saved_.swap(t_span_stack);
+  if (ctx.span_id != 0) t_span_stack.push_back(ctx.span_id);
+}
+
+ScopedTraceContext::~ScopedTraceContext() { t_span_stack.swap(saved_); }
 
 Tracer& Tracer::Global() {
   static Tracer* tracer = new Tracer();
@@ -67,6 +86,7 @@ Tracer::Span Tracer::StartSpan(std::string_view name) {
   span.tracer_ = this;
   span.record_.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   span.record_.parent_id = t_span_stack.empty() ? 0 : t_span_stack.back();
+  span.record_.tid = CurrentThreadId();
   span.record_.name = std::string(name);
   span.record_.start_ns = NowNs();
   t_span_stack.push_back(span.record_.id);
@@ -121,6 +141,34 @@ std::string Tracer::ToString(size_t limit) const {
     }
     out += "\n";
   }
+  return out;
+}
+
+std::string Tracer::ExportChromeTrace() const {
+  std::vector<SpanRecord> spans = Snapshot();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& s : spans) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    AppendJsonString(&out, s.name);
+    out += ",\"cat\":\"caldb\",\"ph\":\"X\",\"pid\":1,\"tid\":" +
+           std::to_string(s.tid);
+    out += ",\"ts\":";
+    AppendJsonMicros(&out, s.start_ns);
+    out += ",\"dur\":";
+    AppendJsonMicros(&out, s.duration_ns());
+    out += ",\"args\":{\"id\":" + std::to_string(s.id) +
+           ",\"parent\":" + std::to_string(s.parent_id);
+    for (const auto& [key, value] : s.attrs) {
+      out += ',';
+      AppendJsonKey(&out, key);
+      AppendJsonString(&out, value);
+    }
+    out += "}}";
+  }
+  out += "]}";
   return out;
 }
 

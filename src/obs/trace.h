@@ -9,6 +9,16 @@
 // a disabled tracer costs one relaxed atomic load.
 //
 // Spans are scope-bound (LIFO per thread), which RAII usage guarantees.
+//
+// Cross-thread propagation: a logical operation that hops threads (an
+// ExecuteAsync statement crossing the pool boundary, a DBCRON firing on
+// the daemon thread) stays one tree by capturing Tracer::CurrentContext()
+// on the submitting thread and installing it on the executing thread with
+// a ScopedTraceContext — which swaps the worker's thread-local span stack
+// for one seeded with the captured parent, and restores the original on
+// scope exit.  A default TraceContext{} isolates instead of propagating:
+// the thread pool wraps every task in one so a worker never parents spans
+// to whatever span happened to be open (or leaked) on that thread before.
 
 #ifndef CALDB_OBS_TRACE_H_
 #define CALDB_OBS_TRACE_H_
@@ -26,6 +36,7 @@ namespace caldb::obs {
 struct SpanRecord {
   uint64_t id = 0;
   uint64_t parent_id = 0;  // 0 = root
+  uint32_t tid = 0;        // small per-process thread id (CurrentThreadId)
   std::string name;
   int64_t start_ns = 0;
   int64_t end_ns = 0;
@@ -33,6 +44,31 @@ struct SpanRecord {
 
   int64_t duration_ns() const { return end_ns - start_ns; }
 };
+
+/// A capturable reference to the innermost open span of some thread —
+/// what crosses a thread boundary to keep one logical operation a single
+/// span tree.  span_id 0 means "no parent" (adopting it isolates).
+struct TraceContext {
+  uint64_t span_id = 0;
+};
+
+/// RAII adoption of a TraceContext: swaps this thread's span stack for
+/// one seeded with the context's span (empty for a null context), and
+/// restores the previous stack — stale entries and all — on destruction.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(TraceContext ctx);
+  ~ScopedTraceContext();
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  std::vector<uint64_t> saved_;
+};
+
+/// A small dense per-process thread id (1, 2, ...), stable for the
+/// thread's lifetime.  Shared by spans, log lines and Chrome trace rows.
+uint32_t CurrentThreadId();
 
 class Tracer {
  public:
@@ -68,6 +104,10 @@ class Tracer {
 
   Span StartSpan(std::string_view name);
 
+  /// The innermost open span on the calling thread (null context when
+  /// none) — capture before handing work to another thread.
+  static TraceContext CurrentContext();
+
   void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
@@ -77,6 +117,12 @@ class Tracer {
   /// Renders the most recent `limit` finished spans as an indented tree
   /// fragment: "name  123.4us  key=value ...".
   std::string ToString(size_t limit = 64) const;
+
+  /// Renders the ring as Chrome/Perfetto trace-event JSON (one complete
+  /// "X" event per finished span; span id/parent and attrs in args), in
+  /// the format chrome://tracing and https://ui.perfetto.dev load
+  /// directly.  The shell's `\trace save <path>` writes this to a file.
+  std::string ExportChromeTrace() const;
 
   void Clear();
 

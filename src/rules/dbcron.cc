@@ -87,9 +87,41 @@ Status DbCron::AdvanceTo(TimePoint day) {
       Metrics().heap_depth->Set(static_cast<int64_t>(heap_.size()));
       ++stats_.fires;
       Metrics().fires->Increment();
-      Result<std::optional<TimePoint>> next =
-          rules_->FireRule(entry.second, entry.first);
-      // A dropped rule may still sit in the heap: ignore NotFound.
+      // The clock clamps backwards moves, so for an overdue entry (rule
+      // declared after its window was probed) NowDay() exceeds the
+      // scheduled day — the catch-up lag the audit trail surfaces.
+      const TimePoint clock_day = clock_->NowDay();
+      TemporalRuleManager::FireOutcome fired;
+      Result<std::optional<TimePoint>> next = [&] {
+        obs::Tracer::Span span = obs::StartSpan("cron.fire");
+        span.AddAttr("rule_id", std::to_string(entry.second));
+        span.AddAttr("scheduled_day", std::to_string(entry.first));
+        span.AddAttr("fired_day", std::to_string(clock_day));
+        Result<std::optional<TimePoint>> r =
+            rules_->FireRule(entry.second, entry.first, &fired);
+        if (!fired.rule_name.empty()) span.AddAttr("rule", fired.rule_name);
+        return r;
+      }();
+      // A dropped rule may still sit in the heap (FireRule -> NotFound
+      // before the name lookup filled `fired.rule_name`): nothing was
+      // actually fired, so no audit record either.
+      if (!fired.rule_name.empty()) {
+        obs::AuditRecord record;
+        record.source = obs::AuditRecord::Source::kDbCron;
+        record.rule = fired.rule_name;
+        record.rule_id = entry.second;
+        record.scheduled_day = entry.first;
+        record.fired_day = clock_day;
+        record.duration_ns = fired.duration_ns;
+        record.trigger = "dbcron";
+        if (!fired.status.ok()) {
+          record.outcome = obs::AuditRecord::Outcome::kError;
+          record.error = fired.status.ToString();
+        } else if (fired.suppressed) {
+          record.outcome = obs::AuditRecord::Outcome::kSuppressed;
+        }
+        obs::Audit().Record(std::move(record));
+      }
       if (!next.ok() && next.status().code() != StatusCode::kNotFound) {
         return next.status();
       }

@@ -1,6 +1,7 @@
 #include "rules/temporal_rules.h"
 
 #include "common/macros.h"
+#include "obs/obs.h"
 
 namespace caldb {
 
@@ -177,39 +178,60 @@ Status TemporalRuleManager::UpdateRuleTime(int64_t id,
 }
 
 Result<std::optional<TimePoint>> TemporalRuleManager::FireRule(
-    int64_t id, TimePoint fire_day) {
+    int64_t id, TimePoint fire_day, FireOutcome* outcome) {
+  const int64_t start_ns = obs::NowNs();
+  // Every exit path funnels through `fail`/success so `outcome` is always
+  // complete — DBCRON turns it into the audit record either way.
+  auto finish = [&](Status st) -> Status {
+    if (outcome != nullptr) {
+      outcome->status = st;
+      outcome->duration_ns = obs::NowNs() - start_ns;
+    }
+    return st;
+  };
   auto it = rules_.find(id);
   if (it == rules_.end()) {
-    return Status::NotFound("no temporal rule with id " + std::to_string(id));
+    return finish(
+        Status::NotFound("no temporal rule with id " + std::to_string(id)));
   }
   TemporalRule& rule = it->second;
+  if (outcome != nullptr) outcome->rule_name = rule.name;
   current_fire_day_ = fire_day;
   bool condition_holds = true;
   if (!rule.condition_query.empty()) {
     Result<QueryResult> cond = db_->Execute(rule.condition_query);
-    CALDB_RETURN_IF_ERROR(
-        cond.status().WithContext("temporal rule " + rule.name + " condition"));
+    if (!cond.ok()) {
+      return finish(cond.status().WithContext("temporal rule " + rule.name +
+                                            " condition"));
+    }
     condition_holds = !cond->rows.empty();
   }
   if (condition_holds) {
     ++fire_stats_.fired;
     if (rule.action.callback) {
-      CALDB_RETURN_IF_ERROR(rule.action.callback(fire_day)
-                                .WithContext("temporal rule " + rule.name));
+      Status st = rule.action.callback(fire_day);
+      if (!st.ok()) {
+        return finish(st.WithContext("temporal rule " + rule.name));
+      }
     }
     if (!rule.action.command.empty()) {
       Result<QueryResult> r = db_->Execute(rule.action.command);
-      CALDB_RETURN_IF_ERROR(
-          r.status().WithContext("temporal rule " + rule.name + " action"));
+      if (!r.ok()) {
+        return finish(r.status().WithContext("temporal rule " + rule.name +
+                                           " action"));
+      }
     }
   } else {
     ++fire_stats_.suppressed_by_condition;
+    if (outcome != nullptr) outcome->suppressed = true;
   }
-  CALDB_ASSIGN_OR_RETURN(
-      std::optional<TimePoint> next,
-      catalog_->NextFirePointForPlan(*rule.plan, fire_day, horizon_day_, unit_));
-  CALDB_RETURN_IF_ERROR(UpdateRuleTime(id, next));
-  return next;
+  Result<std::optional<TimePoint>> next =
+      catalog_->NextFirePointForPlan(*rule.plan, fire_day, horizon_day_, unit_);
+  if (!next.ok()) return finish(next.status());
+  Status st = UpdateRuleTime(id, *next);
+  if (!st.ok()) return finish(st);
+  finish(Status::OK());
+  return *next;
 }
 
 }  // namespace caldb

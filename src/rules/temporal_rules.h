@@ -90,10 +90,21 @@ class TemporalRuleManager {
   Result<std::vector<std::pair<TimePoint, int64_t>>> DueBetween(
       TimePoint lo, TimePoint hi) const;
 
+  /// What one firing did — filled for the caller (DBCRON) to turn into an
+  /// audit record, whether the firing succeeded or not.
+  struct FireOutcome {
+    std::string rule_name;
+    bool suppressed = false;  // condition evaluated false; action skipped
+    Status status;            // condition/action/reschedule error, if any
+    int64_t duration_ns = 0;  // condition + action + reschedule time
+  };
+
   /// Executes the rule's action at `fire_day`, recomputes its next firing
   /// and updates RULE-TIME.  Returns the new next-fire day (nullopt when
-  /// the rule went dormant past the horizon).
-  Result<std::optional<TimePoint>> FireRule(int64_t id, TimePoint fire_day);
+  /// the rule went dormant past the horizon).  `outcome`, when non-null,
+  /// is filled on every path (including errors).
+  Result<std::optional<TimePoint>> FireRule(int64_t id, TimePoint fire_day,
+                                            FireOutcome* outcome = nullptr);
 
   const CalendarCatalog& catalog() const { return *catalog_; }
   TimePoint horizon_day() const { return horizon_day_; }

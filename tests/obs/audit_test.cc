@@ -1,0 +1,136 @@
+#include "obs/audit.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "tests/obs/json_check.h"
+
+namespace caldb::obs {
+namespace {
+
+using caldb::test::JsonValue;
+using caldb::test::ParseJson;
+
+AuditRecord CronRecord(const std::string& rule, int64_t sched, int64_t fired) {
+  AuditRecord r;
+  r.source = AuditRecord::Source::kDbCron;
+  r.rule = rule;
+  r.rule_id = 1;
+  r.scheduled_day = sched;
+  r.fired_day = fired;
+  r.trigger = "dbcron";
+  return r;
+}
+
+TEST(AuditRecord, ToStringShowsScheduledVsActual) {
+  AuditRecord r = CronRecord("payday", 40, 42);
+  r.seq = 7;
+  r.duration_ns = 300'000;  // 0.3ms
+  const std::string line = r.ToString();
+  EXPECT_NE(line.find("#7 dbcron rule=payday"), std::string::npos) << line;
+  EXPECT_NE(line.find("fired=day42"), std::string::npos) << line;
+  EXPECT_NE(line.find("sched=day40"), std::string::npos) << line;
+  EXPECT_NE(line.find("(late 2)"), std::string::npos) << line;
+  EXPECT_NE(line.find(" ok "), std::string::npos) << line;
+  EXPECT_NE(line.find("0.3ms"), std::string::npos) << line;
+}
+
+TEST(AuditRecord, ToStringOnTimeOmitsLag) {
+  AuditRecord r = CronRecord("payday", 42, 42);
+  EXPECT_EQ(r.ToString().find("late"), std::string::npos);
+}
+
+TEST(AuditRecord, ToStringStatementShowsTriggerAndSession) {
+  AuditRecord r;
+  r.source = AuditRecord::Source::kStatement;
+  r.rule = "audit_rule";
+  r.session_id = 3;
+  r.trigger = "append alerts (day = 5)";
+  const std::string line = r.ToString();
+  EXPECT_NE(line.find("statement rule=audit_rule"), std::string::npos) << line;
+  EXPECT_NE(line.find("session=3"), std::string::npos) << line;
+  EXPECT_NE(line.find("trigger=\"append alerts (day = 5)\""),
+            std::string::npos)
+      << line;
+  // No scheduled/fired days for event rules.
+  EXPECT_EQ(line.find("sched="), std::string::npos) << line;
+}
+
+TEST(AuditRecord, ToStringRendersOutcomes) {
+  AuditRecord r = CronRecord("r", 1, 1);
+  r.outcome = AuditRecord::Outcome::kSuppressed;
+  EXPECT_NE(r.ToString().find("suppressed"), std::string::npos);
+  r.outcome = AuditRecord::Outcome::kError;
+  r.error = "boom";
+  EXPECT_NE(r.ToString().find("error=\"boom\""), std::string::npos);
+}
+
+TEST(AuditRecord, ToJsonIsValidAndEscaped) {
+  AuditRecord r = CronRecord("pay\"day\\", 40, 42);
+  r.seq = 2;
+  r.duration_ns = 1500;
+  r.outcome = AuditRecord::Outcome::kError;
+  r.error = "line1\nline2";
+  std::optional<JsonValue> parsed = ParseJson(r.ToJson());
+  ASSERT_TRUE(parsed.has_value()) << r.ToJson();
+  EXPECT_EQ(parsed->Get("source")->str, "dbcron");
+  EXPECT_EQ(parsed->Get("outcome")->str, "error");
+  EXPECT_EQ(parsed->Get("rule")->str, "pay\"day\\");
+  EXPECT_DOUBLE_EQ(parsed->Get("scheduled_day")->number, 40.0);
+  EXPECT_DOUBLE_EQ(parsed->Get("fired_day")->number, 42.0);
+  EXPECT_EQ(parsed->Get("error")->str, "line1\nline2");
+}
+
+TEST(AuditTrail, StampsSeqAndWallClock) {
+  AuditTrail trail(8);
+  trail.Record(CronRecord("a", 1, 1));
+  trail.Record(CronRecord("b", 2, 2));
+  std::vector<AuditRecord> records = trail.Snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].seq, 1);
+  EXPECT_EQ(records[1].seq, 2);
+  EXPECT_GT(records[0].wall_us, 0);
+  EXPECT_EQ(trail.total(), 2);
+}
+
+TEST(AuditTrail, RingBoundsOverwritingOldest) {
+  AuditTrail trail(4);
+  for (int i = 0; i < 100; ++i) {
+    trail.Record(CronRecord("r" + std::to_string(i), i + 1, i + 1));
+  }
+  std::vector<AuditRecord> records = trail.Snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records[0].rule, "r96");
+  EXPECT_EQ(records[3].rule, "r99");
+  // seq keeps counting across overwrites.
+  EXPECT_EQ(records[3].seq, 100);
+  EXPECT_EQ(trail.total(), 100);
+}
+
+TEST(AuditTrail, ToStringLimitsToMostRecent) {
+  AuditTrail trail(8);
+  for (int i = 0; i < 5; ++i) {
+    trail.Record(CronRecord("r" + std::to_string(i), i + 1, i + 1));
+  }
+  const std::string out = trail.ToString(2);
+  EXPECT_EQ(out.find("rule=r0"), std::string::npos);
+  EXPECT_NE(out.find("rule=r3"), std::string::npos);
+  EXPECT_NE(out.find("rule=r4"), std::string::npos);
+}
+
+TEST(AuditTrail, EmptyTrailSaysSo) {
+  AuditTrail trail(8);
+  EXPECT_NE(trail.ToString().find("no rule firings"), std::string::npos);
+}
+
+TEST(AuditTrail, ClearResets) {
+  AuditTrail trail(8);
+  trail.Record(CronRecord("gone", 1, 1));
+  trail.Clear();
+  EXPECT_TRUE(trail.Snapshot().empty());
+  EXPECT_EQ(trail.total(), 0);
+}
+
+}  // namespace
+}  // namespace caldb::obs

@@ -1,0 +1,232 @@
+// A minimal recursive-descent JSON parser for tests: the obs layer only
+// *emits* JSON (src/obs/json.h), so the parser that proves those emissions
+// well-formed lives here, next to the tests that need it.  It builds a
+// small DOM and rejects anything RFC 8259 rejects at the structural level
+// (trailing garbage, bad escapes, unterminated strings, malformed
+// numbers).  Not a validator of everything — numbers are parsed with
+// strtod — but strict enough that "ParseJson succeeded" means a real
+// parser would accept the document.
+
+#ifndef CALDB_TESTS_OBS_JSON_CHECK_H_
+#define CALDB_TESTS_OBS_JSON_CHECK_H_
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace caldb::test {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> items;                 // kArray
+  std::map<std::string, JsonValue> fields;      // kObject
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  /// Field lookup; nullptr when absent or not an object.
+  const JsonValue* Get(const std::string& key) const {
+    if (kind != Kind::kObject) return nullptr;
+    auto it = fields.find(key);
+    return it == fields.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : s_(text) {}
+
+  std::optional<JsonValue> Parse() {
+    std::optional<JsonValue> v = ParseValue();
+    SkipWs();
+    if (!v.has_value() || pos_ != s_.size()) return std::nullopt;
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  std::optional<JsonValue> ParseValue() {
+    SkipWs();
+    if (pos_ >= s_.size()) return std::nullopt;
+    switch (s_[pos_]) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return ParseString();
+      case 't': {
+        if (!ConsumeLiteral("true")) return std::nullopt;
+        JsonValue v;
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = true;
+        return v;
+      }
+      case 'f': {
+        if (!ConsumeLiteral("false")) return std::nullopt;
+        JsonValue v;
+        v.kind = JsonValue::Kind::kBool;
+        return v;
+      }
+      case 'n': {
+        if (!ConsumeLiteral("null")) return std::nullopt;
+        return JsonValue{};
+      }
+      default:
+        return ParseNumber();
+    }
+  }
+
+  std::optional<JsonValue> ParseObject() {
+    if (!Consume('{')) return std::nullopt;
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    SkipWs();
+    if (Consume('}')) return v;
+    for (;;) {
+      std::optional<JsonValue> key = ParseString();
+      if (!key.has_value()) return std::nullopt;
+      if (!Consume(':')) return std::nullopt;
+      std::optional<JsonValue> value = ParseValue();
+      if (!value.has_value()) return std::nullopt;
+      v.fields[key->str] = std::move(*value);
+      if (Consume(',')) continue;
+      if (Consume('}')) return v;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> ParseArray() {
+    if (!Consume('[')) return std::nullopt;
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    SkipWs();
+    if (Consume(']')) return v;
+    for (;;) {
+      std::optional<JsonValue> item = ParseValue();
+      if (!item.has_value()) return std::nullopt;
+      v.items.push_back(std::move(*item));
+      if (Consume(',')) continue;
+      if (Consume(']')) return v;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> ParseString() {
+    SkipWs();
+    if (pos_ >= s_.size() || s_[pos_] != '"') return std::nullopt;
+    ++pos_;
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return v;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return std::nullopt;
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return std::nullopt;
+        char esc = s_[pos_++];
+        switch (esc) {
+          case '"': v.str += '"'; break;
+          case '\\': v.str += '\\'; break;
+          case '/': v.str += '/'; break;
+          case 'b': v.str += '\b'; break;
+          case 'f': v.str += '\f'; break;
+          case 'n': v.str += '\n'; break;
+          case 'r': v.str += '\r'; break;
+          case 't': v.str += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return std::nullopt;
+            int code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = s_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= h - '0';
+              else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+              else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+              else return std::nullopt;
+            }
+            // The emitter only writes \u00XX; decode the Latin-1 subset
+            // byte-for-byte and keep anything else as '?' (tests don't
+            // emit it).
+            v.str += code < 0x100 ? static_cast<char>(code) : '?';
+            break;
+          }
+          default:
+            return std::nullopt;
+        }
+        continue;
+      }
+      v.str += c;
+      ++pos_;
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return std::nullopt;
+    std::string token(s_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double parsed = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return std::nullopt;
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = parsed;
+    return v;
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+inline std::optional<JsonValue> ParseJson(std::string_view text) {
+  return JsonParser(text).Parse();
+}
+
+}  // namespace caldb::test
+
+#endif  // CALDB_TESTS_OBS_JSON_CHECK_H_

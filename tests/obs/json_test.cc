@@ -1,0 +1,111 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "tests/obs/json_check.h"
+
+namespace caldb::obs {
+namespace {
+
+using caldb::test::JsonValue;
+using caldb::test::ParseJson;
+
+std::string Escaped(std::string_view s) {
+  std::string out;
+  AppendJsonEscaped(&out, s);
+  return out;
+}
+
+TEST(Json, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(Escaped("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(Escaped("C:\\tmp\\x"), "C:\\\\tmp\\\\x");
+}
+
+TEST(Json, EscapesShortFormControls) {
+  EXPECT_EQ(Escaped("a\nb\tc\rd\be\ff"), "a\\nb\\tc\\rd\\be\\ff");
+}
+
+TEST(Json, EscapesRemainingControlsAsUnicode) {
+  EXPECT_EQ(Escaped(std::string("\x01", 1)), "\\u0001");
+  EXPECT_EQ(Escaped(std::string("\x1f", 1)), "\\u001f");
+  EXPECT_EQ(Escaped(std::string(1, '\0')), "\\u0000");
+}
+
+TEST(Json, PassesPlainTextThrough) {
+  EXPECT_EQ(Escaped("retrieve (t.day) from t in alerts"),
+            "retrieve (t.day) from t in alerts");
+}
+
+TEST(Json, StringLiteralRoundTripsThroughParser) {
+  const std::string nasty =
+      "quote=\" backslash=\\ newline=\n tab=\t ctrl=\x01 done";
+  std::string doc;
+  AppendJsonString(&doc, nasty);
+  std::optional<JsonValue> parsed = ParseJson(doc);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->is_string());
+  EXPECT_EQ(parsed->str, nasty);
+}
+
+TEST(Json, KeyEmitsQuotedNameAndColon) {
+  std::string out;
+  AppendJsonKey(&out, "ts_us");
+  EXPECT_EQ(out, "\"ts_us\":");
+}
+
+TEST(Json, MicrosRendersFractionalMicroseconds) {
+  std::string out;
+  AppendJsonMicros(&out, 12'345'678);  // ns
+  EXPECT_EQ(out, "12345.678");
+  out.clear();
+  AppendJsonMicros(&out, 999);
+  EXPECT_EQ(out, "0.999");
+  out.clear();
+  AppendJsonMicros(&out, 0);
+  EXPECT_EQ(out, "0.000");
+}
+
+TEST(Json, DoubleRoundTripsAndSanitizesNonFinite) {
+  std::string out;
+  AppendJsonDouble(&out, 0.25);
+  std::optional<JsonValue> parsed = ParseJson(out);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ(parsed->number, 0.25);
+
+  out.clear();
+  AppendJsonDouble(&out, std::numeric_limits<double>::quiet_NaN());
+  parsed = ParseJson(out);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ(parsed->number, 0.0);
+
+  out.clear();
+  AppendJsonDouble(&out, std::numeric_limits<double>::infinity());
+  parsed = ParseJson(out);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ(parsed->number, 0.0);
+}
+
+TEST(Json, ObjectWithEscapedStringsParses) {
+  std::string doc = "{";
+  AppendJsonKey(&doc, "stmt");
+  AppendJsonString(&doc, "append t (x = \"v\\n\")");
+  doc += ",";
+  AppendJsonKey(&doc, "n");
+  doc += "42";
+  doc += "}";
+  std::optional<JsonValue> parsed = ParseJson(doc);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->is_object());
+  const JsonValue* stmt = parsed->Get("stmt");
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_EQ(stmt->str, "append t (x = \"v\\n\")");
+  const JsonValue* n = parsed->Get("n");
+  ASSERT_NE(n, nullptr);
+  EXPECT_DOUBLE_EQ(n->number, 42.0);
+}
+
+}  // namespace
+}  // namespace caldb::obs

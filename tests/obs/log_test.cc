@@ -1,0 +1,166 @@
+#include "obs/log.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "tests/obs/json_check.h"
+
+namespace caldb::obs {
+namespace {
+
+using caldb::test::JsonValue;
+using caldb::test::ParseJson;
+
+TEST(LogField, RendersEachTypeAsAJsonToken) {
+  EXPECT_EQ(LogField("k", "text").json_value(), "\"text\"");
+  EXPECT_EQ(LogField("k", int64_t{42}).json_value(), "42");
+  EXPECT_EQ(LogField("k", -7).json_value(), "-7");
+  EXPECT_EQ(LogField("k", uint64_t{9}).json_value(), "9");
+  EXPECT_EQ(LogField("k", true).json_value(), "true");
+  EXPECT_EQ(LogField("k", false).json_value(), "false");
+  EXPECT_EQ(LogField("k", 0.5).json_value(), "0.5");
+}
+
+TEST(LogField, EscapesStringValues) {
+  EXPECT_EQ(LogField("k", "a\"b\\c\nd").json_value(), "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(Logger, RecordsAboveMinLevelOnly) {
+  Logger log(8);
+  log.set_min_level(LogLevel::kWarn);
+  log.Log(LogLevel::kInfo, "dropped", {});
+  log.Log(LogLevel::kWarn, "kept", {});
+  log.Log(LogLevel::kError, "kept_too", {});
+  std::vector<LogRecord> records = log.Snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].event, "kept");
+  EXPECT_EQ(records[1].event, "kept_too");
+  EXPECT_EQ(log.total(), 2);
+}
+
+TEST(Logger, RingOverwritesOldest) {
+  Logger log(4);
+  for (int i = 0; i < 10; ++i) {
+    log.Log(LogLevel::kInfo, "e" + std::to_string(i), {});
+  }
+  std::vector<LogRecord> records = log.Snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records[0].event, "e6");
+  EXPECT_EQ(records[3].event, "e9");
+  EXPECT_EQ(log.total(), 10);
+}
+
+TEST(Logger, StampsThreadLogContext) {
+  Logger log(8);
+  {
+    ScopedLogContext scope{LogContext{7, "retrieve (t.x) from t in a"}};
+    log.Log(LogLevel::kInfo, "inner", {});
+  }
+  log.Log(LogLevel::kInfo, "outer", {});
+  std::vector<LogRecord> records = log.Snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].session_id, 7u);
+  EXPECT_EQ(records[0].statement, "retrieve (t.x) from t in a");
+  EXPECT_EQ(records[1].session_id, 0u);
+  EXPECT_TRUE(records[1].statement.empty());
+}
+
+TEST(Logger, ScopedContextRestoresPrevious) {
+  {
+    ScopedLogContext outer{LogContext{1, "outer stmt"}};
+    {
+      ScopedLogContext inner{LogContext{2, "inner stmt"}};
+      EXPECT_EQ(CurrentLogContext().session_id, 2u);
+    }
+    EXPECT_EQ(CurrentLogContext().session_id, 1u);
+    EXPECT_EQ(CurrentLogContext().statement, "outer stmt");
+  }
+  EXPECT_EQ(CurrentLogContext().session_id, 0u);
+}
+
+TEST(Logger, RenderedLinesAreValidJson) {
+  Logger log(8);
+  {
+    ScopedLogContext scope{LogContext{3, "append t (x = \"a\nb\")"}};
+    log.Log(LogLevel::kWarn, "db.slow_statement",
+            {{"elapsed_ms", 41.5}, {"note", "path\\with\"stuff"}});
+  }
+  std::vector<LogRecord> records = log.Snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  const std::string line = RenderLogLine(records[0]);
+  std::optional<JsonValue> parsed = ParseJson(line);
+  ASSERT_TRUE(parsed.has_value()) << line;
+  ASSERT_TRUE(parsed->is_object());
+  EXPECT_EQ(parsed->Get("level")->str, "warn");
+  EXPECT_EQ(parsed->Get("event")->str, "db.slow_statement");
+  EXPECT_DOUBLE_EQ(parsed->Get("session")->number, 3.0);
+  EXPECT_EQ(parsed->Get("stmt")->str, "append t (x = \"a\nb\")");
+  EXPECT_DOUBLE_EQ(parsed->Get("elapsed_ms")->number, 41.5);
+  EXPECT_EQ(parsed->Get("note")->str, "path\\with\"stuff");
+  EXPECT_GT(parsed->Get("ts_us")->number, 0.0);
+  EXPECT_GE(parsed->Get("tid")->number, 1.0);
+}
+
+TEST(Logger, TailReturnsMostRecentLines) {
+  Logger log(8);
+  for (int i = 0; i < 5; ++i) {
+    log.Log(LogLevel::kInfo, "e" + std::to_string(i), {});
+  }
+  const std::string tail = log.Tail(2);
+  EXPECT_EQ(tail.find("e0"), std::string::npos);
+  EXPECT_NE(tail.find("e3"), std::string::npos);
+  EXPECT_NE(tail.find("e4"), std::string::npos);
+  // One line per record, each newline-terminated.
+  size_t newlines = 0;
+  for (char c : tail) newlines += c == '\n';
+  EXPECT_EQ(newlines, 2u);
+}
+
+TEST(Logger, FileSinkAppendsJsonLines) {
+  const std::string path =
+      ::testing::TempDir() + "caldb_log_sink_test.jsonl";
+  std::remove(path.c_str());
+  {
+    Logger log(8);
+    ASSERT_TRUE(log.SetSinkPath(path).ok());
+    EXPECT_TRUE(log.has_sink());
+    log.Log(LogLevel::kError, "boom", {{"detail", "it \"broke\""}});
+    ASSERT_TRUE(log.SetSinkPath("").ok());  // close + flush
+    EXPECT_FALSE(log.has_sink());
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[4096];
+  size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  buf[n] = '\0';
+  std::string contents(buf);
+  ASSERT_FALSE(contents.empty());
+  ASSERT_EQ(contents.back(), '\n');
+  contents.pop_back();
+  std::optional<JsonValue> parsed = ParseJson(contents);
+  ASSERT_TRUE(parsed.has_value()) << contents;
+  EXPECT_EQ(parsed->Get("event")->str, "boom");
+  EXPECT_EQ(parsed->Get("detail")->str, "it \"broke\"");
+}
+
+TEST(Logger, ClearEmptiesRingAndTotal) {
+  Logger log(8);
+  log.Log(LogLevel::kInfo, "gone", {});
+  log.Clear();
+  EXPECT_TRUE(log.Snapshot().empty());
+  EXPECT_EQ(log.total(), 0);
+}
+
+TEST(Logger, LevelNames) {
+  EXPECT_EQ(LogLevelName(LogLevel::kDebug), "debug");
+  EXPECT_EQ(LogLevelName(LogLevel::kInfo), "info");
+  EXPECT_EQ(LogLevelName(LogLevel::kWarn), "warn");
+  EXPECT_EQ(LogLevelName(LogLevel::kError), "error");
+}
+
+}  // namespace
+}  // namespace caldb::obs

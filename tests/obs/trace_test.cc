@@ -1,9 +1,16 @@
 #include "obs/trace.h"
 
+#include <thread>
+
 #include <gtest/gtest.h>
+
+#include "tests/obs/json_check.h"
 
 namespace caldb::obs {
 namespace {
+
+using caldb::test::JsonValue;
+using caldb::test::ParseJson;
 
 TEST(Tracer, RecordsFinishedSpans) {
   Tracer tracer(16);
@@ -107,6 +114,114 @@ TEST(Tracer, ToStringIndentsChildren) {
   EXPECT_NE(inner_pos, std::string::npos);
   // Parent renders before (above) the indented child.
   EXPECT_LT(outer_pos, inner_pos);
+}
+
+TEST(Tracer, RingWrapsPastDefaultCapacity) {
+  Tracer tracer;  // default 4096
+  ASSERT_EQ(tracer.capacity(), Tracer::kDefaultCapacity);
+  const int kSpans = static_cast<int>(Tracer::kDefaultCapacity) + 100;
+  for (int i = 0; i < kSpans; ++i) {
+    Tracer::Span span = tracer.StartSpan("s" + std::to_string(i));
+  }
+  EXPECT_EQ(tracer.total_finished(), kSpans);
+  std::vector<SpanRecord> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), Tracer::kDefaultCapacity);
+  // Oldest surviving span is the 101st; newest is the last started.
+  EXPECT_EQ(spans.front().name, "s100");
+  EXPECT_EQ(spans.back().name, "s" + std::to_string(kSpans - 1));
+}
+
+TEST(TraceContext, CurrentContextCapturesInnermostSpan) {
+  Tracer tracer(16);
+  EXPECT_EQ(Tracer::CurrentContext().span_id, 0u);
+  {
+    Tracer::Span outer = tracer.StartSpan("outer");
+    EXPECT_EQ(Tracer::CurrentContext().span_id, outer.id());
+    {
+      Tracer::Span inner = tracer.StartSpan("inner");
+      EXPECT_EQ(Tracer::CurrentContext().span_id, inner.id());
+    }
+    EXPECT_EQ(Tracer::CurrentContext().span_id, outer.id());
+  }
+  EXPECT_EQ(Tracer::CurrentContext().span_id, 0u);
+}
+
+TEST(TraceContext, NullContextIsolatesParentage) {
+  Tracer tracer(16);
+  {
+    Tracer::Span outer = tracer.StartSpan("outer");
+    {
+      ScopedTraceContext isolate{TraceContext{}};
+      Tracer::Span orphan = tracer.StartSpan("orphan");
+      EXPECT_EQ(Tracer::CurrentContext().span_id, orphan.id());
+    }
+    // The previous stack is restored, stale entries and all.
+    EXPECT_EQ(Tracer::CurrentContext().span_id, outer.id());
+  }
+  std::vector<SpanRecord> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "orphan");
+  EXPECT_EQ(spans[0].parent_id, 0u);
+}
+
+TEST(TraceContext, AdoptionParentsAcrossThreads) {
+  Tracer tracer(16);
+  uint64_t root_id = 0;
+  {
+    Tracer::Span root = tracer.StartSpan("submit");
+    root_id = root.id();
+    const TraceContext ctx = Tracer::CurrentContext();
+    std::thread worker([&] {
+      ScopedTraceContext adopt{ctx};
+      Tracer::Span child = tracer.StartSpan("work");
+    });
+    worker.join();
+  }
+  std::vector<SpanRecord> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "work");
+  EXPECT_EQ(spans[0].parent_id, root_id);
+  // The two spans ran on different threads.
+  EXPECT_NE(spans[0].tid, spans[1].tid);
+}
+
+TEST(Tracer, ExportChromeTraceIsValidTraceEventJson) {
+  Tracer tracer(16);
+  uint64_t parent_id = 0;
+  {
+    Tracer::Span outer = tracer.StartSpan("db.execute");
+    parent_id = outer.id();
+    Tracer::Span inner = tracer.StartSpan("cron.fire");
+    inner.AddAttr("rule", "pay\"day");
+  }
+  std::optional<JsonValue> parsed = ParseJson(tracer.ExportChromeTrace());
+  ASSERT_TRUE(parsed.has_value()) << tracer.ExportChromeTrace();
+  const JsonValue* events = parsed->Get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->items.size(), 2u);
+  for (const JsonValue& event : events->items) {
+    EXPECT_EQ(event.Get("ph")->str, "X");
+    EXPECT_EQ(event.Get("cat")->str, "caldb");
+    EXPECT_GE(event.Get("ts")->number, 0.0);
+    EXPECT_GE(event.Get("dur")->number, 0.0);
+    EXPECT_GE(event.Get("tid")->number, 1.0);
+    ASSERT_NE(event.Get("args"), nullptr);
+  }
+  // Finish order: inner first; its args carry parent and the attr.
+  const JsonValue& inner_event = events->items[0];
+  EXPECT_EQ(inner_event.Get("name")->str, "cron.fire");
+  EXPECT_DOUBLE_EQ(inner_event.Get("args")->Get("parent")->number,
+                   static_cast<double>(parent_id));
+  EXPECT_EQ(inner_event.Get("args")->Get("rule")->str, "pay\"day");
+}
+
+TEST(Tracer, ExportChromeTraceEmptyRingIsStillValid) {
+  Tracer tracer(16);
+  std::optional<JsonValue> parsed = ParseJson(tracer.ExportChromeTrace());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_NE(parsed->Get("traceEvents"), nullptr);
+  EXPECT_TRUE(parsed->Get("traceEvents")->items.empty());
 }
 
 }  // namespace

@@ -13,6 +13,9 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build-asan}"
 
+# Cheap static checks first: every registered metric must be documented.
+"$repo_root/tools/lint_metrics.sh"
+
 cmake -B "$build_dir" -S "$repo_root" -DCALDB_SANITIZE=address
 cmake --build "$build_dir" -j "$(nproc)"
 

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Every metric registered in src/ must be documented: extract the
+# instrument names from counter("caldb...")/gauge(...)/histogram(...)
+# registration sites and require each to appear, backtick-wrapped, in
+# docs/OBSERVABILITY.md (the "Instrument index" section).
+#
+#   tools/lint_metrics.sh
+#
+# Registration names are string literals by convention (the registry
+# also accepts computed names, but src/ never uses them — this lint is
+# what keeps it that way, since a computed name would escape the doc
+# check silently).
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+doc="$repo_root/docs/OBSERVABILITY.md"
+
+names="$(grep -rhoE '(counter|gauge|histogram)\("caldb\.[A-Za-z0-9_.]+"' \
+              "$repo_root/src" |
+         sed -E 's/^[a-z]+\("//; s/"$//' | sort -u)"
+
+missing=0
+while IFS= read -r name; do
+  if ! grep -qF "\`$name\`" "$doc"; then
+    echo "undocumented metric: $name (add to docs/OBSERVABILITY.md)" >&2
+    missing=1
+  fi
+done <<< "$names"
+
+if [[ $missing -ne 0 ]]; then
+  exit 1
+fi
+echo "lint_metrics: $(wc -l <<< "$names") instruments, all documented"
