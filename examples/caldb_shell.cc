@@ -15,6 +15,7 @@
 // Type \help for the command list.  Reads stdin; EOF exits.
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -28,13 +29,27 @@ namespace {
 class Shell {
  public:
   Shell() {
-    auto engine = Engine::Create();
+    EngineOptions opts;
+    // CALDB_DATA_DIR makes the shell durable: recover on start, WAL every
+    // mutation, checkpoint on exit (docs/DURABILITY.md).
+    if (const char* dir = std::getenv("CALDB_DATA_DIR"); dir && *dir) {
+      opts.data_dir = dir;
+    }
+    auto engine = Engine::Create(opts);
     if (!engine.ok()) {
       std::printf("init: %s\n", engine.status().ToString().c_str());
       return;
     }
     engine_ = std::move(engine).value();
     session_ = engine_->CreateSession();
+    if (engine_->durable()) {
+      const Engine::RecoveryStats& stats = engine_->recovery_stats();
+      std::printf("durable: %s (snapshot %s, %lld WAL records replayed%s)\n",
+                  opts.data_dir.c_str(),
+                  stats.snapshot_loaded ? "loaded" : "none",
+                  static_cast<long long>(stats.wal_records_replayed),
+                  stats.torn_tail_truncated ? ", torn tail truncated" : "");
+    }
   }
 
   int Run() {
@@ -101,6 +116,7 @@ class Shell {
     if (cmd == "audit") return ShowAudit(rest);
     if (cmd == "log") return ShowLog(rest);
     if (cmd == "top") return ShowTop();
+    if (cmd == "checkpoint") return DoCheckpoint();
     return Status::InvalidArgument("unknown command \\" + cmd +
                                    " (try \\help)");
   }
@@ -128,6 +144,8 @@ class Shell {
         "  \\log [n]                  last n structured log lines\n"
         "  \\top                      dashboard frame: rates since the "
         "previous \\top\n"
+        "  \\checkpoint               snapshot + truncate the WAL (durable\n"
+        "                            shells: start with CALDB_DATA_DIR set)\n"
         "  anything else             executed through Session::Execute\n"
         "                            (db statements, explain/profile <stmt>,\n"
         "                             cal <script>, define calendar ... as ...,\n"
@@ -287,6 +305,12 @@ class Shell {
     } else {
       std::printf("%s", out.c_str());
     }
+    return Status::OK();
+  }
+
+  Status DoCheckpoint() {
+    CALDB_RETURN_IF_ERROR(engine_->Checkpoint());
+    std::printf("checkpoint written\n");
     return Status::OK();
   }
 

@@ -6,7 +6,9 @@
 //                        owns the database, the CALENDARS catalog, the
 //                        temporal-rule manager and the DBCRON daemon;
 //                        executes statements concurrently on a thread
-//                        pool behind a reader/writer lock.
+//                        pool behind a reader/writer lock.  Set
+//                        EngineOptions::data_dir to make it durable —
+//                        WAL + snapshot recovery, docs/DURABILITY.md.
 //   caldb::Session       a per-client handle (engine/session.h): window,
 //                        `today`, a private evaluator with a warm
 //                        gen-cache, and the uniform Execute() entry point

@@ -168,6 +168,31 @@ Status RegisterCalendarFunctions(Database* db, const CalendarCatalog* catalog,
             FormatCivil(catalog->time_system().CivilFromDayPoint(day)));
       }));
 
+  // Civil-calendar arithmetic on day points, with the day-of-month clamp
+  // (Jan 31 + 1 month = Feb 28/29; a Feb 29 anniversary lands on Feb 28 in
+  // non-leap years), so recurrence rules anchored on month ends resolve
+  // deterministically.
+  struct CivilAddFn {
+    const char* name;
+    CivilDate (*apply)(CivilDate, int64_t);
+  };
+  for (const CivilAddFn& entry :
+       {CivilAddFn{"add_months", &AddMonths}, CivilAddFn{"add_years", &AddYears}}) {
+    auto apply = entry.apply;
+    CALDB_RETURN_IF_ERROR(registry.Register(
+        entry.name, 2, 2,
+        [catalog, apply](const std::vector<Value>& args) -> Result<Value> {
+          CALDB_ASSIGN_OR_RETURN(int64_t day, args[0].AsInt());
+          CALDB_ASSIGN_OR_RETURN(int64_t count, args[1].AsInt());
+          if (!IsValidPoint(day)) {
+            return Status::InvalidArgument("0 is not a valid time point");
+          }
+          CivilDate date = catalog->time_system().CivilFromDayPoint(day);
+          return Value::Int(
+              catalog->time_system().DayPointFromCivil(apply(date, count)));
+        }));
+  }
+
   return Status::OK();
 }
 

@@ -51,9 +51,10 @@ int BPlusTree::height() const {
   return h;
 }
 
-void BPlusTree::Insert(int64_t key, int64_t rowid) {
+bool BPlusTree::Insert(int64_t key, int64_t rowid) {
   Entry entry{key, rowid};
-  std::unique_ptr<SplitResult> split = InsertRec(root_.get(), entry);
+  bool inserted = false;
+  std::unique_ptr<SplitResult> split = InsertRec(root_.get(), entry, &inserted);
   if (split != nullptr) {
     auto new_root = std::make_unique<Node>();
     new_root->is_leaf = false;
@@ -62,14 +63,18 @@ void BPlusTree::Insert(int64_t key, int64_t rowid) {
     new_root->children.push_back(std::move(split->right));
     root_ = std::move(new_root);
   }
-  ++size_;
+  if (inserted) ++size_;
+  return inserted;
 }
 
 std::unique_ptr<BPlusTree::SplitResult> BPlusTree::InsertRec(Node* node,
-                                                             const Entry& entry) {
+                                                             const Entry& entry,
+                                                             bool* inserted) {
   Metrics().node_reads->Increment();
   if (node->is_leaf) {
     auto pos = std::lower_bound(node->entries.begin(), node->entries.end(), entry);
+    if (pos != node->entries.end() && *pos == entry) return nullptr;
+    *inserted = true;
     node->entries.insert(pos, entry);
     if (static_cast<int>(node->entries.size()) <= max_entries_) return nullptr;
     Metrics().splits->Increment();
@@ -91,7 +96,7 @@ std::unique_ptr<BPlusTree::SplitResult> BPlusTree::InsertRec(Node* node,
       std::upper_bound(node->seps.begin(), node->seps.end(), entry) -
       node->seps.begin());
   std::unique_ptr<SplitResult> child_split =
-      InsertRec(node->children[idx].get(), entry);
+      InsertRec(node->children[idx].get(), entry, inserted);
   if (child_split == nullptr) return nullptr;
   node->seps.insert(node->seps.begin() + static_cast<int64_t>(idx),
                     child_split->separator);

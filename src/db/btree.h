@@ -30,7 +30,11 @@ class BPlusTree {
   BPlusTree(BPlusTree&&) noexcept;
   BPlusTree& operator=(BPlusTree&&) noexcept;
 
-  void Insert(int64_t key, int64_t rowid);
+  /// Inserts one (key, rowid) entry; false (and no change) when that exact
+  /// pair is already present.  The composite is the tree's unique key — a
+  /// duplicate would let a leaf split land between two equal entries,
+  /// leaving no valid separator.
+  bool Insert(int64_t key, int64_t rowid);
 
   /// Removes one (key, rowid) entry; false when absent.
   bool Erase(int64_t key, int64_t rowid);
@@ -60,7 +64,8 @@ class BPlusTree {
     std::unique_ptr<Node> right;
   };
 
-  std::unique_ptr<SplitResult> InsertRec(Node* node, const Entry& entry);
+  std::unique_ptr<SplitResult> InsertRec(Node* node, const Entry& entry,
+                                         bool* inserted);
   bool EraseRec(Node* node, const Entry& entry);
   void RebalanceChild(Node* parent, size_t child_idx);
   const Node* FindLeaf(int64_t key) const;

@@ -149,6 +149,11 @@ Result<QueryResult> Database::Execute(const std::string& query,
   return ExecuteParsed(stmt, ambient, query);
 }
 
+Result<QueryResult> Database::Replay(const std::string& statement) {
+  CALDB_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(statement));
+  return ExecuteParsedImpl(stmt, nullptr);
+}
+
 Result<QueryResult> Database::ExecuteParsed(const Statement& stmt,
                                             const EvalScope* ambient,
                                             std::string_view text) {

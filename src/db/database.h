@@ -79,6 +79,14 @@ class Database {
                                     const EvalScope* ambient = nullptr,
                                     std::string_view text = {});
 
+  /// Recovery entry point (src/storage/): re-executes one WAL statement
+  /// record through the normal dispatch, skipping the slow-statement
+  /// envelope — replay latency is recovery throughput, not user latency.
+  /// Event rules fire exactly as they did originally; a statement that
+  /// failed originally fails identically here (same state either way), so
+  /// callers log and continue on error.
+  Result<QueryResult> Replay(const std::string& statement);
+
   /// Statements slower than this are logged ("db.slow_statement", warn)
   /// and counted in caldb.db.slow_statements.  Process-wide; initialized
   /// from CALDB_SLOW_STMT_MS (default 20ms); <= 0 disables.
@@ -90,6 +98,9 @@ class Database {
   Status DefineRule(EventRule rule);
   Status DropRule(const std::string& name);
   std::vector<std::string> ListRules() const;
+  /// The armed rules, in definition order (the snapshot writer serializes
+  /// them; storage/snapshot.h).
+  const std::vector<EventRule>& event_rules() const { return rules_; }
 
   /// Whether any retrieve-event rule is armed.  An atomic read: the
   /// Engine uses it to classify retrieves (a retrieve that can fire rules

@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <cstdlib>
 #include <exception>
+#include <filesystem>
 #include <variant>
 
 #include "catalog/calendar_functions.h"
+#include "catalog/catalog_io.h"
 #include "common/macros.h"
+#include "common/strings.h"
 #include "engine/session.h"
 #include "obs/obs.h"
+#include "storage/snapshot.h"
 
 namespace caldb {
 
@@ -29,6 +33,21 @@ struct EngineMetrics {
       obs::Metrics().histogram("caldb.engine.lock_wait_ns.write");
   obs::Counter* cron_advances =
       obs::Metrics().counter("caldb.engine.cron.advances");
+  obs::Counter* recovery_runs = obs::Metrics().counter("caldb.recovery.runs");
+  obs::Counter* recovery_snapshots =
+      obs::Metrics().counter("caldb.recovery.snapshot_loads");
+  obs::Counter* recovery_replayed =
+      obs::Metrics().counter("caldb.recovery.replayed_records");
+  obs::Counter* recovery_replay_errors =
+      obs::Metrics().counter("caldb.recovery.replay_errors");
+  obs::Counter* recovery_torn_tails =
+      obs::Metrics().counter("caldb.recovery.torn_tails");
+  obs::Histogram* recovery_ns =
+      obs::Metrics().histogram("caldb.recovery.ns");
+  obs::Counter* checkpoints =
+      obs::Metrics().counter("caldb.storage.checkpoints");
+  obs::Histogram* checkpoint_ns =
+      obs::Metrics().histogram("caldb.storage.checkpoint_ns");
 };
 
 EngineMetrics& Metrics() {
@@ -55,6 +74,25 @@ bool StatementWrites(const Statement& stmt, const Database& db) {
   return true;
 }
 
+// Lifespan round-trip for kDefineCalendar records ("" = none, else
+// "lo,hi" — the catalog_io.h convention).
+std::string FormatLifespan(const std::optional<Interval>& lifespan) {
+  if (!lifespan.has_value()) return "";
+  return std::to_string(lifespan->lo) + "," + std::to_string(lifespan->hi);
+}
+
+Result<std::optional<Interval>> ParseLifespanField(std::string_view text) {
+  if (text.empty()) return std::optional<Interval>(std::nullopt);
+  std::vector<std::string_view> parts = StrSplit(text, ',');
+  if (parts.size() != 2) {
+    return Status::ParseError("bad lifespan field '" + std::string(text) + "'");
+  }
+  CALDB_ASSIGN_OR_RETURN(int64_t lo, ParseInt64(parts[0]));
+  CALDB_ASSIGN_OR_RETURN(int64_t hi, ParseInt64(parts[1]));
+  CALDB_ASSIGN_OR_RETURN(Interval interval, MakeInterval(lo, hi));
+  return std::optional<Interval>(interval);
+}
+
 }  // namespace
 
 Engine::Engine(EngineOptions opts)
@@ -73,10 +111,16 @@ Result<std::unique_ptr<Engine>> Engine::Create(EngineOptions opts) {
 
 Status Engine::Init() {
   CALDB_RETURN_IF_ERROR(RegisterCalendarFunctions(&db_, &catalog_));
-  CALDB_ASSIGN_OR_RETURN(
-      rules_, TemporalRuleManager::Create(&catalog_, &db_, opts_.rule_horizon,
-                                          opts_.rule_unit));
-  cron_ = std::make_unique<DbCron>(rules_.get(), &clock_, opts_.probe_period);
+  if (!opts_.data_dir.empty()) {
+    // Durable start: snapshot restore + WAL replay build rules_/cron_ and
+    // open the writer.  No lock needed — no other thread exists yet.
+    CALDB_RETURN_IF_ERROR(Recover());
+  } else {
+    CALDB_ASSIGN_OR_RETURN(
+        rules_, TemporalRuleManager::Create(&catalog_, &db_, opts_.rule_horizon,
+                                            opts_.rule_unit));
+    cron_ = std::make_unique<DbCron>(rules_.get(), &clock_, opts_.probe_period);
+  }
   pool_ = std::make_unique<ThreadPool>(opts_.pool_threads);
   if (opts_.slow_statement_ns >= 0) {
     Database::SetSlowStatementThresholdNs(opts_.slow_statement_ns);
@@ -107,7 +151,166 @@ Status Engine::Init() {
   return Status::OK();
 }
 
-Engine::~Engine() { Stop(); }
+Engine::~Engine() {
+  Stop();
+  // Stop() is idempotent and only checkpoints on its first call; post-Stop
+  // single-threaded statements still append, so push their tail to disk.
+  if (wal_ != nullptr) (void)wal_->Sync();
+}
+
+std::string Engine::SnapshotPath() const {
+  return opts_.data_dir + "/snapshot";
+}
+
+std::string Engine::WalPath() const { return opts_.data_dir + "/wal"; }
+
+Status Engine::Recover() {
+  const int64_t start_ns = obs::NowNs();
+  Metrics().recovery_runs->Increment();
+  std::error_code ec;
+  std::filesystem::create_directories(opts_.data_dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create data dir '" + opts_.data_dir +
+                            "': " + ec.message());
+  }
+
+  // 1. Latest valid snapshot: catalog, tables, clock.
+  CALDB_ASSIGN_OR_RETURN(storage::SnapshotReadResult snapshot,
+                         storage::ReadSnapshotFile(SnapshotPath()));
+  uint64_t snapshot_lsn = 0;
+  if (snapshot.found) {
+    const storage::SnapshotImage& image = snapshot.image;
+    if (!(image.epoch == opts_.epoch)) {
+      return Status::InvalidArgument(
+          "snapshot epoch " + FormatCivil(image.epoch) +
+          " does not match engine epoch " + FormatCivil(opts_.epoch));
+    }
+    CALDB_RETURN_IF_ERROR(RestoreCatalog(image.catalog_dump, &catalog_));
+    CALDB_RETURN_IF_ERROR(storage::RestoreTables(image, &db_));
+    clock_.AdvanceTo(image.clock_day);  // clamps: start_day may be later
+    snapshot_lsn = image.last_lsn;
+    recovery_stats_.snapshot_loaded = true;
+    Metrics().recovery_snapshots->Increment();
+  }
+
+  // 2. Rule machinery on top of the restored tables (Create skips the
+  //    RULE-INFO/RULE-TIME tables when the snapshot already brought them).
+  CALDB_ASSIGN_OR_RETURN(
+      rules_, TemporalRuleManager::Create(&catalog_, &db_, opts_.rule_horizon,
+                                          opts_.rule_unit));
+  if (snapshot.found) {
+    for (const auto& rule : snapshot.image.temporal_rules) {
+      TemporalAction action;
+      action.command = rule.command;
+      CALDB_RETURN_IF_ERROR(rules_->RestoreRule(rule.id, rule.name,
+                                                rule.expression,
+                                                std::move(action),
+                                                rule.condition_query));
+    }
+    rules_->SetNextId(snapshot.image.next_rule_id);
+    CALDB_RETURN_IF_ERROR(storage::RestoreEventRules(snapshot.image, &db_));
+  }
+  cron_ = std::make_unique<DbCron>(rules_.get(), &clock_, opts_.probe_period);
+
+  // 3. WAL tail: replay everything past the snapshot, in log order.  A
+  //    record that failed originally fails identically on replay — same
+  //    state either way — so replay errors are logged, counted, and
+  //    skipped rather than aborting recovery.
+  CALDB_ASSIGN_OR_RETURN(storage::WalReadResult wal,
+                         storage::ReadWal(WalPath()));
+  uint64_t max_lsn = snapshot_lsn;
+  auto note_replay_error = [&](const Status& st, const storage::WalRecord& r) {
+    ++recovery_stats_.replay_errors;
+    Metrics().recovery_replay_errors->Increment();
+    obs::LogEvent(obs::LogLevel::kWarn, "storage.replay_error",
+                  {{"lsn", r.lsn},
+                   {"type", static_cast<int64_t>(r.type)},
+                   {"error", st.ToString()}});
+  };
+  for (const storage::WalRecord& record : wal.records) {
+    if (record.lsn <= snapshot_lsn) continue;  // superseded by the snapshot
+    max_lsn = record.lsn;
+    ++recovery_stats_.wal_records_replayed;
+    Metrics().recovery_replayed->Increment();
+    switch (record.type) {
+      case storage::WalRecordType::kStatement: {
+        Result<QueryResult> r = db_.Replay(record.a);
+        if (!r.ok()) note_replay_error(r.status(), record);
+        break;
+      }
+      case storage::WalRecordType::kDeclareRule: {
+        TemporalAction action;
+        action.command = record.c;
+        Result<int64_t> r = rules_->DeclareRule(record.a, record.b,
+                                                std::move(action), record.day,
+                                                record.d);
+        if (!r.ok()) note_replay_error(r.status(), record);
+        break;
+      }
+      case storage::WalRecordType::kDropRule: {
+        Status st = rules_->DropRule(record.a);
+        if (!st.ok()) note_replay_error(st, record);
+        break;
+      }
+      case storage::WalRecordType::kAdvance: {
+        // Re-fires the rules the original advance fired, in the same
+        // (fire_day, rule_id) order — the firings themselves were never
+        // logged, only the advance that triggered them.
+        Status st = cron_->AdvanceTo(record.day);
+        if (!st.ok()) note_replay_error(st, record);
+        break;
+      }
+      case storage::WalRecordType::kDefineCalendar: {
+        Status st = [&] {
+          CALDB_ASSIGN_OR_RETURN(std::optional<Interval> lifespan,
+                                 ParseLifespanField(record.c));
+          return catalog_.DefineDerived(record.a, record.b, lifespan);
+        }();
+        if (!st.ok()) note_replay_error(st, record);
+        break;
+      }
+      case storage::WalRecordType::kDropCalendar: {
+        Status st = catalog_.Drop(record.a);
+        if (!st.ok()) note_replay_error(st, record);
+        break;
+      }
+    }
+  }
+
+  // 4. Torn tail: drop the unusable bytes so the appender never writes
+  //    after garbage.
+  if (wal.torn_tail) {
+    obs::LogEvent(obs::LogLevel::kWarn, "storage.torn_tail",
+                  {{"path", WalPath()},
+                   {"valid_bytes", wal.valid_bytes},
+                   {"reason", wal.tail_error}});
+    CALDB_RETURN_IF_ERROR(storage::TruncateWal(WalPath(), wal.valid_bytes));
+    recovery_stats_.torn_tail_truncated = true;
+    Metrics().recovery_torn_tails->Increment();
+  }
+
+  // 5. Open the appender past everything replayed, and line the DBCRON
+  //    coordination up with the recovered clock (the thread starts later
+  //    in Init; overdue RULE-TIME entries fire on the next advance, late,
+  //    exactly once — the paper's catch-up contract).
+  storage::WalWriter::Options wal_opts;
+  wal_opts.fsync = opts_.fsync_policy;
+  wal_opts.batch_bytes = std::max<int64_t>(1, opts_.wal_batch_bytes);
+  CALDB_ASSIGN_OR_RETURN(wal_,
+                         storage::WalWriter::Open(WalPath(), wal_opts,
+                                                  max_lsn + 1));
+  cron_target_ = cron_reached_ = clock_.NowDay();
+
+  Metrics().recovery_ns->Record(obs::NowNs() - start_ns);
+  obs::LogEvent(obs::LogLevel::kInfo, "storage.recovery",
+                {{"data_dir", opts_.data_dir},
+                 {"snapshot", recovery_stats_.snapshot_loaded},
+                 {"replayed", recovery_stats_.wal_records_replayed},
+                 {"replay_errors", recovery_stats_.replay_errors},
+                 {"torn_tail", recovery_stats_.torn_tail_truncated},
+                 {"clock_day", clock_.NowDay()}});
+  return Status::OK();
+}
 
 Engine::ReadLock Engine::AcquireRead() const {
   Metrics().read_locks->Increment();
@@ -143,12 +346,114 @@ Result<QueryResult> Engine::Execute(const std::string& statement,
   // The facade's no-throw contract (common/result.h): a defect below this
   // frame surfaces as kInternal, never as an exception crossing the API.
   try {
-    return ExecuteImpl(statement, ambient);
+    Result<QueryResult> result = ExecuteImpl(statement, ambient);
+    MaybeCheckpoint();
+    return result;
   } catch (const std::exception& e) {
     return Status::Internal(std::string("uncaught exception in Execute: ") +
                             e.what());
   } catch (...) {
     return Status::Internal("uncaught non-exception throw in Execute");
+  }
+}
+
+Status Engine::LogDurable(storage::WalRecord record) {
+  if (wal_ == nullptr) return Status::OK();
+  Result<uint64_t> lsn = wal_->Append(std::move(record));
+  if (!lsn.ok()) {
+    // Effects are applied in memory but not persisted — surface it; the
+    // caller turns it into the operation's status.
+    return lsn.status().WithContext("WAL append");
+  }
+  if (opts_.checkpoint_wal_bytes > 0 &&
+      wal_->bytes() >= opts_.checkpoint_wal_bytes) {
+    checkpoint_due_.store(true, std::memory_order_release);
+  }
+  return Status::OK();
+}
+
+void Engine::MaybeCheckpoint() {
+  if (wal_ == nullptr || !checkpoint_due_.load(std::memory_order_acquire)) {
+    return;
+  }
+  bool expected = true;
+  if (!checkpoint_due_.compare_exchange_strong(expected, false)) return;
+  Status st = Checkpoint();
+  if (!st.ok()) {
+    obs::LogEvent(obs::LogLevel::kWarn, "storage.checkpoint_error",
+                  {{"error", st.ToString()}});
+  }
+}
+
+Status Engine::Checkpoint() {
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument("engine has no data dir to checkpoint to");
+  }
+  try {
+    WriteLock lock = AcquireWrite();
+    return CheckpointLocked();
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("uncaught exception in Checkpoint: ") +
+                            e.what());
+  } catch (...) {
+    return Status::Internal("uncaught non-exception throw in Checkpoint");
+  }
+}
+
+Status Engine::CheckpointLocked() {
+  const int64_t start_ns = obs::NowNs();
+  CALDB_ASSIGN_OR_RETURN(
+      storage::SnapshotImage image,
+      storage::CaptureSnapshot(db_, catalog_, *rules_, clock_.NowDay(),
+                               wal_->last_lsn()));
+  CALDB_RETURN_IF_ERROR(storage::WriteSnapshotFile(SnapshotPath(), image));
+  // A crash before this truncation replays stale frames — harmless, their
+  // LSNs are <= the snapshot's and replay skips them.
+  CALDB_RETURN_IF_ERROR(wal_->ResetAfterCheckpoint());
+  Metrics().checkpoints->Increment();
+  Metrics().checkpoint_ns->Record(obs::NowNs() - start_ns);
+  obs::LogEvent(obs::LogLevel::kInfo, "storage.checkpoint",
+                {{"path", SnapshotPath()},
+                 {"last_lsn", static_cast<int64_t>(image.last_lsn)},
+                 {"clock_day", image.clock_day}});
+  return Status::OK();
+}
+
+Status Engine::DefineCalendar(const std::string& name,
+                              const std::string& script,
+                              std::optional<Interval> lifespan_days) {
+  try {
+    // The exclusive lock serializes the WAL append with statement/rule
+    // records (lock order: db_mu_ before catalog internals).
+    WriteLock lock = AcquireWrite();
+    CALDB_RETURN_IF_ERROR(catalog_.DefineDerived(name, script, lifespan_days));
+    storage::WalRecord record;
+    record.type = storage::WalRecordType::kDefineCalendar;
+    record.a = name;
+    record.b = script;
+    record.c = FormatLifespan(lifespan_days);
+    return LogDurable(std::move(record));
+  } catch (const std::exception& e) {
+    return Status::Internal(
+        std::string("uncaught exception in DefineCalendar: ") + e.what());
+  } catch (...) {
+    return Status::Internal("uncaught non-exception throw in DefineCalendar");
+  }
+}
+
+Status Engine::DropCalendar(const std::string& name) {
+  try {
+    WriteLock lock = AcquireWrite();
+    CALDB_RETURN_IF_ERROR(catalog_.Drop(name));
+    storage::WalRecord record;
+    record.type = storage::WalRecordType::kDropCalendar;
+    record.a = name;
+    return LogDurable(std::move(record));
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("uncaught exception in DropCalendar: ") +
+                            e.what());
+  } catch (...) {
+    return Status::Internal("uncaught non-exception throw in DropCalendar");
   }
 }
 
@@ -169,7 +474,16 @@ Result<QueryResult> Engine::ExecuteImpl(const std::string& statement,
   if (StatementWrites(stmt, db_)) {
     span.AddAttr("lock", "write");
     WriteLock lock = AcquireWrite();
-    return db_.ExecuteParsed(stmt, ambient, statement);
+    Result<QueryResult> result = db_.ExecuteParsed(stmt, ambient, statement);
+    // Redo-log the statement whatever its outcome: a failing statement may
+    // have applied partial effects, and replaying it fails identically —
+    // deterministic either way.  (Not reached for parse errors.)
+    storage::WalRecord redo;
+    redo.type = storage::WalRecordType::kStatement;
+    redo.a = statement;
+    Status logged = LogDurable(std::move(redo));
+    if (!logged.ok() && result.ok()) return logged;
+    return result;
   }
   span.AddAttr("lock", "read");
   ReadLock lock = AcquireRead();
@@ -220,8 +534,28 @@ Result<int64_t> Engine::DeclareRule(const std::string& name,
                                     const std::string& condition_query) {
   try {
     WriteLock lock = AcquireWrite();
-    return rules_->DeclareRule(name, expression, std::move(action), Now(),
-                               condition_query);
+    const TimePoint declared_at = Now();
+    const std::string command = action.command;
+    const bool has_callback = static_cast<bool>(action.callback);
+    CALDB_ASSIGN_OR_RETURN(
+        int64_t id, rules_->DeclareRule(name, expression, std::move(action),
+                                        declared_at, condition_query));
+    if (command.empty() && has_callback) {
+      // A callback cannot be redo-logged; the declaration will not survive
+      // recovery (docs/DURABILITY.md) — re-register it after restart.
+      obs::LogEvent(obs::LogLevel::kWarn, "storage.skip_callback_rule",
+                    {{"rule", name}});
+      return id;
+    }
+    storage::WalRecord record;
+    record.type = storage::WalRecordType::kDeclareRule;
+    record.a = name;
+    record.b = expression;
+    record.c = command;
+    record.d = condition_query;
+    record.day = declared_at;
+    CALDB_RETURN_IF_ERROR(LogDurable(std::move(record)));
+    return id;
   } catch (const std::exception& e) {
     return Status::Internal(std::string("uncaught exception in DeclareRule: ") +
                             e.what());
@@ -230,7 +564,11 @@ Result<int64_t> Engine::DeclareRule(const std::string& name,
 
 Status Engine::DropTemporalRule(const std::string& name) {
   WriteLock lock = AcquireWrite();
-  return rules_->DropRule(name);
+  CALDB_RETURN_IF_ERROR(rules_->DropRule(name));
+  storage::WalRecord record;
+  record.type = storage::WalRecordType::kDropRule;
+  record.a = name;
+  return LogDurable(std::move(record));
 }
 
 Status Engine::AdvanceTo(TimePoint day) {
@@ -245,7 +583,10 @@ Status Engine::AdvanceTo(TimePoint day) {
   }
   cron_done_cv_.wait(lock,
                      [&] { return cron_reached_ >= day || cron_stop_; });
-  return cron_status_;
+  Status st = cron_status_;
+  lock.unlock();
+  MaybeCheckpoint();
+  return st;
 }
 
 Status Engine::AdvanceToCivil(const CivilDate& date) {
@@ -288,6 +629,15 @@ void Engine::CronLoop() {
         span.AddAttr("to_day", std::to_string(chunk));
         WriteLock db_lock = AcquireWrite();
         st = cron_->AdvanceTo(chunk);
+        // Redo-log the advance whatever its status: firings before an
+        // error already applied, and replaying the advance reproduces
+        // them (and the error) deterministically.  The firings themselves
+        // are never logged — only the advance that triggers them.
+        storage::WalRecord record;
+        record.type = storage::WalRecordType::kAdvance;
+        record.day = chunk;
+        Status logged = LogDurable(std::move(record));
+        if (!logged.ok() && st.ok()) st = logged;
       }
       Metrics().cron_advances->Increment();
       reached = chunk;
@@ -326,6 +676,23 @@ Status Engine::Stop() {
     std::unique_lock<std::mutex> lock(cron_mu_);
     st = cron_status_;
   }
+  if (wal_ != nullptr) {
+    if (opts_.checkpoint_on_stop) {
+      Status cp = Checkpoint();
+      if (!cp.ok()) {
+        obs::LogEvent(obs::LogLevel::kWarn, "storage.checkpoint_error",
+                      {{"error", cp.ToString()}});
+        if (st.ok()) st = cp;
+      }
+    } else {
+      Status sync = wal_->Sync();
+      if (!sync.ok() && st.ok()) st = sync;
+    }
+  }
+  // Telemetry sinks drain last, so the checkpoint's own log events make
+  // it out too: the logger's buffered file sink (the snapshotter flushed
+  // its final delta in Stop() above).
+  obs::Log().Flush();
   return st;
 }
 

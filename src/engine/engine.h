@@ -39,6 +39,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <thread>
@@ -52,6 +53,7 @@
 #include "rules/clock.h"
 #include "rules/dbcron.h"
 #include "rules/temporal_rules.h"
+#include "storage/wal.h"
 
 namespace caldb {
 
@@ -73,6 +75,27 @@ struct EngineOptions {
   /// Default gen-cache budget handed to each new Session's evaluator.
   size_t session_gen_cache_entries = 64;
   size_t session_gen_cache_bytes = 16u << 20;
+
+  // --- durability -----------------------------------------------------------
+
+  /// When nonempty, the engine is durable: construction recovers from
+  /// `<data_dir>/snapshot` + `<data_dir>/wal` (replaying the WAL tail and
+  /// truncating a torn final record), every mutating operation appends a
+  /// WAL record, and Stop() checkpoints.  Empty (the default) keeps the
+  /// engine purely in-memory.  See docs/DURABILITY.md.
+  std::string data_dir;
+  /// When WAL appends reach disk (storage/wal.h): kAlways fsyncs before
+  /// the statement is acknowledged, kBatch every `wal_batch_bytes`, kOff
+  /// only at checkpoints.
+  storage::FsyncPolicy fsync_policy = storage::FsyncPolicy::kBatch;
+  /// kBatch: fsync once this many unsynced bytes accumulate.
+  int64_t wal_batch_bytes = 64 * 1024;
+  /// Auto-checkpoint once the WAL grows past this many bytes (0 disables;
+  /// Stop() and the shell's \checkpoint still snapshot).
+  int64_t checkpoint_wal_bytes = 8 << 20;
+  /// Whether Stop() writes a snapshot and truncates the WAL.  Crash tests
+  /// turn this off to exercise the replay path on a clean shutdown.
+  bool checkpoint_on_stop = true;
 
   // --- telemetry ------------------------------------------------------------
 
@@ -148,6 +171,34 @@ class Engine {
   /// so it is consistent with respect to firings).
   DbCron::CronStats CronStats() const;
 
+  // --- durability -----------------------------------------------------------
+
+  /// Whether this engine persists to a data directory.
+  bool durable() const { return wal_ != nullptr; }
+
+  /// Defines a derived calendar through the durable path: the definition
+  /// is WAL-logged (and so survives recovery).  Equivalent to
+  /// catalog().DefineDerived for an in-memory engine.
+  Status DefineCalendar(const std::string& name, const std::string& script,
+                        std::optional<Interval> lifespan_days = std::nullopt);
+  /// Drops a calendar through the durable path.
+  Status DropCalendar(const std::string& name);
+
+  /// Writes a snapshot of the full engine state and truncates the WAL,
+  /// under the exclusive lock (the shell's \checkpoint).  InvalidArgument
+  /// for an in-memory engine.
+  Status Checkpoint();
+
+  struct RecoveryStats {
+    bool snapshot_loaded = false;
+    int64_t wal_records_replayed = 0;
+    int64_t replay_errors = 0;
+    bool torn_tail_truncated = false;
+  };
+  /// What recovery did at construction (zeros for an in-memory engine or
+  /// a cold start).
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+
   /// Drains the DBCRON thread's pending advance and the pool, then joins
   /// both.  Idempotent; called by the destructor.  After Stop, Execute
   /// keeps working single-threaded but AdvanceTo / ExecuteAsync fail.
@@ -203,6 +254,23 @@ class Engine {
                                   const EvalScope* ambient);
   void CronLoop();
 
+  // --- durability internals -------------------------------------------------
+
+  std::string SnapshotPath() const;
+  std::string WalPath() const;
+  /// Builds rules_/cron_ from the data dir: snapshot restore, WAL replay,
+  /// torn-tail truncation.  Called from Init instead of the in-memory
+  /// construction when opts_.data_dir is set.
+  Status Recover();
+  /// Appends one WAL record (no-op for an in-memory engine; callers hold
+  /// the exclusive lock so log order matches execution order).  Flags an
+  /// auto-checkpoint when the log outgrows the threshold.
+  Status LogDurable(storage::WalRecord record);
+  /// Snapshot + WAL truncation; caller holds the exclusive lock.
+  Status CheckpointLocked();
+  /// Runs a due auto-checkpoint, if flagged.  Must be called lock-free.
+  void MaybeCheckpoint();
+
   EngineOptions opts_;
   CalendarCatalog catalog_;
   Database db_;
@@ -211,6 +279,11 @@ class Engine {
   std::unique_ptr<DbCron> cron_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<obs::MetricsSnapshotter> snapshotter_;
+  // Durability (null for an in-memory engine).  Appends happen under
+  // db_mu_ exclusive; the writer's own mutex covers Sync from Stop().
+  std::unique_ptr<storage::WalWriter> wal_;
+  RecoveryStats recovery_stats_;
+  std::atomic<bool> checkpoint_due_{false};
 
   // Reader/writer lock over the database (tables, event rules, the rule
   // manager's in-memory state, and DBCRON's heap — everything the firing

@@ -130,7 +130,8 @@ Status Session::DefineCalendar(const std::string& name,
                                const std::string& script,
                                std::optional<Interval> lifespan_days) {
   try {
-    return engine_->catalog().DefineDerived(name, script, lifespan_days);
+    // Via the engine so a durable engine WAL-logs the definition.
+    return engine_->DefineCalendar(name, script, lifespan_days);
   } catch (const std::exception& e) {
     return Status::Internal(
         std::string("uncaught exception in DefineCalendar: ") + e.what());
@@ -182,7 +183,7 @@ Result<QueryResult> Session::ExecuteImpl(const std::string& text) {
   }
   if (ConsumeKeywords(text, {"drop", "calendar"}, &rest)) {
     std::string name(rest);
-    CALDB_RETURN_IF_ERROR(engine_->catalog().Drop(name));
+    CALDB_RETURN_IF_ERROR(engine_->DropCalendar(name));
     return MessageResult("dropped calendar " + name);
   }
   if (ConsumeKeywords(text, {"declare", "rule"}, &rest)) {

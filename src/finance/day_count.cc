@@ -27,12 +27,25 @@ Status ValidateDates(CivilDate a, CivilDate b) {
   return Status::OK();
 }
 
+bool IsLastDayOfFebruary(CivilDate d) {
+  return d.month == 2 && d.day == DaysInMonth(d.year, 2);
+}
+
 int64_t Thirty360Days(CivilDate a, CivilDate b) {
-  // US (NASD) 30/360: clamp start day to 30; clamp end day to 30 only when
-  // the start day was clamped.
-  int d1 = std::min(a.day, 30);
+  // US (NASD) 30/360, the full rule set, applied in order:
+  //   1. both dates are the last day of February  -> d2 = 30;
+  //   2. the start date is the last day of February -> d1 = 30;
+  //   3. d2 = 31 and d1 is 30 or 31               -> d2 = 30;
+  //   4. d1 = 31                                  -> d1 = 30.
+  // A 28th/29th that is not end-of-February is never adjusted, so the
+  // February rules must run before (not as a side effect of) the
+  // day-31 clamps.
+  int d1 = a.day;
   int d2 = b.day;
-  if (d1 == 30 && d2 == 31) d2 = 30;
+  if (IsLastDayOfFebruary(a) && IsLastDayOfFebruary(b)) d2 = 30;
+  if (IsLastDayOfFebruary(a)) d1 = 30;
+  if (d2 == 31 && d1 >= 30) d2 = 30;
+  if (d1 == 31) d1 = 30;
   return 360LL * (b.year - a.year) + 30LL * (b.month - a.month) + (d2 - d1);
 }
 

@@ -180,6 +180,11 @@ bool Logger::has_sink() const {
   return sink_ != nullptr;
 }
 
+void Logger::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_ != nullptr) std::fflush(sink_);
+}
+
 std::vector<LogRecord> Logger::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<LogRecord> out;

@@ -138,6 +138,12 @@ class Logger {
   Status SetSinkPath(const std::string& path);
   bool has_sink() const;
 
+  /// Flushes the file sink's buffered tail (info/debug lines are only
+  /// fflushed at warn+ on the hot path).  Engine::Stop() calls this so a
+  /// process exit right after Stop cannot drop buffered lines.  No-op
+  /// without a sink.
+  void Flush();
+
   /// Ring contents, oldest first.
   std::vector<LogRecord> Snapshot() const;
 

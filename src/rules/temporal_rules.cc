@@ -124,11 +124,42 @@ Status TemporalRuleManager::DropRule(const std::string& name) {
   return Status::NotFound("no temporal rule named '" + name + "'");
 }
 
+Status TemporalRuleManager::RestoreRule(int64_t id, const std::string& name,
+                                        const std::string& expression,
+                                        TemporalAction action,
+                                        const std::string& condition_query) {
+  if (rules_.count(id) > 0) {
+    return Status::AlreadyExists("temporal rule id " + std::to_string(id) +
+                                 " already restored");
+  }
+  Result<Plan> plan = catalog_->CompileScriptText(expression);
+  if (!plan.ok()) {
+    return plan.status().WithContext("restoring temporal rule '" + name + "'");
+  }
+  TemporalRule rule;
+  rule.id = id;
+  rule.name = name;
+  rule.expression = expression;
+  rule.plan = std::make_shared<const Plan>(std::move(plan).value());
+  rule.action = std::move(action);
+  rule.condition_query = condition_query;
+  rules_[id] = std::move(rule);
+  SetNextId(id + 1);
+  return Status::OK();
+}
+
 std::vector<std::string> TemporalRuleManager::ListRules() const {
   std::vector<std::string> names;
   names.reserve(rules_.size());
   for (const auto& [id, rule] : rules_) names.push_back(rule.name);
   return names;
+}
+
+std::vector<TemporalRule> TemporalRuleManager::ListRuleDefs() const {
+  std::vector<TemporalRule> defs;
+  defs.reserve(rules_.size());
+  for (const auto& [id, rule] : rules_) defs.push_back(rule);
+  return defs;
 }
 
 Result<TemporalRule> TemporalRuleManager::GetRule(int64_t id) const {

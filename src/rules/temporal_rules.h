@@ -10,6 +10,7 @@
 #ifndef CALDB_RULES_TEMPORAL_RULES_H_
 #define CALDB_RULES_TEMPORAL_RULES_H_
 
+#include <algorithm>
 #include <functional>
 #include <map>
 #include <memory>
@@ -80,7 +81,24 @@ class TemporalRuleManager {
 
   Status DropRule(const std::string& name);
 
+  /// Recovery entry point (src/storage/): rebuilds one rule's in-memory
+  /// state — compiles the expression, keeps the given id — WITHOUT writing
+  /// RULE-INFO/RULE-TIME rows (those restore with the table snapshot).
+  /// Bumps the id counter past `id`.
+  Status RestoreRule(int64_t id, const std::string& name,
+                     const std::string& expression, TemporalAction action,
+                     const std::string& condition_query);
+
+  /// The id the next DeclareRule will assign.  Snapshotted and restored
+  /// (SetNextId) so ids stay stable across recovery.
+  int64_t next_id() const { return next_id_; }
+  void SetNextId(int64_t next_id) { next_id_ = std::max(next_id_, next_id); }
+
   std::vector<std::string> ListRules() const;
+
+  /// Full definitions of every rule, ordered by id (the snapshot writer
+  /// serializes them; callback actions are not serializable).
+  std::vector<TemporalRule> ListRuleDefs() const;
 
   Result<TemporalRule> GetRule(int64_t id) const;
   Result<TemporalRule> GetRuleByName(const std::string& name) const;

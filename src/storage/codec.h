@@ -1,0 +1,130 @@
+// Binary encoding helpers shared by the WAL and the snapshot writer:
+// little-endian fixed-width integers, length-prefixed strings, and the
+// IEEE CRC-32 that guards both file formats.  The encoding is deliberately
+// boring — fixed widths, no varints — so a torn or corrupted record is
+// detected by the checksum, never mis-parsed.
+
+#ifndef CALDB_STORAGE_CODEC_H_
+#define CALDB_STORAGE_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace caldb::storage {
+
+/// CRC-32 (IEEE 802.3, reflected, init/xorout 0xFFFFFFFF) over `data`.
+uint32_t Crc32(std::string_view data);
+
+// --- encoding ---------------------------------------------------------------
+
+inline void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+inline void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+inline void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+inline void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+inline void PutF64(std::string* out, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+inline void PutString(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+// --- decoding ---------------------------------------------------------------
+
+/// A bounds-checked cursor over an encoded buffer.  Every Read* returns
+/// ParseError instead of reading past the end, so a decoder over a
+/// checksummed payload can still never crash on adversarial input.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+  Result<uint8_t> ReadU8() {
+    if (remaining() < 1) return Short("u8");
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  Result<uint32_t> ReadU32() {
+    if (remaining() < 4) return Short("u32");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  Result<uint64_t> ReadU64() {
+    if (remaining() < 8) return Short("u64");
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  Result<int64_t> ReadI64() {
+    auto v = ReadU64();
+    if (!v.ok()) return v.status();
+    return static_cast<int64_t>(*v);
+  }
+
+  Result<double> ReadF64() {
+    auto bits = ReadU64();
+    if (!bits.ok()) return bits.status();
+    double v;
+    std::memcpy(&v, &*bits, sizeof(v));
+    return v;
+  }
+
+  Result<std::string> ReadString() {
+    auto len = ReadU32();
+    if (!len.ok()) return len.status();
+    if (remaining() < *len) return Short("string body");
+    std::string s(data_.substr(pos_, *len));
+    pos_ += *len;
+    return s;
+  }
+
+ private:
+  static Status Short(std::string_view what) {
+    return Status::ParseError("encoded buffer too short reading " +
+                              std::string(what));
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace caldb::storage
+
+#endif  // CALDB_STORAGE_CODEC_H_

@@ -1,0 +1,106 @@
+// Snapshots: a point-in-time image of everything the engine would lose in
+// a restart — tables (with schemas, rows and index definitions), the
+// CALENDARS catalog, event rules, temporal-rule definitions, and the
+// DBCRON virtual clock — plus the WAL LSN the image is consistent with.
+//
+// Recovery (engine/engine.cc) loads the latest valid snapshot, replays
+// the WAL frames with LSN greater than the snapshot's, and resumes.  The
+// image is written atomically: serialize to `<path>.tmp`, fsync, rename
+// over `<path>`, fsync the directory — a crash mid-checkpoint leaves the
+// previous snapshot intact.
+//
+// On-disk format: an 8-byte magic, a u32 version, a u32 payload length, a
+// u32 CRC-32 of the payload, then the payload (storage/codec.h encoding).
+// Any mismatch — magic, version, length, checksum — fails the read; a
+// snapshot is all-or-nothing, unlike the WAL's frame-by-frame salvage.
+//
+// Known non-durable state (docs/DURABILITY.md): C++ callbacks on temporal
+// or event rules cannot be serialized — rules whose only action is a
+// callback are dropped from the image with a warning log; re-register
+// them after recovery.  Event-rule where-clauses round-trip through
+// DbExpr::ToString / ParseDbExpression.
+
+#ifndef CALDB_STORAGE_SNAPSHOT_H_
+#define CALDB_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/calendar_catalog.h"
+#include "db/database.h"
+#include "rules/temporal_rules.h"
+
+namespace caldb::storage {
+
+/// The decoded image.  Plain data: the engine applies the pieces in its
+/// own order (tables before the rule manager exists, rule definitions
+/// after), which is why this is not a single Restore(Database*) call.
+struct SnapshotImage {
+  CivilDate epoch;
+  TimePoint clock_day = 1;
+  uint64_t last_lsn = 0;
+  int64_t next_rule_id = 1;
+  std::string catalog_dump;  // catalog_io.h text format
+
+  struct TableImage {
+    std::string name;
+    std::vector<Column> columns;
+    std::vector<std::string> indexed_columns;
+    std::vector<Row> rows;
+  };
+  std::vector<TableImage> tables;
+
+  struct TemporalRuleImage {
+    int64_t id = 0;
+    std::string name;
+    std::string expression;
+    std::string command;
+    std::string condition_query;
+  };
+  std::vector<TemporalRuleImage> temporal_rules;
+
+  struct EventRuleImage {
+    std::string name;
+    DbEvent event = DbEvent::kAppend;
+    std::string table;
+    std::string where_text;  // "" = no where clause
+    std::string command;
+  };
+  std::vector<EventRuleImage> event_rules;
+};
+
+/// Captures a consistent image of the running parts.  The caller must hold
+/// the engine's exclusive lock (nothing here locks).  Callback-only rules
+/// are skipped (see header comment).
+Result<SnapshotImage> CaptureSnapshot(const Database& db,
+                                      const CalendarCatalog& catalog,
+                                      const TemporalRuleManager& rules,
+                                      TimePoint clock_day, uint64_t last_lsn);
+
+Result<std::string> EncodeSnapshot(const SnapshotImage& image);
+Result<SnapshotImage> DecodeSnapshot(std::string_view blob);
+
+/// Encodes and writes `image` atomically to `path` (tmp + fsync + rename
+/// + directory fsync).
+Status WriteSnapshotFile(const std::string& path, const SnapshotImage& image);
+
+/// Reads and decodes `path`.  `found=false` (and an empty image) when the
+/// file does not exist; a corrupt file is an error.
+struct SnapshotReadResult {
+  bool found = false;
+  SnapshotImage image;
+};
+Result<SnapshotReadResult> ReadSnapshotFile(const std::string& path);
+
+/// Restores the table section of an image into a fresh database: creates
+/// each table, inserts its rows, rebuilds its indexes.  Fails on a name
+/// clash (the database must not already define the tables).
+Status RestoreTables(const SnapshotImage& image, Database* db);
+
+/// Restores the event-rule section (where clauses re-parsed from text).
+Status RestoreEventRules(const SnapshotImage& image, Database* db);
+
+}  // namespace caldb::storage
+
+#endif  // CALDB_STORAGE_SNAPSHOT_H_

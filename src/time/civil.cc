@@ -58,6 +58,31 @@ bool IsValidCivil(CivilDate d) {
          d.day <= DaysInMonth(d.year, d.month);
 }
 
+CivilDate AddMonths(CivilDate d, int64_t months) {
+  // Months since year 0, floor-divided back apart so negative totals land
+  // in the right year.
+  const int64_t total = static_cast<int64_t>(d.year) * 12 + (d.month - 1) +
+                        months;
+  int64_t year = total / 12;
+  int64_t month = total % 12;
+  if (month < 0) {
+    month += 12;
+    --year;
+  }
+  CivilDate out{static_cast<int32_t>(year), static_cast<int32_t>(month + 1),
+                d.day};
+  const int cap = DaysInMonth(out.year, out.month);
+  if (out.day > cap) out.day = cap;
+  return out;
+}
+
+CivilDate AddYears(CivilDate d, int64_t years) {
+  CivilDate out{static_cast<int32_t>(d.year + years), d.month, d.day};
+  const int cap = DaysInMonth(out.year, out.month);
+  if (out.day > cap) out.day = cap;  // Feb 29 anniversary -> Feb 28
+  return out;
+}
+
 std::string FormatCivil(CivilDate d) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", d.year, d.month, d.day);

@@ -55,6 +55,17 @@ Weekday WeekdayFromDays(int64_t days);
 /// True when year/month/day form a real Gregorian date.
 bool IsValidCivil(CivilDate d);
 
+/// `d` plus `months` calendar months, clamping the day-of-month into the
+/// target month: Jan 31 + 1 month = Feb 28 (Feb 29 in a leap year).
+/// Handles year rollover and negative counts.
+CivilDate AddMonths(CivilDate d, int64_t months);
+
+/// `d` plus `years` calendar years, with the same clamp — the leap-day
+/// recurrence rule: an anniversary anchored on Feb 29 resolves to Feb 28
+/// in a non-leap year, deterministically (docs/DURABILITY.md notes why
+/// recurrences must be deterministic across replay).
+CivilDate AddYears(CivilDate d, int64_t years);
+
 /// "YYYY-MM-DD".
 std::string FormatCivil(CivilDate d);
 

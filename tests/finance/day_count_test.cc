@@ -35,6 +35,60 @@ TEST(DayCountTest, Thirty360EndOfMonthClamps) {
       2);
 }
 
+TEST(DayCountTest, Thirty360UsNasdRuleTable) {
+  // The full US (NASD) 30/360 rule set, table-driven.  Expected values
+  // follow the published convention: end-of-February start dates are
+  // treated as the 30th, and the end date is pulled to 30 only when the
+  // start was also end-of-February (rule 1) or via the 31->30 clamp.
+  struct Case {
+    CivilDate a;
+    CivilDate b;
+    int64_t expected;
+    const char* why;
+  };
+  const Case kCases[] = {
+      // Rule 1: both end-of-Feb -> d1 = d2 = 30 (Feb 28 1993 -> Feb 28 1994
+      // is a clean year).
+      {{1993, 2, 28}, {1994, 2, 28}, 360, "EOM-Feb to EOM-Feb, non-leap"},
+      {{1992, 2, 29}, {1993, 2, 28}, 360, "leap EOM-Feb to non-leap EOM-Feb"},
+      {{1993, 2, 28}, {1996, 2, 29}, 3 * 360, "non-leap EOM-Feb to leap EOM-Feb"},
+      // Rule 2: start is EOM-Feb -> d1 = 30, which then lets rule 3 pull a
+      // day-31 end date to 30 as well.
+      {{1993, 2, 28}, {1993, 3, 31}, 30, "EOM-Feb start, Mar 31 end"},
+      {{1992, 2, 29}, {1992, 3, 1}, 1, "leap EOM-Feb start"},
+      {{1993, 2, 28}, {1993, 3, 1}, 1, "non-leap EOM-Feb start"},
+      // Feb 28 in a leap year is NOT end-of-February: no adjustment.
+      {{1992, 2, 28}, {1992, 3, 1}, 3, "Feb 28 of a leap year is day 28"},
+      {{1992, 2, 28}, {1993, 2, 28}, 360, "Feb 28 to Feb 28 across leap year"},
+      // Rule 3: d2 = 31 with d1 >= 30 -> d2 = 30.
+      {{1993, 1, 30}, {1993, 3, 31}, 60, "d1=30 pulls d2=31 to 30"},
+      {{1993, 1, 31}, {1993, 3, 31}, 60, "d1=31 pulls d2=31 to 30"},
+      // Rule 3 does NOT fire when d1 < 30.
+      {{1993, 1, 29}, {1993, 3, 31}, 62, "d1=29 leaves d2=31 alone"},
+      // Rule 4: d1 = 31 -> 30, end date otherwise untouched.
+      {{1993, 1, 31}, {1993, 2, 1}, 1, "d1=31 alone"},
+      // End-of-Feb as the *end* date only is never adjusted.
+      {{1993, 1, 15}, {1993, 2, 28}, 43, "EOM-Feb end only, no adjustment"},
+      {{1996, 1, 15}, {1996, 2, 29}, 44, "leap EOM-Feb end only"},
+  };
+  for (const Case& c : kCases) {
+    EXPECT_EQ(DayCountDays(DayCount::kThirty360, c.a, c.b).value(), c.expected)
+        << c.why << ": " << FormatCivil(c.a) << " -> " << FormatCivil(c.b);
+  }
+}
+
+TEST(DayCountTest, Thirty360YearFractionIsExactForFebruaryAnnualPairs) {
+  // A coupon paid annually on the last day of February accrues exactly one
+  // 360-day year regardless of leap years -- the regression that motivated
+  // the end-of-February rules.
+  EXPECT_DOUBLE_EQ(
+      YearFraction(DayCount::kThirty360, {1995, 2, 28}, {1996, 2, 29}).value(),
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      YearFraction(DayCount::kThirty360, {1996, 2, 29}, {1997, 2, 28}).value(),
+      1.0);
+}
+
 TEST(DayCountTest, ActualConventionsCountRealDays) {
   EXPECT_EQ(DayCountDays(DayCount::kAct365, {1993, 1, 1}, {1993, 2, 1}).value(),
             31);

@@ -147,6 +147,42 @@ TEST(Logger, FileSinkAppendsJsonLines) {
   EXPECT_EQ(parsed->Get("detail")->str, "it \"broke\"");
 }
 
+TEST(Logger, FlushDrainsBufferedInfoLinesWithoutClosingTheSink) {
+  // Info-level lines are buffered (only warn+ fflush on the hot path), so
+  // a reader sees nothing until Flush() — the shutdown path
+  // (Engine::Stop) relies on this to not lose the tail of the log.
+  const std::string path =
+      ::testing::TempDir() + "caldb_log_flush_test.jsonl";
+  std::remove(path.c_str());
+  Logger log(8);
+  ASSERT_TRUE(log.SetSinkPath(path).ok());
+  log.Log(LogLevel::kInfo, "buffered_tail", {{"n", int64_t{1}}});
+
+  auto read_all = [&path]() {
+    std::string contents;
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return contents;
+    char buf[4096];
+    size_t n = std::fread(buf, 1, sizeof(buf), f);
+    std::fclose(f);
+    contents.assign(buf, n);
+    return contents;
+  };
+
+  log.Flush();
+  std::string contents = read_all();
+  EXPECT_NE(contents.find("buffered_tail"), std::string::npos);
+
+  // The sink stays open: later records still land.
+  log.Log(LogLevel::kInfo, "after_flush", {});
+  log.Flush();
+  EXPECT_NE(read_all().find("after_flush"), std::string::npos);
+
+  ASSERT_TRUE(log.SetSinkPath("").ok());
+  log.Flush();  // no sink: a no-op, not a crash
+  std::remove(path.c_str());
+}
+
 TEST(Logger, ClearEmptiesRingAndTotal) {
   Logger log(8);
   log.Log(LogLevel::kInfo, "gone", {});

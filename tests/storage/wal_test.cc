@@ -1,0 +1,248 @@
+// WAL frame format: round trips, torn-tail detection, truncation.
+
+#include "storage/wal.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "storage/codec.h"
+
+namespace caldb::storage {
+namespace {
+
+std::string TempWalPath(const char* name) {
+  std::string path = ::testing::TempDir() + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+WalRecord MakeRecord(WalRecordType type, std::string a) {
+  WalRecord r;
+  r.type = type;
+  r.a = std::move(a);
+  return r;
+}
+
+TEST(WalRecord, EncodeDecodeRoundTripsEveryField) {
+  WalRecord r;
+  r.type = WalRecordType::kDeclareRule;
+  r.lsn = 0x0102030405060708ull;
+  r.a = "payday";
+  r.b = "last Friday of each month";
+  r.c = "append to LOG values (1)";
+  r.d = "retrieve COUNTER where n > 0";
+  r.day = -12345;
+  Result<WalRecord> back = WalRecord::Decode(r.Encode());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->type, r.type);
+  EXPECT_EQ(back->lsn, r.lsn);
+  EXPECT_EQ(back->a, r.a);
+  EXPECT_EQ(back->b, r.b);
+  EXPECT_EQ(back->c, r.c);
+  EXPECT_EQ(back->d, r.d);
+  EXPECT_EQ(back->day, r.day);
+}
+
+TEST(WalRecord, DecodeRejectsTruncatedPayload) {
+  WalRecord r = MakeRecord(WalRecordType::kStatement, "append to T values (1)");
+  std::string payload = r.Encode();
+  for (size_t cut : {size_t{0}, size_t{1}, payload.size() / 2, payload.size() - 1}) {
+    EXPECT_FALSE(WalRecord::Decode(payload.substr(0, cut)).ok())
+        << "cut at " << cut;
+  }
+}
+
+TEST(WalWriter, AppendsAreReadBackInOrderWithSequentialLsns) {
+  std::string path = TempWalPath("wal_roundtrip.wal");
+  auto writer = WalWriter::Open(path, {FsyncPolicy::kAlways, 1}, 1);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  for (int i = 0; i < 20; ++i) {
+    Result<uint64_t> lsn = (*writer)->Append(
+        MakeRecord(WalRecordType::kStatement, "stmt " + std::to_string(i)));
+    ASSERT_TRUE(lsn.ok()) << lsn.status().ToString();
+    EXPECT_EQ(*lsn, static_cast<uint64_t>(i + 1));
+  }
+  EXPECT_EQ((*writer)->last_lsn(), 20u);
+  writer->reset();  // close before reading
+
+  Result<WalReadResult> read = ReadWal(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_FALSE(read->torn_tail);
+  ASSERT_EQ(read->records.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(read->records[i].lsn, static_cast<uint64_t>(i + 1));
+    EXPECT_EQ(read->records[i].a, "stmt " + std::to_string(i));
+  }
+}
+
+TEST(WalWriter, LsnCounterSurvivesResetAfterCheckpoint) {
+  std::string path = TempWalPath("wal_reset.wal");
+  auto writer = WalWriter::Open(path, {FsyncPolicy::kOff, 1 << 16}, 7);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append(MakeRecord(WalRecordType::kStatement, "a")).ok());
+  EXPECT_EQ((*writer)->last_lsn(), 7u);
+  ASSERT_TRUE((*writer)->ResetAfterCheckpoint().ok());
+  EXPECT_EQ((*writer)->bytes(), 0);
+  // LSNs are global: the counter continues past the reset.
+  Result<uint64_t> lsn =
+      (*writer)->Append(MakeRecord(WalRecordType::kStatement, "b"));
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_EQ(*lsn, 8u);
+  writer->reset();
+
+  Result<WalReadResult> read = ReadWal(path);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->records.size(), 1u);
+  EXPECT_EQ(read->records[0].lsn, 8u);
+}
+
+TEST(ReadWal, MissingFileReadsAsEmpty) {
+  Result<WalReadResult> read = ReadWal(TempWalPath("wal_missing.wal"));
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->records.empty());
+  EXPECT_FALSE(read->torn_tail);
+  EXPECT_EQ(read->valid_bytes, 0);
+}
+
+// Builds a WAL file with two good frames and returns (bytes, good_prefix_len).
+std::string TwoGoodFrames(int64_t* good_len) {
+  std::string path = TempWalPath("wal_build.wal");
+  auto writer = WalWriter::Open(path, {FsyncPolicy::kAlways, 1}, 1);
+  EXPECT_TRUE(writer.ok());
+  EXPECT_TRUE(
+      (*writer)->Append(MakeRecord(WalRecordType::kStatement, "first")).ok());
+  EXPECT_TRUE(
+      (*writer)->Append(MakeRecord(WalRecordType::kStatement, "second")).ok());
+  *good_len = (*writer)->bytes();
+  writer->reset();
+  return ReadFileBytes(path);
+}
+
+TEST(ReadWal, PartialTrailingHeaderIsATornTail) {
+  int64_t good_len = 0;
+  std::string bytes = TwoGoodFrames(&good_len);
+  std::string path = TempWalPath("wal_torn_header.wal");
+  WriteFileBytes(path, bytes + std::string(3, '\x07'));  // 3 of 8 header bytes
+
+  Result<WalReadResult> read = ReadWal(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->torn_tail);
+  EXPECT_EQ(read->records.size(), 2u);
+  EXPECT_EQ(read->valid_bytes, good_len);
+}
+
+TEST(ReadWal, PartialTrailingPayloadIsATornTail) {
+  int64_t good_len = 0;
+  std::string bytes = TwoGoodFrames(&good_len);
+  // A header promising 100 payload bytes, with only 5 present.
+  std::string frame;
+  PutU32(&frame, 100);
+  PutU32(&frame, 0);
+  frame += "hello";
+  std::string path = TempWalPath("wal_torn_payload.wal");
+  WriteFileBytes(path, bytes + frame);
+
+  Result<WalReadResult> read = ReadWal(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->torn_tail);
+  EXPECT_EQ(read->records.size(), 2u);
+  EXPECT_EQ(read->valid_bytes, good_len);
+}
+
+TEST(ReadWal, CrcMismatchStopsParsingForGood) {
+  int64_t good_len = 0;
+  std::string bytes = TwoGoodFrames(&good_len);
+  // Flip one payload byte in the *second* frame: frame 1 survives, frame 2
+  // is rejected, and nothing after the corruption is trusted.
+  std::string corrupted = bytes;
+  corrupted[corrupted.size() - 1] ^= 0x40;
+  std::string path = TempWalPath("wal_crc.wal");
+  WriteFileBytes(path, corrupted + bytes);  // valid frames after the damage
+
+  Result<WalReadResult> read = ReadWal(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->torn_tail);
+  ASSERT_EQ(read->records.size(), 1u);  // no resync past the bad frame
+  EXPECT_EQ(read->records[0].a, "first");
+  EXPECT_FALSE(read->tail_error.empty());
+}
+
+TEST(ReadWal, OversizedLengthFieldIsRejected) {
+  std::string frame;
+  PutU32(&frame, 0x7FFFFFFF);  // over the 64 MiB cap
+  PutU32(&frame, 0);
+  std::string path = TempWalPath("wal_oversized.wal");
+  WriteFileBytes(path, frame);
+
+  Result<WalReadResult> read = ReadWal(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->torn_tail);
+  EXPECT_TRUE(read->records.empty());
+  EXPECT_EQ(read->valid_bytes, 0);
+}
+
+TEST(ReadWal, LsnRegressionIsRejected) {
+  // Two individually-valid frames whose LSNs go backwards: the second is
+  // stale (pre-checkpoint leftovers after a partial truncate) and must not
+  // replay.
+  WalRecord r1 = MakeRecord(WalRecordType::kStatement, "new");
+  r1.lsn = 10;
+  WalRecord r2 = MakeRecord(WalRecordType::kStatement, "stale");
+  r2.lsn = 4;
+  std::string bytes;
+  for (const WalRecord& r : {r1, r2}) {
+    std::string payload = r.Encode();
+    PutU32(&bytes, static_cast<uint32_t>(payload.size()));
+    PutU32(&bytes, Crc32(payload));
+    bytes += payload;
+  }
+  std::string path = TempWalPath("wal_lsn_regression.wal");
+  WriteFileBytes(path, bytes);
+
+  Result<WalReadResult> read = ReadWal(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->torn_tail);
+  ASSERT_EQ(read->records.size(), 1u);
+  EXPECT_EQ(read->records[0].a, "new");
+}
+
+TEST(TruncateWal, RemovesTheTornTail) {
+  int64_t good_len = 0;
+  std::string bytes = TwoGoodFrames(&good_len);
+  std::string path = TempWalPath("wal_truncate.wal");
+  WriteFileBytes(path, bytes + "garbage tail");
+
+  Result<WalReadResult> read = ReadWal(path);
+  ASSERT_TRUE(read.ok());
+  ASSERT_TRUE(read->torn_tail);
+  ASSERT_TRUE(TruncateWal(path, read->valid_bytes).ok());
+
+  Result<WalReadResult> clean = ReadWal(path);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_FALSE(clean->torn_tail);
+  EXPECT_EQ(clean->records.size(), 2u);
+  EXPECT_EQ(static_cast<int64_t>(ReadFileBytes(path).size()), good_len);
+}
+
+TEST(Codec, Crc32MatchesKnownVector) {
+  // The standard IEEE CRC-32 check value.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0x00000000u);
+}
+
+}  // namespace
+}  // namespace caldb::storage

@@ -112,5 +112,47 @@ TEST_P(CivilMonotonic, SuccessorIsNextDay) {
 INSTANTIATE_TEST_SUITE_P(Sweep, CivilMonotonic,
                          ::testing::Range<int64_t>(8000, 9000, 13));
 
+TEST(CivilArithmeticTest, AddMonthsClampsToMonthEnd) {
+  EXPECT_EQ(AddMonths({1993, 1, 31}, 1), (CivilDate{1993, 2, 28}));
+  EXPECT_EQ(AddMonths({1992, 1, 31}, 1), (CivilDate{1992, 2, 29}));
+  EXPECT_EQ(AddMonths({1993, 3, 31}, 1), (CivilDate{1993, 4, 30}));
+  // Non-clamping additions keep the day.
+  EXPECT_EQ(AddMonths({1993, 1, 15}, 1), (CivilDate{1993, 2, 15}));
+}
+
+TEST(CivilArithmeticTest, AddMonthsRollsOverYears) {
+  EXPECT_EQ(AddMonths({1993, 11, 30}, 3), (CivilDate{1994, 2, 28}));
+  EXPECT_EQ(AddMonths({1993, 6, 15}, 12), (CivilDate{1994, 6, 15}));
+  EXPECT_EQ(AddMonths({1993, 6, 15}, 31), (CivilDate{1996, 1, 15}));
+  // Negative counts roll backwards, including across year zero.
+  EXPECT_EQ(AddMonths({1993, 1, 15}, -1), (CivilDate{1992, 12, 15}));
+  EXPECT_EQ(AddMonths({1993, 3, 31}, -1), (CivilDate{1993, 2, 28}));
+  EXPECT_EQ(AddMonths({0, 2, 15}, -3), (CivilDate{-1, 11, 15}));
+}
+
+TEST(CivilArithmeticTest, AddMonthsIsValidOverASweep) {
+  // Whatever the anchor, the result must be a real date.
+  for (int64_t d = 6000; d < 6400; d += 7) {
+    CivilDate base = CivilFromDays(d);
+    for (int64_t m = -30; m <= 30; m += 5) {
+      EXPECT_TRUE(IsValidCivil(AddMonths(base, m)))
+          << FormatCivil(base) << " + " << m << " months";
+    }
+  }
+}
+
+TEST(CivilArithmeticTest, AddYearsClampsLeapDay) {
+  // The leap-day recurrence rule: a Feb 29 anniversary resolves to Feb 28
+  // in non-leap years, and back to Feb 29 when the target year is leap.
+  EXPECT_EQ(AddYears({1992, 2, 29}, 1), (CivilDate{1993, 2, 28}));
+  EXPECT_EQ(AddYears({1992, 2, 29}, 4), (CivilDate{1996, 2, 29}));
+  EXPECT_EQ(AddYears({1992, 2, 29}, -1), (CivilDate{1991, 2, 28}));
+  EXPECT_EQ(AddYears({1992, 2, 29}, 8), (CivilDate{2000, 2, 29}));
+  // 1900 is not a leap year (century rule).
+  EXPECT_EQ(AddYears({1896, 2, 29}, 4), (CivilDate{1900, 2, 28}));
+  // Other dates pass through untouched.
+  EXPECT_EQ(AddYears({1993, 7, 4}, 10), (CivilDate{2003, 7, 4}));
+}
+
 }  // namespace
 }  // namespace caldb

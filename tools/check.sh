@@ -13,8 +13,10 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build-asan}"
 
-# Cheap static checks first: every registered metric must be documented.
+# Cheap static checks first: every registered metric must be documented,
+# and every WAL record type must have a documented on-disk meaning.
 "$repo_root/tools/lint_metrics.sh"
+"$repo_root/tools/lint_wal.sh"
 
 cmake -B "$build_dir" -S "$repo_root" -DCALDB_SANITIZE=address
 cmake --build "$build_dir" -j "$(nproc)"
@@ -23,6 +25,11 @@ cmake --build "$build_dir" -j "$(nproc)"
 # references, ~18k operator applications) is the densest memory-error
 # surface — run it by name first so a failure there is attributed clearly.
 ctest --test-dir "$build_dir" -R 'sweep_test' --output-on-failure
+
+# Durability fault injection under ASan: a child engine (fsync=always) is
+# SIGKILLed mid-burst and recovered; every acknowledged statement must
+# survive, torn tails truncate, missed rule firings happen exactly once.
+ctest --test-dir "$build_dir" -R '^wal_fault_test$' --output-on-failure
 
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# The WAL record-type enum and the durability doc must agree: extract the
+# WalRecordType members from src/storage/wal.h and require each to
+# appear, backtick-wrapped, in docs/DURABILITY.md (the "Record types"
+# table).  A tag added to the enum without a documented on-disk meaning
+# fails tools/check.sh.
+#
+#   tools/lint_wal.sh
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+header="$repo_root/src/storage/wal.h"
+doc="$repo_root/docs/DURABILITY.md"
+
+# Members of the WalRecordType enum block only (not FsyncPolicy etc.).
+names="$(sed -n '/enum class WalRecordType/,/^};/p' "$header" |
+         grep -oE '^  k[A-Za-z0-9]+' | tr -d ' ' | sort -u)"
+
+if [[ -z "$names" ]]; then
+  echo "lint_wal: no WalRecordType members found in $header" >&2
+  exit 1
+fi
+
+missing=0
+while IFS= read -r name; do
+  if ! grep -qF "\`$name\`" "$doc"; then
+    echo "undocumented WAL record type: $name (add to docs/DURABILITY.md)" >&2
+    missing=1
+  fi
+done <<< "$names"
+
+if [[ $missing -ne 0 ]]; then
+  exit 1
+fi
+echo "lint_wal: $(wc -l <<< "$names") record types, all documented"
