@@ -117,6 +117,7 @@ class Shell {
     if (cmd == "log") return ShowLog(rest);
     if (cmd == "top") return ShowTop();
     if (cmd == "checkpoint") return DoCheckpoint();
+    if (cmd == "stmtcache") return ShowStmtCache();
     return Status::InvalidArgument("unknown command \\" + cmd +
                                    " (try \\help)");
   }
@@ -146,6 +147,8 @@ class Shell {
         "previous \\top\n"
         "  \\checkpoint               snapshot + truncate the WAL (durable\n"
         "                            shells: start with CALDB_DATA_DIR set)\n"
+        "  \\stmtcache                shared statement-cache accounting\n"
+        "                            (hits/misses/evictions/invalidations)\n"
         "  anything else             executed through Session::Execute\n"
         "                            (db statements, explain/profile <stmt>,\n"
         "                             cal <script>, define calendar ... as ...,\n"
@@ -278,6 +281,28 @@ class Shell {
     std::printf("wrote %zu bytes to %s (load in chrome://tracing or "
                 "ui.perfetto.dev)\n",
                 json.size() + 1, path.c_str());
+    return Status::OK();
+  }
+
+  Status ShowStmtCache() {
+    const StatementCache::Stats stats = engine_->StatementCacheStats();
+    const int64_t lookups = stats.hits + stats.misses;
+    const double hit_rate =
+        lookups == 0 ? 0.0
+                     : 100.0 * static_cast<double>(stats.hits) /
+                           static_cast<double>(lookups);
+    std::printf(
+        "statement cache: %zu / %zu entries\n"
+        "  hits                 %lld (%.1f%%)\n"
+        "  misses               %lld\n"
+        "  evictions            %lld\n"
+        "  invalidation calls   %lld\n"
+        "  entries invalidated  %lld\n",
+        stats.size, stats.capacity, static_cast<long long>(stats.hits),
+        hit_rate, static_cast<long long>(stats.misses),
+        static_cast<long long>(stats.evictions),
+        static_cast<long long>(stats.invalidations),
+        static_cast<long long>(stats.invalidated_entries));
     return Status::OK();
   }
 

@@ -14,6 +14,10 @@
 //                        gen-cache, and the uniform Execute() entry point
 //                        (database statements, calendar scripts, EXPLAIN/
 //                        PROFILE, catalog and rule DDL, clock control).
+//                        Prepare() compiles a database statement once into
+//                        an immutable handle; Execute(handle) is the
+//                        parse-free hot path (engine-wide statement cache,
+//                        db/compiled_statement.h).
 //   caldb::QueryResult   columns + rows, or a DML/DDL summary message.
 //   caldb::Status        error model (common/status.h): caldb never
 //   caldb::Result<T>     throws across this facade; every fallible call

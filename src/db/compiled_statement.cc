@@ -1,0 +1,156 @@
+#include "db/compiled_statement.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "obs/obs.h"
+
+namespace caldb {
+
+namespace {
+
+void AddTable(std::vector<std::string>* tables, const std::string& name) {
+  if (name.empty()) return;
+  if (std::find(tables->begin(), tables->end(), name) != tables->end()) return;
+  tables->push_back(name);
+}
+
+// Fills write_class / tables / is_ddl from the parsed statement.  The
+// explain case folds in the precompiled inner handle, so a PROFILE takes
+// the lock its inner statement needs.
+void ComputeMetadata(const Statement& stmt, CompiledStatement* out) {
+  if (const auto* retrieve = std::get_if<RetrieveStmt>(&stmt)) {
+    for (const RetrieveStmt::TableRef& ref : retrieve->tables) {
+      AddTable(&out->tables, ref.table);
+    }
+    if (!retrieve->into.empty()) {
+      // "retrieve into" materializes a new table: a write, and schema
+      // change enough to invalidate statements naming the result table.
+      AddTable(&out->tables, retrieve->into);
+      out->write_class = CompiledStatement::WriteClass::kWrite;
+      out->is_ddl = true;
+    } else {
+      out->write_class = CompiledStatement::WriteClass::kReadUnlessRetrieveRules;
+    }
+    return;
+  }
+  if (const auto* append = std::get_if<AppendStmt>(&stmt)) {
+    AddTable(&out->tables, append->table);
+    out->write_class = CompiledStatement::WriteClass::kWrite;
+    return;
+  }
+  if (const auto* replace = std::get_if<ReplaceStmt>(&stmt)) {
+    AddTable(&out->tables, replace->table);
+    out->write_class = CompiledStatement::WriteClass::kWrite;
+    return;
+  }
+  if (const auto* del = std::get_if<DeleteStmt>(&stmt)) {
+    AddTable(&out->tables, del->table);
+    out->write_class = CompiledStatement::WriteClass::kWrite;
+    return;
+  }
+  if (const auto* create = std::get_if<CreateTableStmt>(&stmt)) {
+    AddTable(&out->tables, create->table);
+    out->write_class = CompiledStatement::WriteClass::kWrite;
+    out->is_ddl = true;
+    return;
+  }
+  if (const auto* index = std::get_if<CreateIndexStmt>(&stmt)) {
+    AddTable(&out->tables, index->table);
+    out->write_class = CompiledStatement::WriteClass::kWrite;
+    out->is_ddl = true;
+    return;
+  }
+  if (const auto* rule = std::get_if<DefineRuleStmt>(&stmt)) {
+    AddTable(&out->tables, rule->table);
+    out->write_class = CompiledStatement::WriteClass::kWrite;
+    out->is_ddl = true;
+    return;
+  }
+  if (std::holds_alternative<DropRuleStmt>(stmt)) {
+    // The dropped rule's table is only known at execution time, so the
+    // statement carries no table list — invalidation falls back to a full
+    // flush (StatementCache treats empty-tables DDL as "affects anything").
+    out->write_class = CompiledStatement::WriteClass::kWrite;
+    out->is_ddl = true;
+    return;
+  }
+  if (const auto* drop_table = std::get_if<DropTableStmt>(&stmt)) {
+    AddTable(&out->tables, drop_table->table);
+    out->write_class = CompiledStatement::WriteClass::kWrite;
+    out->is_ddl = true;
+    return;
+  }
+  if (const auto* explain = std::get_if<ExplainStmt>(&stmt)) {
+    if (explain->inner != nullptr) {
+      out->tables = explain->inner->tables;
+      if (explain->profile) {
+        // PROFILE executes the inner statement; inherit its classification.
+        out->write_class = explain->inner->write_class;
+        out->is_ddl = explain->inner->is_ddl;
+      } else {
+        out->write_class = CompiledStatement::WriteClass::kRead;
+      }
+    } else {
+      // A hand-built ExplainStmt without a compiled inner: stay
+      // conservative (exclusive lock, no invalidation scope known).
+      out->write_class = explain->profile
+                             ? CompiledStatement::WriteClass::kWrite
+                             : CompiledStatement::WriteClass::kRead;
+    }
+    return;
+  }
+  // Unknown kinds stay at the conservative default (kWrite).
+}
+
+}  // namespace
+
+std::string NormalizeStatementText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  char quote = '\0';
+  bool pending_space = false;
+  for (char c : text) {
+    if (quote != '\0') {
+      out.push_back(c);
+      if (c == quote) quote = '\0';
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      if (pending_space && !out.empty()) out.push_back(' ');
+      pending_space = false;
+      out.push_back(c);
+      quote = c;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' ||
+        c == '\v') {
+      pending_space = true;
+      continue;
+    }
+    if (pending_space && !out.empty()) out.push_back(' ');
+    pending_space = false;
+    out.push_back(c);
+  }
+  return out;
+}
+
+Result<CompiledStatementPtr> CompileStatement(std::string_view text) {
+  const int64_t t0 = obs::Enabled() ? obs::NowNs() : 0;
+  CALDB_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(text));
+  const int64_t parse_ns = t0 != 0 ? obs::NowNs() - t0 : 0;
+  return CompileParsedStatement(std::move(stmt), std::string(text), parse_ns);
+}
+
+CompiledStatementPtr CompileParsedStatement(Statement stmt, std::string text,
+                                            int64_t parse_ns) {
+  auto compiled = std::make_shared<CompiledStatement>();
+  compiled->stmt = std::make_shared<const Statement>(std::move(stmt));
+  compiled->text = std::move(text);
+  compiled->normalized = NormalizeStatementText(compiled->text);
+  compiled->parse_ns = parse_ns;
+  ComputeMetadata(*compiled->stmt, compiled.get());
+  return compiled;
+}
+
+}  // namespace caldb

@@ -154,6 +154,22 @@ Result<QueryResult> Database::Replay(const std::string& statement) {
   return ExecuteParsedImpl(stmt, nullptr);
 }
 
+Result<QueryResult> Database::Replay(const CompiledStatement& compiled) {
+  return ExecuteParsedImpl(*compiled.stmt, nullptr);
+}
+
+Result<CompiledStatementPtr> Database::Prepare(std::string_view query) {
+  return CompileStatement(query);
+}
+
+Result<QueryResult> Database::ExecuteCompiled(const CompiledStatement& compiled,
+                                              const EvalScope* ambient) {
+  Metrics().statements->Increment();
+  obs::ScopedLatency latency(Metrics().statement_ns);
+  obs::Tracer::Span span = obs::StartSpan("db.execute");
+  return ExecuteParsed(*compiled.stmt, ambient, compiled.text);
+}
+
 Result<QueryResult> Database::ExecuteParsed(const Statement& stmt,
                                             const EvalScope* ambient,
                                             std::string_view text) {
@@ -342,6 +358,10 @@ Status Database::FireRules(DbEvent event, const std::string& table,
     const int64_t action_start_ns = obs::NowNs();
     if (rule.callback) {
       status = rule.callback(*this, scope);
+    } else if (rule.compiled_command != nullptr) {
+      // The pre-compiled action (DefineRule): firings never parse.
+      Result<QueryResult> r = ExecuteCompiled(*rule.compiled_command, &scope);
+      status = r.status();
     } else if (!rule.command.empty()) {
       Result<QueryResult> r = Execute(rule.command, &scope);
       status = r.status();
@@ -386,6 +406,17 @@ Status Database::DefineRule(EventRule rule) {
   }
   if (!rule.callback && rule.command.empty()) {
     return Status::InvalidArgument("rule '" + rule.name + "' has no action");
+  }
+  if (!rule.command.empty() && rule.compiled_command == nullptr) {
+    // Fail fast: an action that does not parse is an error here, at
+    // definition time, not at the rule's first firing.  The compiled
+    // handle is what firings execute.
+    Result<CompiledStatementPtr> compiled = CompileStatement(rule.command);
+    if (!compiled.ok()) {
+      return compiled.status().WithContext("rule '" + rule.name +
+                                           "' action does not parse");
+    }
+    rule.compiled_command = *std::move(compiled);
   }
   if (rule.event == DbEvent::kRetrieve) {
     retrieve_rules_.fetch_add(1, std::memory_order_release);
@@ -937,14 +968,21 @@ Result<std::string> Database::DescribePlan(const Statement& stmt) const {
 
 Result<QueryResult> Database::ExecuteExplain(const ExplainStmt& stmt,
                                              const EvalScope* ambient) {
-  CALDB_ASSIGN_OR_RETURN(Statement inner, ParseStatement(stmt.query));
+  // One compiled handle serves both the plan rendering and the PROFILE
+  // timed run.  The parse-time handle is reused when present; only a
+  // hand-built ExplainStmt (inner == nullptr) compiles here.
+  CompiledStatementPtr inner = stmt.inner;
+  if (inner == nullptr) {
+    CALDB_ASSIGN_OR_RETURN(inner, CompileStatement(stmt.query));
+  }
   QueryResult result;
-  CALDB_ASSIGN_OR_RETURN(result.message, DescribePlan(inner));
+  CALDB_ASSIGN_OR_RETURN(result.message, DescribePlan(*inner->stmt));
   if (!stmt.profile) return result;
 
   const Stats before = stats();
   const int64_t t0 = obs::NowNs();
-  CALDB_ASSIGN_OR_RETURN(QueryResult run, ExecuteParsed(inner, ambient));
+  CALDB_ASSIGN_OR_RETURN(QueryResult run, ExecuteParsed(*inner->stmt, ambient,
+                                                        inner->text));
   const int64_t ns = obs::NowNs() - t0;
 
   result.message += "profile: rows_scanned=" +

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "db/compiled_statement.h"
 #include "db/function_registry.h"
 #include "db/query.h"
 #include "db/table.h"
@@ -41,6 +42,10 @@ struct EventRule {
   std::string table;
   DbExprPtr where;      // may be null (always fire)
   std::string command;  // may be empty when callback is set
+  /// The action command compiled at DefineRule time — firings execute this
+  /// handle directly, never re-parsing `command` (and a command that does
+  /// not parse is rejected at definition, not at first firing).
+  CompiledStatementPtr compiled_command;
   std::function<Status(Database&, const EvalScope&)> callback;
 };
 
@@ -72,6 +77,17 @@ class Database {
   /// bindings (NEW / CURRENT) when executing rule actions.
   Result<QueryResult> Execute(const std::string& query,
                               const EvalScope* ambient = nullptr);
+
+  /// Compiles one statement into an immutable, shareable handle without
+  /// executing it (db/compiled_statement.h).  A thin wrapper over
+  /// CompileStatement; servers go through the Engine, whose shared
+  /// StatementCache memoizes this per statement text.
+  static Result<CompiledStatementPtr> Prepare(std::string_view query);
+
+  /// Executes a previously compiled statement.  The parse-once entry
+  /// point: repeated executions of one handle never touch the parser.
+  Result<QueryResult> ExecuteCompiled(const CompiledStatement& compiled,
+                                      const EvalScope* ambient = nullptr);
   /// `text`, when provided, is the statement's source — it makes the
   /// slow-statement log line actionable for callers (the Engine) that
   /// parse themselves and skip Execute().
@@ -86,6 +102,11 @@ class Database {
   /// failed originally fails identically here (same state either way), so
   /// callers log and continue on error.
   Result<QueryResult> Replay(const std::string& statement);
+  /// Replay of an already compiled record — the Engine's recovery path
+  /// routes WAL statements through its StatementCache and hands the
+  /// handles here, so replaying thousands of identical statement shapes
+  /// parses each distinct shape once.
+  Result<QueryResult> Replay(const CompiledStatement& compiled);
 
   /// Statements slower than this are logged ("db.slow_statement", warn)
   /// and counted in caldb.db.slow_statements.  Process-wide; initialized

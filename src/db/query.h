@@ -14,6 +14,7 @@
 #ifndef CALDB_DB_QUERY_H_
 #define CALDB_DB_QUERY_H_
 
+#include <memory>
 #include <string>
 #include <variant>
 #include <vector>
@@ -95,14 +96,19 @@ struct DropTableStmt {
   std::string table;
 };
 
-/// `explain <stmt>` / `profile <stmt>`.  The inner statement is kept as
-/// text (re-parsed at execution) so the variant stays non-recursive.
+struct CompiledStatement;  // db/compiled_statement.h
+
+/// `explain <stmt>` / `profile <stmt>`.  The inner statement is compiled
+/// exactly once at parse time and the handle shared here (the variant
+/// stays non-recursive — the indirection is through the shared_ptr), so
+/// plan rendering and the PROFILE timed run reuse one parse.
 /// EXPLAIN describes the access plan (index vs full scan per range
 /// variable, pushed-down conjuncts, rules armed); PROFILE additionally
 /// executes the statement and reports scan counters and latency.
 struct ExplainStmt {
   bool profile = false;
-  std::string query;
+  std::string query;  // inner statement source (inner->text when compiled)
+  std::shared_ptr<const CompiledStatement> inner;
 };
 
 using Statement =

@@ -2,7 +2,9 @@
 
 #include "common/macros.h"
 #include "common/strings.h"
+#include "db/compiled_statement.h"
 #include "db/query.h"
+#include "obs/obs.h"
 
 namespace caldb {
 
@@ -596,16 +598,21 @@ class QueryParser {
 }  // namespace
 
 Result<Statement> ParseStatement(std::string_view query) {
+  // The parse-once contract is pinned by this counter: tests assert its
+  // delta stays flat while cached statements re-execute.
+  static obs::Counter* parses = obs::Metrics().counter("caldb.db.parses");
+  parses->Increment();
   CALDB_ASSIGN_OR_RETURN(std::vector<QToken> tokens, QLex(query));
-  // `explain <stmt>` / `profile <stmt>`: strip the verb, validate the
-  // tail by parsing it, and keep it as text (see ExplainStmt).
+  // `explain <stmt>` / `profile <stmt>`: strip the verb and compile the
+  // tail exactly once — plan rendering and the PROFILE run share the
+  // handle (see ExplainStmt).
   if (tokens.size() >= 2 && tokens[0].kind == QTok::kIdent &&
       (EqualsIgnoreCase(tokens[0].text, "explain") ||
        EqualsIgnoreCase(tokens[0].text, "profile"))) {
     ExplainStmt stmt;
     stmt.profile = EqualsIgnoreCase(tokens[0].text, "profile");
     stmt.query = std::string(query.substr(tokens[1].offset));
-    CALDB_RETURN_IF_ERROR(ParseStatement(stmt.query).status());
+    CALDB_ASSIGN_OR_RETURN(stmt.inner, CompileStatement(stmt.query));
     return Statement{std::move(stmt)};
   }
   return QueryParser(query, std::move(tokens)).ParseStatementTop();

@@ -55,21 +55,19 @@ EngineMetrics& Metrics() {
   return *m;
 }
 
-// Whether executing `stmt` can modify database state.  Retrieves are
-// reads unless they materialize ("retrieve into") or retrieve-event rules
-// are armed (a §4 event rule's action may write).  EXPLAIN describes the
-// plan without running it; PROFILE executes the inner statement, so it
-// inherits the inner statement's classification.
-bool StatementWrites(const Statement& stmt, const Database& db) {
-  if (const auto* retrieve = std::get_if<RetrieveStmt>(&stmt)) {
-    return !retrieve->into.empty() || db.HasRetrieveRules();
-  }
-  if (const auto* explain = std::get_if<ExplainStmt>(&stmt)) {
-    if (!explain->profile) return false;
-    Result<Statement> inner = ParseStatement(explain->query);
-    // An unparsable inner statement fails identically under either lock.
-    if (!inner.ok()) return false;
-    return StatementWrites(*inner, db);
+// Whether executing `compiled` can modify database state, from the
+// precomputed write classification.  The one dynamic bit: a plain
+// retrieve is a read unless retrieve-event rules are armed at execution
+// time (a §4 event rule's action may write) — an atomic flag read, so
+// the hot path never re-inspects (let alone re-parses) the statement.
+bool StatementWrites(const CompiledStatement& compiled, const Database& db) {
+  switch (compiled.write_class) {
+    case CompiledStatement::WriteClass::kRead:
+      return false;
+    case CompiledStatement::WriteClass::kWrite:
+      return true;
+    case CompiledStatement::WriteClass::kReadUnlessRetrieveRules:
+      return db.HasRetrieveRules();
   }
   return true;
 }
@@ -98,6 +96,7 @@ Result<std::optional<Interval>> ParseLifespanField(std::string_view text) {
 Engine::Engine(EngineOptions opts)
     : opts_(opts),
       catalog_(TimeSystem{opts.epoch}),
+      stmt_cache_(opts.stmt_cache_entries),
       clock_(opts.start_day),
       cron_target_(opts.start_day),
       cron_reached_(opts.start_day) {}
@@ -234,7 +233,13 @@ Status Engine::Recover() {
     Metrics().recovery_replayed->Increment();
     switch (record.type) {
       case storage::WalRecordType::kStatement: {
-        Result<QueryResult> r = db_.Replay(record.a);
+        // Through the shared statement cache: replaying thousands of
+        // identical statement shapes parses each distinct shape once.
+        Result<QueryResult> r = [&]() -> Result<QueryResult> {
+          CALDB_ASSIGN_OR_RETURN(CompiledStatementPtr compiled,
+                                 stmt_cache_.GetOrCompile(record.a));
+          return db_.Replay(*compiled);
+        }();
         if (!r.ok()) note_replay_error(r.status(), record);
         break;
       }
@@ -459,35 +464,83 @@ Status Engine::DropCalendar(const std::string& name) {
 
 Result<QueryResult> Engine::ExecuteImpl(const std::string& statement,
                                         const EvalScope* ambient) {
+  // The text pipeline is now compile-through-cache + handle execution:
+  // each distinct statement shape is parsed once per cache residency.
+  CALDB_ASSIGN_OR_RETURN(CompiledStatementPtr compiled,
+                         stmt_cache_.GetOrCompile(statement));
+  return ExecuteCompiledImpl(*compiled, ambient);
+}
+
+Result<CompiledStatementPtr> Engine::Prepare(const std::string& statement) {
+  try {
+    return stmt_cache_.GetOrCompile(statement);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("uncaught exception in Prepare: ") +
+                            e.what());
+  } catch (...) {
+    return Status::Internal("uncaught non-exception throw in Prepare");
+  }
+}
+
+Result<QueryResult> Engine::ExecuteCompiled(const CompiledStatementPtr& compiled,
+                                            const EvalScope* ambient) {
+  if (compiled == nullptr || compiled->stmt == nullptr) {
+    return Status::InvalidArgument("null compiled statement");
+  }
+  try {
+    Result<QueryResult> result = ExecuteCompiledImpl(*compiled, ambient);
+    MaybeCheckpoint();
+    return result;
+  } catch (const std::exception& e) {
+    return Status::Internal(
+        std::string("uncaught exception in ExecuteCompiled: ") + e.what());
+  } catch (...) {
+    return Status::Internal("uncaught non-exception throw in ExecuteCompiled");
+  }
+}
+
+Result<QueryResult> Engine::ExecuteCompiledImpl(const CompiledStatement& compiled,
+                                                const EvalScope* ambient) {
   Metrics().statements->Increment();
   obs::Tracer::Span span = obs::StartSpan("engine.execute");
   // Stamp the statement into the thread's LogContext (keeping whatever
   // session a Session installed a frame up) so slow-statement log lines
   // and event-rule audit records name what the user ran.
   obs::LogContext log_ctx = obs::CurrentLogContext();
-  log_ctx.statement = statement;
+  log_ctx.statement = compiled.text;
   obs::ScopedLogContext log_scope{std::move(log_ctx)};
-  CALDB_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(statement));
   // HasRetrieveRules is an atomic read, so classification needs no lock;
   // rules armed between classification and acquisition are picked up by
   // the next statement (same guarantee a probing daemon gives).
-  if (StatementWrites(stmt, db_)) {
+  if (StatementWrites(compiled, db_)) {
     span.AddAttr("lock", "write");
-    WriteLock lock = AcquireWrite();
-    Result<QueryResult> result = db_.ExecuteParsed(stmt, ambient, statement);
-    // Redo-log the statement whatever its outcome: a failing statement may
-    // have applied partial effects, and replaying it fails identically —
-    // deterministic either way.  (Not reached for parse errors.)
-    storage::WalRecord redo;
-    redo.type = storage::WalRecordType::kStatement;
-    redo.a = statement;
-    Status logged = LogDurable(std::move(redo));
-    if (!logged.ok() && result.ok()) return logged;
+    Result<QueryResult> result = [&] {
+      WriteLock lock = AcquireWrite();
+      Result<QueryResult> r = db_.ExecuteParsed(*compiled.stmt, ambient,
+                                                compiled.text);
+      // Redo-log the statement whatever its outcome: a failing statement
+      // may have applied partial effects, and replaying it fails
+      // identically — deterministic either way.  (Not reached for parse
+      // errors.)
+      storage::WalRecord redo;
+      redo.type = storage::WalRecordType::kStatement;
+      redo.a = compiled.text;
+      Status logged = LogDurable(std::move(redo));
+      if (!logged.ok() && r.ok()) return Result<QueryResult>(logged);
+      return r;
+    }();
+    // DDL changed schema or rule state: drop cached statements whose
+    // precomputed metadata could now be stale.  Outside the db lock (the
+    // cache mutex is a leaf); statements racing this drop re-compile on
+    // their next miss.
+    if (compiled.is_ddl && result.ok()) {
+      stmt_cache_.InvalidateTables(compiled.tables);
+    }
     return result;
   }
   span.AddAttr("lock", "read");
   ReadLock lock = AcquireRead();
-  return db_.ExecuteParsed(stmt, ambient, statement);
+  return db_.ExecuteParsed(*compiled.stmt, ambient, compiled.text);
 }
 
 std::future<Result<QueryResult>> Engine::ExecuteAsync(std::string statement) {

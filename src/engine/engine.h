@@ -49,6 +49,7 @@
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "db/database.h"
+#include "engine/statement_cache.h"
 #include "obs/snapshot.h"
 #include "rules/clock.h"
 #include "rules/dbcron.h"
@@ -75,6 +76,10 @@ struct EngineOptions {
   /// Default gen-cache budget handed to each new Session's evaluator.
   size_t session_gen_cache_entries = 64;
   size_t session_gen_cache_bytes = 16u << 20;
+  /// Capacity of the shared compiled-statement cache (LRU entries; every
+  /// session, rule firing and WAL replay share it).  0 disables caching —
+  /// each execution compiles fresh.  See engine/statement_cache.h.
+  size_t stmt_cache_entries = 512;
 
   // --- durability -----------------------------------------------------------
 
@@ -137,6 +142,23 @@ class Engine {
   /// escape.
   Result<QueryResult> Execute(const std::string& statement,
                               const EvalScope* ambient = nullptr);
+
+  /// Compiles one database statement through the shared StatementCache
+  /// and returns the immutable handle: the prepared-execution entry
+  /// point.  Preparing the same (whitespace-normalized) text twice
+  /// returns the same handle without re-parsing.  Never throws.
+  Result<CompiledStatementPtr> Prepare(const std::string& statement);
+
+  /// Executes a compiled handle (from Prepare, or Database::Prepare).
+  /// Lock classification comes from the handle's precomputed metadata —
+  /// no text sniffing, no parsing, on the hot path.  Never throws.
+  Result<QueryResult> ExecuteCompiled(const CompiledStatementPtr& compiled,
+                                      const EvalScope* ambient = nullptr);
+
+  /// Point-in-time accounting of the shared statement cache.
+  StatementCache::Stats StatementCacheStats() const {
+    return stmt_cache_.stats();
+  }
 
   /// Enqueues a statement on the pool; the future carries its result.
   std::future<Result<QueryResult>> ExecuteAsync(std::string statement);
@@ -252,6 +274,11 @@ class Engine {
 
   Result<QueryResult> ExecuteImpl(const std::string& statement,
                                   const EvalScope* ambient);
+  /// The shared execution body: classifies the lock from the compiled
+  /// metadata, runs under it, WAL-logs writes, and invalidates the
+  /// statement cache after DDL.
+  Result<QueryResult> ExecuteCompiledImpl(const CompiledStatement& compiled,
+                                          const EvalScope* ambient);
   void CronLoop();
 
   // --- durability internals -------------------------------------------------
@@ -274,6 +301,9 @@ class Engine {
   EngineOptions opts_;
   CalendarCatalog catalog_;
   Database db_;
+  // The shared compiled-statement cache.  Internally locked; its mutex is
+  // a leaf (never held while acquiring db_mu_ or any catalog mutex).
+  StatementCache stmt_cache_;
   VirtualClock clock_;
   std::unique_ptr<TemporalRuleManager> rules_;
   std::unique_ptr<DbCron> cron_;

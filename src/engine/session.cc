@@ -140,6 +140,26 @@ Status Session::DefineCalendar(const std::string& name,
   }
 }
 
+Result<CompiledStatementPtr> Session::Prepare(const std::string& text) {
+  // Engine::Prepare already carries the no-throw catch-all.
+  return engine_->Prepare(text);
+}
+
+Result<QueryResult> Session::Execute(const CompiledStatementPtr& prepared) {
+  if (prepared == nullptr) {
+    return Status::InvalidArgument("null prepared statement");
+  }
+  try {
+    obs::ScopedLogContext log_scope{obs::LogContext{id_, prepared->text}};
+    return engine_->ExecuteCompiled(prepared);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("uncaught exception in Execute: ") +
+                            e.what());
+  } catch (...) {
+    return Status::Internal("uncaught non-exception throw in Execute");
+  }
+}
+
 Result<QueryResult> Session::Execute(const std::string& text) {
   try {
     // Stamp this session (and the command text) into the thread's log

@@ -54,6 +54,18 @@ class Session {
   /// Calendar values and reports are rendered into QueryResult::message.
   Result<QueryResult> Execute(const std::string& text);
 
+  // --- prepared statements --------------------------------------------------
+
+  /// Compiles a *database* statement (including explain/profile of one)
+  /// into an immutable handle through the engine's shared statement
+  /// cache.  Session-level verbs (cal, define calendar, declare rule,
+  /// advance to, ...) are not preparable — they fail to parse here.
+  Result<CompiledStatementPtr> Prepare(const std::string& text);
+
+  /// Executes a prepared handle: the parse-free hot path.  The handle may
+  /// come from this or any other session of the same engine.
+  Result<QueryResult> Execute(const CompiledStatementPtr& prepared);
+
   // --- typed calendar surface -----------------------------------------------
 
   /// Compiles and runs a calendar script on this session's evaluator.

@@ -8,6 +8,37 @@ namespace caldb {
 namespace {
 constexpr char kRuleInfoTable[] = "RULE_INFO";
 constexpr char kRuleTimeTable[] = "RULE_TIME";
+
+// Compiles the action command and condition query of a rule being
+// declared or restored, filling the rule's handles.  Fail-fast contract:
+// an action or condition that does not parse (or a condition that is not
+// a retrieve) is an error at declaration time, never at first firing.
+Status CompileRuleStatements(const std::string& name, TemporalRule* rule) {
+  if (!rule->action.command.empty()) {
+    Result<CompiledStatementPtr> command =
+        CompileStatement(rule->action.command);
+    if (!command.ok()) {
+      return command.status().WithContext("temporal rule '" + name +
+                                          "' action does not parse");
+    }
+    rule->compiled_command = *std::move(command);
+  }
+  if (!rule->condition_query.empty()) {
+    Result<CompiledStatementPtr> condition =
+        CompileStatement(rule->condition_query);
+    if (!condition.ok()) {
+      return condition.status().WithContext("temporal rule '" + name +
+                                            "' condition does not parse");
+    }
+    if (!std::holds_alternative<RetrieveStmt>(*(*condition)->stmt)) {
+      return Status::InvalidArgument("temporal rule '" + name +
+                                     "' condition must be a retrieve");
+    }
+    rule->compiled_condition = *std::move(condition);
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<std::unique_ptr<TemporalRuleManager>> TemporalRuleManager::Create(
@@ -66,22 +97,16 @@ Result<int64_t> TemporalRuleManager::DeclareRule(
     return plan.status().WithContext("declaring temporal rule '" + name + "'");
   }
 
-  if (!condition_query.empty()) {
-    // Validate the condition's syntax now, at declaration time.
-    CALDB_ASSIGN_OR_RETURN(Statement parsed, ParseStatement(condition_query));
-    if (!std::holds_alternative<RetrieveStmt>(parsed)) {
-      return Status::InvalidArgument("temporal rule '" + name +
-                                     "' condition must be a retrieve");
-    }
-  }
-
   TemporalRule rule;
-  rule.id = next_id_++;
   rule.name = name;
   rule.expression = expression;
   rule.plan = std::make_shared<const Plan>(std::move(plan).value());
   rule.action = std::move(action);
   rule.condition_query = condition_query;
+  // Compile the action and condition once, here — declaration rejects
+  // text that cannot parse, and firings execute the handles.
+  CALDB_RETURN_IF_ERROR(CompileRuleStatements(name, &rule));
+  rule.id = next_id_++;
 
   // First firing strictly after `now_day`.
   CALDB_ASSIGN_OR_RETURN(
@@ -143,6 +168,7 @@ Status TemporalRuleManager::RestoreRule(int64_t id, const std::string& name,
   rule.plan = std::make_shared<const Plan>(std::move(plan).value());
   rule.action = std::move(action);
   rule.condition_query = condition_query;
+  CALDB_RETURN_IF_ERROR(CompileRuleStatements(name, &rule));
   rules_[id] = std::move(rule);
   SetNextId(id + 1);
   return Status::OK();
@@ -229,8 +255,9 @@ Result<std::optional<TimePoint>> TemporalRuleManager::FireRule(
   if (outcome != nullptr) outcome->rule_name = rule.name;
   current_fire_day_ = fire_day;
   bool condition_holds = true;
-  if (!rule.condition_query.empty()) {
-    Result<QueryResult> cond = db_->Execute(rule.condition_query);
+  if (rule.compiled_condition != nullptr) {
+    // The pre-compiled condition (DeclareRule): firings never parse.
+    Result<QueryResult> cond = db_->ExecuteCompiled(*rule.compiled_condition);
     if (!cond.ok()) {
       return finish(cond.status().WithContext("temporal rule " + rule.name +
                                             " condition"));
@@ -245,8 +272,8 @@ Result<std::optional<TimePoint>> TemporalRuleManager::FireRule(
         return finish(st.WithContext("temporal rule " + rule.name));
       }
     }
-    if (!rule.action.command.empty()) {
-      Result<QueryResult> r = db_->Execute(rule.action.command);
+    if (rule.compiled_command != nullptr) {
+      Result<QueryResult> r = db_->ExecuteCompiled(*rule.compiled_command);
       if (!r.ok()) {
         return finish(r.status().WithContext("temporal rule " + rule.name +
                                            " action"));

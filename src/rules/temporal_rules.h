@@ -34,16 +34,23 @@ struct TemporalAction {
 };
 
 /// A declared rule, as held in memory (RULE-INFO keeps the durable part).
+/// Both halves of the rule are compiled at declaration time: the calendar
+/// expression into its eval-plan, and the action command / condition
+/// query into CompiledStatement handles — DBCRON firings never parse.
 struct TemporalRule {
   int64_t id = 0;
   std::string name;
   std::string expression;            // calendar-expression text
   std::shared_ptr<const Plan> plan;  // compiled eval-plan
   TemporalAction action;
+  /// action.command compiled once at DeclareRule/RestoreRule (null for
+  /// callback-only actions).
+  CompiledStatementPtr compiled_command;
   // Optional database Condition (the paper's §6b future work): a retrieve
   // statement evaluated at firing time; the action runs only when it
   // returns at least one row.  The next firing is scheduled either way.
   std::string condition_query;
+  CompiledStatementPtr compiled_condition;  // null when no condition
 };
 
 class TemporalRuleManager {

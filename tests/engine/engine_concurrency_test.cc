@@ -265,6 +265,83 @@ TEST(EngineConcurrencyTest, AsyncPoolExecution) {
   EXPECT_EQ(RowCount(final_rows), 16 + 256 / 16);
 }
 
+// Many sessions hammering the same statement texts while a DDL thread
+// creates and drops tables: GetOrCompile hits race InvalidateTables and
+// racing-duplicate compiles race each other's insert.  Run under
+// -DCALDB_SANITIZE=thread this is the statement cache's race test; the
+// visible invariants are that every execution still succeeds (or fails
+// only because its table is legitimately gone) and the accounting adds
+// up.
+TEST(EngineConcurrencyTest, StatementCacheSharingRacesInvalidation) {
+  EngineOptions opts;
+  opts.stmt_cache_entries = 64;
+  auto engine = Engine::Create(opts).value();
+  {
+    auto setup = engine->CreateSession();
+    ASSERT_TRUE(setup->Execute("create table stable (x int)").ok());
+    ASSERT_TRUE(setup->Execute("append stable (x = 1)").ok());
+  }
+
+  constexpr int kExecutors = 4;
+  constexpr int kIterations = 150;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  // Executors share a handful of statement texts, so they constantly
+  // collide on the same cache entries (and re-insert them after the DDL
+  // thread's invalidations).
+  for (int e = 0; e < kExecutors; ++e) {
+    threads.emplace_back([&, e] {
+      auto session = engine->CreateSession();
+      for (int i = 0; i < kIterations; ++i) {
+        auto rows = session->Execute("retrieve (s.x) from s in stable");
+        if (!rows.ok() || rows->rows.empty()) failed.store(true);
+        if (!session->Execute("append stable (x = " + std::to_string(e) + ")")
+                 .ok()) {
+          failed.store(true);
+        }
+      }
+    });
+  }
+  // The DDL thread churns a scratch table: every create/drop invalidates
+  // cache entries referencing it while the executors' statements on
+  // `stable` must keep their entries.
+  threads.emplace_back([&] {
+    auto session = engine->CreateSession();
+    for (int i = 0; i < 40; ++i) {
+      if (!session->Execute("create table scratch (y int)").ok()) {
+        failed.store(true);
+      }
+      (void)session->Execute("append scratch (y = 1)");
+      if (!session->Execute("drop table scratch").ok()) failed.store(true);
+    }
+  });
+  // Prepared handles stay valid across concurrent invalidations: the
+  // handle is immutable; invalidation only drops the cache's reference.
+  threads.emplace_back([&] {
+    auto session = engine->CreateSession();
+    auto prepared = session->Prepare("retrieve (s.x) from s in stable");
+    if (!prepared.ok()) {
+      failed.store(true);
+      return;
+    }
+    for (int i = 0; i < kIterations; ++i) {
+      auto rows = session->Execute(*prepared);
+      if (!rows.ok() || rows->rows.empty()) failed.store(true);
+    }
+  });
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(failed.load());
+
+  StatementCache::Stats stats = engine->StatementCacheStats();
+  EXPECT_GT(stats.hits, 0);
+  EXPECT_GT(stats.invalidations, 0);
+  EXPECT_LE(stats.size, stats.capacity);
+  auto session = engine->CreateSession();
+  auto final_rows = MustOk(session->Execute("retrieve (s.x) from s in stable"));
+  EXPECT_EQ(RowCount(final_rows), 1 + kExecutors * kIterations);
+  EXPECT_TRUE(engine->Stop().ok());
+}
+
 // Destruction with traffic in flight: Engine::~Engine stops DBCRON and
 // drains the pool without losing already-queued work or deadlocking.
 TEST(EngineConcurrencyTest, CleanShutdownUnderLoad) {

@@ -101,6 +101,33 @@ TEST(EngineRestart, WalReplayRebuildsStateWithoutASnapshot) {
   }
 }
 
+TEST(EngineRestart, WalReplayParsesEachDistinctShapeOnce) {
+  std::string dir = FreshDataDir("caldb_restart_replay_cache");
+  EngineOptions opts = DurableOptions(dir);
+  opts.checkpoint_on_stop = false;  // leave everything in the WAL
+  {
+    auto engine = Engine::Create(opts);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    ASSERT_TRUE((*engine)->Execute("create table LOG (day int)").ok());
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE((*engine)->Execute("append LOG (day = 7)").ok());
+    }
+    ASSERT_TRUE((*engine)->Stop().ok());
+  }
+  {
+    auto engine = Engine::Create(opts);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    EXPECT_EQ((*engine)->recovery_stats().wal_records_replayed, 21);
+    EXPECT_EQ(CountRows(**engine, "retrieve (l.day) from l in LOG"), 20);
+    // Replay went through the statement cache: two distinct shapes (the
+    // create and the append) compiled once each; the 19 repeated appends
+    // hit.  The retrieve above added the third miss.
+    StatementCache::Stats stats = (*engine)->StatementCacheStats();
+    EXPECT_EQ(stats.misses, 3);
+    EXPECT_EQ(stats.hits, 19);
+  }
+}
+
 TEST(EngineRestart, MissedFiringsHappenExactlyOnceAndAuditShowsTheLag) {
   std::string dir = FreshDataDir("caldb_restart_missed");
   {

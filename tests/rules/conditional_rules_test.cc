@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/obs.h"
 #include "rules/dbcron.h"
 
 namespace caldb {
@@ -120,6 +121,55 @@ TEST_F(ConditionalRulesTest, BadConditionRejectedAtDeclaration) {
                 .status()
                 .code(),
             StatusCode::kInvalidArgument);
+}
+
+TEST_F(ConditionalRulesTest, BadActionCommandRejectedAtDeclaration) {
+  // Fail-fast: an action that cannot parse is a declaration-time error,
+  // never a first-firing surprise.
+  TemporalAction action;
+  action.command = "append reorders ((((";
+  auto r = rules_->DeclareRule("bad_action", "[1]/DAYS:during:WEEKS",
+                               std::move(action), 1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().ToString().find("bad_action"), std::string::npos);
+  // Nothing leaked into the catalog tables or the in-memory map.
+  EXPECT_TRUE(rules_->ListRules().empty());
+  auto info = db_.Execute("retrieve (i.name) from i in RULE_INFO");
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info->rows.empty());
+
+  // The rejected declaration did not consume a rule id: the next good
+  // declaration still gets id 1.
+  TemporalAction good;
+  good.callback = [](TimePoint) { return Status::OK(); };
+  auto id = rules_->DeclareRule("good", "[1]/DAYS:during:WEEKS",
+                                std::move(good), 1);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 1);
+}
+
+TEST_F(ConditionalRulesTest, FiringsUseThePrecompiledHandles) {
+  TemporalAction action;
+  action.command = "append reorders (day = fire_day(), item = 'x')";
+  ASSERT_TRUE(rules_
+                  ->DeclareRule("weekly", "[1]/DAYS:during:WEEKS",
+                                std::move(action), 1,
+                                "retrieve (i.item) from i in inventory")
+                  .ok());
+  auto rule = rules_->GetRuleByName("weekly");
+  ASSERT_TRUE(rule.ok());
+  ASSERT_NE(rule->compiled_command, nullptr);
+  ASSERT_NE(rule->compiled_condition, nullptr);
+
+  // Firing is parse-free: the caldb.db.parses counter stays flat.
+  obs::Counter* parses = obs::Metrics().counter("caldb.db.parses");
+  const int64_t before = parses->value();
+  VirtualClock clock(1);
+  DbCron cron(rules_.get(), &clock, 7);
+  ASSERT_TRUE(cron.AdvanceTo(31).ok());
+  EXPECT_EQ(parses->value(), before);
+  EXPECT_GE(rules_->fire_stats().fired, 4);
 }
 
 }  // namespace
