@@ -9,8 +9,12 @@
 //    parse + classify + execute per call.
 //  - BM_ExecuteCached: the same statement through the shared cache —
 //    steady state is a hash lookup returning the shared handle.
-//  - BM_ExecutePrepared: Session::Prepare once, Execute(handle) in the
+//  - BM_ExecutePrepared: Session::Prepare once, handle.Execute() in the
 //    loop — no text, no lookup, the floor of the pipeline.
+//  - BM_ExecuteParameterized: the same prepared handle with a $1
+//    placeholder, a fresh bind list per call — what binding costs over
+//    the constant-text floor (and what the text path pays to vary the
+//    value: a parse per distinct literal).
 //  - BM_RuleFireThroughput: DBCRON firings per second with the action
 //    pre-compiled at declaration (firings never parse).
 //
@@ -110,13 +114,39 @@ void BM_ExecutePrepared(benchmark::State& state) {
     return;
   }
   for (auto _ : state) {
-    auto rows = session->Execute(*prepared);
+    auto rows = prepared->Execute();
     if (!rows.ok() || rows->rows.size() != 1) {
       state.SkipWithError("prepared read failed");
       break;
     }
     benchmark::DoNotOptimize(rows->rows);
   }
+  state.counters["qps"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+
+void BM_ExecuteParameterized(benchmark::State& state) {
+  auto engine = MakeEngine(/*cache_entries=*/512);
+  auto session = engine->CreateSession();
+  auto prepared = session->Prepare(
+      "retrieve (a.balance) from a in accounts where a.id = $1");
+  if (!prepared.ok()) {
+    state.SkipWithError("prepare failed");
+    return;
+  }
+  int64_t i = 0;
+  for (auto _ : state) {
+    auto rows = prepared->Execute({Value::Int(i++ % kRows)});
+    if (!rows.ok() || rows->rows.size() != 1) {
+      state.SkipWithError("parameterized read failed");
+      break;
+    }
+    benchmark::DoNotOptimize(rows->rows);
+  }
+  // One statement shape no matter how many distinct values ran.
+  state.counters["stmt_cache_size"] =
+      static_cast<double>(engine->StatementCacheStats().size);
   state.counters["qps"] =
       benchmark::Counter(static_cast<double>(state.iterations()),
                          benchmark::Counter::kIsRate);
@@ -149,6 +179,7 @@ BENCHMARK(BM_CompileStatement);
 BENCHMARK(BM_ExecuteUncached);
 BENCHMARK(BM_ExecuteCached);
 BENCHMARK(BM_ExecutePrepared);
+BENCHMARK(BM_ExecuteParameterized);
 BENCHMARK(BM_RuleFireThroughput);
 
 }  // namespace

@@ -14,11 +14,14 @@
 //
 // Type \help for the command list.  Reads stdin; EOF exits.
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "caldb.h"
 
@@ -76,16 +79,20 @@ class Shell {
     std::fflush(stdout);
   }
 
+  void PrintResult(const QueryResult& result) {
+    std::printf("%s", result.ToString().c_str());
+    if (result.columns.empty() && result.message.empty()) std::printf("\n");
+    if (!result.message.empty() && result.message.back() != '\n') {
+      std::printf("\n");
+    }
+  }
+
   // Runs a command through the session's uniform entry point and prints
   // the result.
   Status Uniform(const std::string& command) {
     auto result = session_->Execute(command);
     if (!result.ok()) return result.status();
-    std::printf("%s", result->ToString().c_str());
-    if (result->columns.empty() && result->message.empty()) std::printf("\n");
-    if (!result->message.empty() && result->message.back() != '\n') {
-      std::printf("\n");
-    }
+    PrintResult(*result);
     return Status::OK();
   }
 
@@ -118,6 +125,8 @@ class Shell {
     if (cmd == "top") return ShowTop();
     if (cmd == "checkpoint") return DoCheckpoint();
     if (cmd == "stmtcache") return ShowStmtCache();
+    if (cmd == "prepare") return PrepareNamed(rest);
+    if (cmd == "exec") return ExecNamed(rest);
     return Status::InvalidArgument("unknown command \\" + cmd +
                                    " (try \\help)");
   }
@@ -147,8 +156,15 @@ class Shell {
         "previous \\top\n"
         "  \\checkpoint               snapshot + truncate the WAL (durable\n"
         "                            shells: start with CALDB_DATA_DIR set)\n"
-        "  \\stmtcache                shared statement-cache accounting\n"
-        "                            (hits/misses/evictions/invalidations)\n"
+        "  \\stmtcache                shared statement-cache accounting and\n"
+        "                            the cached entries with their parameter\n"
+        "                            signatures\n"
+        "  \\prepare <name> <stmt>    compile a statement (may use $1, $2, "
+        "...)\n"
+        "                            into a named prepared handle\n"
+        "  \\exec <name> [v1 v2 ...]  execute a prepared handle, binding one\n"
+        "                            value per placeholder (int, float,\n"
+        "                            'text', true/false, null)\n"
         "  anything else             executed through Session::Execute\n"
         "                            (db statements, explain/profile <stmt>,\n"
         "                             cal <script>, define calendar ... as ...,\n"
@@ -303,6 +319,109 @@ class Shell {
         static_cast<long long>(stats.evictions),
         static_cast<long long>(stats.invalidations),
         static_cast<long long>(stats.invalidated_entries));
+    const auto entries = engine_->StatementCacheEntries();
+    if (!entries.empty()) std::printf("entries (MRU first):\n");
+    for (const auto& entry : entries) {
+      std::printf("  %-14s %s\n",
+                  RenderParamSignature(*entry.compiled).c_str(),
+                  entry.normalized_text.c_str());
+    }
+    return Status::OK();
+  }
+
+  // One shell value literal for \exec: int, float, 'text' (or "text"),
+  // true/false, null.
+  Result<Value> ParseValueLiteral(const std::string& word) {
+    if (word == "null") return Value::Null();
+    if (word == "true") return Value::Bool(true);
+    if (word == "false") return Value::Bool(false);
+    if (word.size() >= 2 && (word.front() == '\'' || word.front() == '"') &&
+        word.back() == word.front()) {
+      return Value::Text(word.substr(1, word.size() - 2));
+    }
+    if (word.find_first_of(".eE") != std::string::npos) {
+      try {
+        size_t used = 0;
+        double f = std::stod(word, &used);
+        if (used == word.size()) return Value::Float(f);
+      } catch (...) {
+      }
+    }
+    Result<int64_t> n = ParseInt64(word);
+    if (n.ok()) return Value::Int(*n);
+    return Status::InvalidArgument(
+        "cannot parse '" + word +
+        "' as a value (int, float, 'text', true/false, null)");
+  }
+
+  // Splits \exec arguments on whitespace, keeping quoted strings (with
+  // embedded spaces) as one word including their quotes.
+  Result<std::vector<std::string>> SplitValueWords(const std::string& rest) {
+    std::vector<std::string> words;
+    size_t i = 0;
+    while (i < rest.size()) {
+      if (std::isspace(static_cast<unsigned char>(rest[i]))) {
+        ++i;
+        continue;
+      }
+      if (rest[i] == '\'' || rest[i] == '"') {
+        const char quote = rest[i];
+        size_t close = rest.find(quote, i + 1);
+        if (close == std::string::npos) {
+          return Status::InvalidArgument("unterminated string in \\exec");
+        }
+        words.push_back(rest.substr(i, close - i + 1));
+        i = close + 1;
+      } else {
+        size_t end = i;
+        while (end < rest.size() &&
+               !std::isspace(static_cast<unsigned char>(rest[end]))) {
+          ++end;
+        }
+        words.push_back(rest.substr(i, end - i));
+        i = end;
+      }
+    }
+    return words;
+  }
+
+  Status PrepareNamed(const std::string& rest) {
+    size_t space = rest.find(' ');
+    if (space == std::string::npos) {
+      return Status::InvalidArgument("usage: \\prepare <name> <statement>");
+    }
+    std::string name = rest.substr(0, space);
+    std::string text(TrimWhitespace(rest.substr(space + 1)));
+    CALDB_ASSIGN_OR_RETURN(PreparedStatement stmt, session_->Prepare(text));
+    std::printf("prepared %s %s\n", name.c_str(), stmt.signature().c_str());
+    prepared_[name] = std::move(stmt);
+    return Status::OK();
+  }
+
+  Status ExecNamed(const std::string& rest) {
+    std::istringstream in(rest);
+    std::string name;
+    in >> name;
+    if (name.empty()) {
+      return Status::InvalidArgument("usage: \\exec <name> [v1 v2 ...]");
+    }
+    auto it = prepared_.find(name);
+    if (it == prepared_.end()) {
+      return Status::NotFound("no prepared statement '" + name +
+                              "' (use \\prepare first)");
+    }
+    std::string args;
+    std::getline(in, args);
+    CALDB_ASSIGN_OR_RETURN(std::vector<std::string> words,
+                           SplitValueWords(args));
+    ParamList params;
+    params.reserve(words.size());
+    for (const std::string& word : words) {
+      CALDB_ASSIGN_OR_RETURN(Value v, ParseValueLiteral(word));
+      params.push_back(std::move(v));
+    }
+    CALDB_ASSIGN_OR_RETURN(QueryResult result, it->second.Execute(params));
+    PrintResult(result);
     return Status::OK();
   }
 
@@ -355,6 +474,7 @@ class Shell {
 
   std::unique_ptr<Engine> engine_;
   std::unique_ptr<Session> session_;
+  std::map<std::string, PreparedStatement> prepared_;
   obs::CounterDeltas top_deltas_;
   int64_t top_last_ns_ = obs::NowNs();
 };

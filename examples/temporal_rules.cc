@@ -47,14 +47,15 @@ Status Run() {
        return (LDOM - LDOM_HOL + LAST_BUS_DAY);})",
                         alert("employment figures released"))
           .status());
-  // A rule with a database command action, stamped with fire_day() —
-  // declared through the uniform Session entry point this time.
+  // A rule with a database command action — declared through the uniform
+  // Session entry point this time.  $1 binds the firing day at each
+  // firing (the parameterized sibling of the fire_day() function).
   CALDB_RETURN_IF_ERROR(
       session
           ->Execute(
               "declare rule quarter_end on "
               "[n]/DAYS:during:caloperate(MONTHS, *, 3) do "
-              "append alerts (day = fire_day(), what = 'quarter end')")
+              "append alerts (day = $1, what = 'quarter end')")
           .status());
 
   std::printf("RULE-INFO after declaration:\n");
@@ -73,9 +74,14 @@ Status Run() {
               static_cast<long long>(stats.fires),
               static_cast<long long>(stats.max_heap_size));
 
+  // Read the alerts back through a prepared handle: compiled once, the
+  // cutoff day bound at execute (Session::Prepare → PreparedStatement).
   CALDB_ASSIGN_OR_RETURN(
-      QueryResult alerts,
-      session->Execute("retrieve (a.day, a.what) from a in alerts"));
+      PreparedStatement alerts_after,
+      session->Prepare(
+          "retrieve (a.day, a.what) from a in alerts where a.day >= $1"));
+  CALDB_ASSIGN_OR_RETURN(QueryResult alerts,
+                         alerts_after.Execute({Value::Int(1)}));
   std::printf("\nalerts table (written by the command-action rule):\n%s",
               alerts.ToString().c_str());
 

@@ -44,17 +44,20 @@ Status Run() {
   CALDB_RETURN_IF_ERROR(
       session->Execute("create index on work (week_start)").status());
 
+  // Loading goes through parameterized prepared statements: one compiled
+  // shape per table, values bound per row — no text splicing, no quoting.
   struct Student {
     const char* name;
     bool foreign_student;
   };
+  CALDB_ASSIGN_OR_RETURN(
+      PreparedStatement add_student,
+      session->Prepare("append students (name = $1, foreign_student = $2)"));
   for (const Student& s : {Student{"amara", true}, Student{"bo", true},
                            Student{"carol", false}, Student{"dmitri", true}}) {
     CALDB_RETURN_IF_ERROR(
-        session
-            ->Execute(std::string("append students (name = '") + s.name +
-                      "', foreign_student = " +
-                      (s.foreign_student ? "true" : "false") + ")")
+        add_student
+            .Execute({Value::Text(s.name), Value::Bool(s.foreign_student)})
             .status());
   }
 
@@ -70,13 +73,16 @@ Status Run() {
       {"bo", {1993, 7, 5}, 30},     {"bo", {1993, 9, 13}, 12},
       {"carol", {1993, 9, 20}, 26}, {"dmitri", {1993, 11, 1}, 19},
   };
+  CALDB_ASSIGN_OR_RETURN(
+      PreparedStatement add_work,
+      session->Prepare(
+          "append work (name = $1, week_start = $2, hours = $3)"));
   for (const WorkRow& w : rows) {
     CALDB_RETURN_IF_ERROR(
-        session
-            ->Execute("append work (name = '" + std::string(w.name) +
-                      "', week_start = " +
-                      std::to_string(ts.DayPointFromCivil(w.monday)) +
-                      ", hours = " + std::to_string(w.hours) + ")")
+        add_work
+            .Execute({Value::Text(w.name),
+                      Value::Int(ts.DayPointFromCivil(w.monday)),
+                      Value::Int(w.hours)})
             .status());
   }
 

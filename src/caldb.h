@@ -14,10 +14,17 @@
 //                        gen-cache, and the uniform Execute() entry point
 //                        (database statements, calendar scripts, EXPLAIN/
 //                        PROFILE, catalog and rule DDL, clock control).
-//                        Prepare() compiles a database statement once into
-//                        an immutable handle; Execute(handle) is the
-//                        parse-free hot path (engine-wide statement cache,
-//                        db/compiled_statement.h).
+//   caldb::PreparedStatement
+//                        the prepared-execution handle (engine/session.h):
+//                        Session::Prepare(text) compiles once through the
+//                        engine-wide statement cache; handle.Execute({...})
+//                        binds $1..$n placeholder values and runs parse-
+//                        free (db/compiled_statement.h).  This is THE
+//                        prepared path — the older pair of raw-handle
+//                        entry points, Session::Execute(CompiledStatement-
+//                        Ptr) and Engine::ExecuteCompiled, are deprecated
+//                        duplicates kept for source compatibility; see
+//                        the migration note on Session::Execute(handle).
 //   caldb::QueryResult   columns + rows, or a DML/DDL summary message.
 //   caldb::Status        error model (common/status.h): caldb never
 //   caldb::Result<T>     throws across this facade; every fallible call
@@ -32,10 +39,11 @@
 //   session->Execute("create table alerts (day int, what text)");
 //   session->Execute("define calendar Tuesdays as [2]/DAYS:during:WEEKS");
 //   session->Execute("declare rule t on Tuesdays do "
-//                    "append alerts (day = fire_day(), what = 'tuesday')");
+//                    "append alerts (day = $1, what = 'tuesday')");
 //   session->Execute("advance to 1993-02-01");
-//   auto rows = session->Execute(
-//       "retrieve (a.day, a.what) from a in alerts");
+//   auto stmt = session->Prepare(
+//       "retrieve (a.what) from a in alerts where a.day = $1").value();
+//   auto rows = stmt.Execute({caldb::Value::Int(32)});
 //
 // The subsystem headers pulled in below remain public for library-level
 // embedding (calendar algebra without a database, finance day counts,

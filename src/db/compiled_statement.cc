@@ -103,6 +103,117 @@ void ComputeMetadata(const Statement& stmt, CompiledStatement* out) {
   // Unknown kinds stay at the conservative default (kWrite).
 }
 
+// --- parameter signature ----------------------------------------------------
+
+// Accumulates placeholder occurrences while walking a statement's
+// expressions.  `types[i]` is the inferred type of $i+1 (kNull = any);
+// `seen[i]` distinguishes "never referenced" from "referenced, type
+// unknown" so gaps ($1, $3) can be rejected at compile time.
+struct ParamSig {
+  std::vector<ValueType> types;
+  std::vector<bool> seen;
+
+  void Note(int index, ValueType hint) {
+    if (index < 1) return;
+    if (static_cast<size_t>(index) > seen.size()) {
+      seen.resize(static_cast<size_t>(index), false);
+      types.resize(static_cast<size_t>(index), ValueType::kNull);
+    }
+    seen[static_cast<size_t>(index) - 1] = true;
+    if (hint == ValueType::kNull) return;
+    ValueType& slot = types[static_cast<size_t>(index) - 1];
+    if (slot == ValueType::kNull) {
+      slot = hint;
+      return;
+    }
+    const bool both_numeric =
+        (slot == ValueType::kInt || slot == ValueType::kFloat) &&
+        (hint == ValueType::kInt || hint == ValueType::kFloat);
+    if (slot != hint && !both_numeric) {
+      // Conflicting hints: widen back to "any" rather than guess.
+      slot = ValueType::kNull;
+    }
+  }
+};
+
+void WalkExprParams(const DbExpr& expr, ParamSig* sig) {
+  if (expr.kind == DbExpr::Kind::kParam) {
+    sig->Note(expr.param_index, ValueType::kNull);
+  }
+  // Infer a type when a placeholder sits directly across a comparison or
+  // arithmetic operator from a constant: `a.id = $1` says nothing, but
+  // `$1 > 100` pins $1 to the numeric class and `$2 = 'x'` pins $2 to
+  // text.  (Unary minus parses as `0 - expr`, so `-$1` is numeric too.)
+  if ((expr.kind == DbExpr::Kind::kCompare ||
+       expr.kind == DbExpr::Kind::kArith) &&
+      expr.lhs && expr.rhs) {
+    if (expr.lhs->kind == DbExpr::Kind::kParam &&
+        expr.rhs->kind == DbExpr::Kind::kConst) {
+      sig->Note(expr.lhs->param_index, expr.rhs->constant.type());
+    }
+    if (expr.rhs->kind == DbExpr::Kind::kParam &&
+        expr.lhs->kind == DbExpr::Kind::kConst) {
+      sig->Note(expr.rhs->param_index, expr.lhs->constant.type());
+    }
+  }
+  if (expr.lhs) WalkExprParams(*expr.lhs, sig);
+  if (expr.rhs) WalkExprParams(*expr.rhs, sig);
+  for (const DbExprPtr& arg : expr.args) {
+    if (arg) WalkExprParams(*arg, sig);
+  }
+}
+
+void CollectParams(const Statement& stmt, ParamSig* sig) {
+  if (const auto* retrieve = std::get_if<RetrieveStmt>(&stmt)) {
+    for (const RetrieveStmt::Target& target : retrieve->targets) {
+      if (target.expr) WalkExprParams(*target.expr, sig);
+    }
+    if (retrieve->where) WalkExprParams(*retrieve->where, sig);
+    return;
+  }
+  if (const auto* append = std::get_if<AppendStmt>(&stmt)) {
+    for (const auto& [column, value] : append->sets) {
+      if (value) WalkExprParams(*value, sig);
+    }
+    return;
+  }
+  if (const auto* replace = std::get_if<ReplaceStmt>(&stmt)) {
+    for (const auto& [column, value] : replace->sets) {
+      if (value) WalkExprParams(*value, sig);
+    }
+    if (replace->where) WalkExprParams(*replace->where, sig);
+    return;
+  }
+  if (const auto* del = std::get_if<DeleteStmt>(&stmt)) {
+    if (del->where) WalkExprParams(*del->where, sig);
+    return;
+  }
+  if (const auto* rule = std::get_if<DefineRuleStmt>(&stmt)) {
+    // A rule's where clause and action run later, in event scopes that
+    // carry no bind list — a placeholder there could never be bound.
+    // CompileStatement rejects these; collecting them here makes the
+    // rejection uniform.
+    if (rule->where) WalkExprParams(*rule->where, sig);
+    return;
+  }
+  if (const auto* explain = std::get_if<ExplainStmt>(&stmt)) {
+    if (explain->inner != nullptr) {
+      // Fold the inner handle's signature so `profile <stmt>` demands the
+      // same bind list the statement itself would.
+      for (size_t i = 0; i < explain->inner->param_types.size(); ++i) {
+        sig->Note(static_cast<int>(i) + 1, explain->inner->param_types[i]);
+      }
+    }
+    return;
+  }
+  // create table / create index / drop rule / drop table carry no
+  // expressions.
+}
+
+std::string_view ParamTypeName(ValueType t) {
+  return t == ValueType::kNull ? std::string_view("any") : ValueTypeName(t);
+}
+
 }  // namespace
 
 std::string NormalizeStatementText(std::string_view text) {
@@ -139,6 +250,26 @@ Result<CompiledStatementPtr> CompileStatement(std::string_view text) {
   const int64_t t0 = obs::Enabled() ? obs::NowNs() : 0;
   CALDB_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(text));
   const int64_t parse_ns = t0 != 0 ? obs::NowNs() - t0 : 0;
+  // Placeholder numbering must be contiguous from $1: a gap is almost
+  // always a typo, and silently accepting `$1, $3` would make arity
+  // checking meaningless.  Only the text path validates — hand-built ASTs
+  // through CompileParsedStatement are the caller's contract.
+  ParamSig sig;
+  CollectParams(stmt, &sig);
+  for (size_t i = 0; i < sig.seen.size(); ++i) {
+    if (!sig.seen[i]) {
+      return Status::ParseError(
+          "placeholder $" + std::to_string(i + 1) +
+          " is missing: parameters must be numbered contiguously from $1 "
+          "($" +
+          std::to_string(sig.seen.size()) + " is used)");
+    }
+  }
+  if (!sig.seen.empty() && std::holds_alternative<DefineRuleStmt>(stmt)) {
+    return Status::ParseError(
+        "placeholders are not allowed in a rule's where clause: rule "
+        "conditions are evaluated at event time with no bind list");
+  }
   return CompileParsedStatement(std::move(stmt), std::string(text), parse_ns);
 }
 
@@ -150,7 +281,50 @@ CompiledStatementPtr CompileParsedStatement(Statement stmt, std::string text,
   compiled->normalized = NormalizeStatementText(compiled->text);
   compiled->parse_ns = parse_ns;
   ComputeMetadata(*compiled->stmt, compiled.get());
+  ParamSig sig;
+  CollectParams(*compiled->stmt, &sig);
+  compiled->param_count = static_cast<int>(sig.seen.size());
+  compiled->param_types = std::move(sig.types);
   return compiled;
+}
+
+Status CheckParamList(const CompiledStatement& compiled,
+                      const ParamList& params) {
+  if (static_cast<int>(params.size()) != compiled.param_count) {
+    return Status::InvalidArgument(
+        "statement expects " + std::to_string(compiled.param_count) +
+        " parameter(s) " + RenderParamSignature(compiled) + ", got " +
+        std::to_string(params.size()));
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    const ValueType expected = compiled.param_types[i];
+    const ValueType actual = params[i].type();
+    if (expected == ValueType::kNull || actual == ValueType::kNull) continue;
+    const bool both_numeric =
+        (expected == ValueType::kInt || expected == ValueType::kFloat) &&
+        (actual == ValueType::kInt || actual == ValueType::kFloat);
+    if (actual != expected && !both_numeric) {
+      return Status::InvalidArgument(
+          "parameter $" + std::to_string(i + 1) + " expects " +
+          std::string(ParamTypeName(expected)) + ", got " +
+          std::string(ParamTypeName(actual)) + " (" + params[i].ToString() +
+          ")");
+    }
+  }
+  return Status::OK();
+}
+
+std::string RenderParamSignature(const CompiledStatement& compiled) {
+  std::string out = "(";
+  for (int i = 0; i < compiled.param_count; ++i) {
+    if (i > 0) out += ", ";
+    out += "$" + std::to_string(i + 1) + ":";
+    const ValueType t = static_cast<size_t>(i) < compiled.param_types.size()
+                            ? compiled.param_types[static_cast<size_t>(i)]
+                            : ValueType::kNull;
+    out += ParamTypeName(t);
+  }
+  return out + ")";
 }
 
 }  // namespace caldb

@@ -58,11 +58,22 @@ struct CompiledStatement {
   /// table, create index, define/drop rule): executing it must invalidate
   /// cached statements that reference the affected tables.
   bool is_ddl = false;
+  /// Number of positional placeholders ($1..$param_count).  Placeholder
+  /// numbering must be contiguous from $1; a gap ($1, $3) fails
+  /// compilation.  0 for a statement without placeholders.
+  int param_count = 0;
+  /// Inferred type per parameter, index 0 = $1.  kNull means "any": the
+  /// type could not be inferred from the statement shape.  kInt and
+  /// kFloat are one numeric class at bind time — either binds both.
+  std::vector<ValueType> param_types;
   /// Wall time the parse took, ns (0 when obs timing is disabled).
   int64_t parse_ns = 0;
 };
 
 using CompiledStatementPtr = std::shared_ptr<const CompiledStatement>;
+
+/// Positional parameter values bound at execute time; element i binds $i+1.
+using ParamList = std::vector<Value>;
 
 /// Parses `text` once and precomputes the metadata above.  The returned
 /// handle is immutable and safe to share across threads.
@@ -77,7 +88,20 @@ CompiledStatementPtr CompileParsedStatement(Statement stmt, std::string text,
 /// Collapses whitespace runs outside quoted literals to single spaces and
 /// trims the ends.  Quote-aware: text inside '...' / "..." is preserved
 /// byte for byte, so normalization never changes statement meaning.
+/// Placeholders normalize like any other token, so "where a.id = $1" is
+/// one cache entry no matter what values are later bound to it.
 std::string NormalizeStatementText(std::string_view text);
+
+/// Validates a bind list against the compiled signature: exact arity
+/// (params.size() == param_count); kInt and kFloat interchange as one
+/// numeric class; a null value binds any slot; an inferred kNull ("any")
+/// slot accepts any value.  Returns InvalidArgument on mismatch.
+Status CheckParamList(const CompiledStatement& compiled,
+                      const ParamList& params);
+
+/// Renders the parameter signature for tooling, e.g. "($1:int, $2:any)";
+/// "()" when the statement takes no parameters.
+std::string RenderParamSignature(const CompiledStatement& compiled);
 
 }  // namespace caldb
 

@@ -136,7 +136,10 @@ std::vector<std::string> Database::ListTables() const {
 EvalScope Database::MakeScope(const EvalScope* ambient) const {
   EvalScope scope;
   scope.registry = &registry_;
-  if (ambient != nullptr) scope.tuples = ambient->tuples;
+  if (ambient != nullptr) {
+    scope.tuples = ambient->tuples;
+    scope.params = ambient->params;
+  }
   return scope;
 }
 
@@ -158,16 +161,44 @@ Result<QueryResult> Database::Replay(const CompiledStatement& compiled) {
   return ExecuteParsedImpl(*compiled.stmt, nullptr);
 }
 
+Result<QueryResult> Database::Replay(const CompiledStatement& compiled,
+                                     const ParamList& params) {
+  CALDB_RETURN_IF_ERROR(CheckParamList(compiled, params));
+  EvalScope ambient;
+  ambient.params = &params;
+  return ExecuteParsedImpl(*compiled.stmt, &ambient);
+}
+
 Result<CompiledStatementPtr> Database::Prepare(std::string_view query) {
   return CompileStatement(query);
 }
 
 Result<QueryResult> Database::ExecuteCompiled(const CompiledStatement& compiled,
                                               const EvalScope* ambient) {
+  if (compiled.param_count > 0 &&
+      (ambient == nullptr || ambient->params == nullptr)) {
+    // Fail fast with the signature instead of an eval-time "not bound".
+    return Status::InvalidArgument(
+        "statement expects " + std::to_string(compiled.param_count) +
+        " parameter(s) " + RenderParamSignature(compiled) +
+        "; bind them with the parameterized execute");
+  }
   Metrics().statements->Increment();
   obs::ScopedLatency latency(Metrics().statement_ns);
   obs::Tracer::Span span = obs::StartSpan("db.execute");
   return ExecuteParsed(*compiled.stmt, ambient, compiled.text);
+}
+
+Result<QueryResult> Database::ExecuteCompiled(const CompiledStatement& compiled,
+                                              const ParamList& params,
+                                              const EvalScope* ambient) {
+  CALDB_RETURN_IF_ERROR(CheckParamList(compiled, params));
+  Metrics().statements->Increment();
+  obs::ScopedLatency latency(Metrics().statement_ns);
+  obs::Tracer::Span span = obs::StartSpan("db.execute");
+  EvalScope scope = MakeScope(ambient);
+  scope.params = &params;
+  return ExecuteParsed(*compiled.stmt, &scope, compiled.text);
 }
 
 Result<QueryResult> Database::ExecuteParsed(const Statement& stmt,
@@ -255,13 +286,14 @@ Result<QueryResult> Database::ExecuteParsedImpl(const Statement& stmt,
 }
 
 std::optional<Database::IndexChoice> Database::ChooseIndex(
-    const Table& table, const std::string& var, const DbExpr* where) {
+    const Table& table, const std::string& var, const DbExpr* where,
+    const std::vector<Value>* params) {
   if (where == nullptr) return std::nullopt;
   for (const Column& column : table.schema().columns()) {
     if (column.type != ValueType::kInt) continue;
     if (!table.HasIndex(column.name)) continue;
     std::optional<std::pair<int64_t, int64_t>> range =
-        ExtractIndexRange(*where, var, column.name);
+        ExtractIndexRange(*where, var, column.name, params);
     if (!range.has_value()) continue;
     return IndexChoice{column.name, range->first, range->second};
   }
@@ -294,8 +326,10 @@ Status Database::CollectMatches(Table* table, const std::string& var,
     return true;
   };
 
-  // Try index acceleration: any indexed int column constrained by `where`.
-  if (std::optional<IndexChoice> choice = ChooseIndex(*table, var, where)) {
+  // Try index acceleration: any indexed int column constrained by `where`
+  // — by a constant, or by a placeholder whose value is bound this call.
+  if (std::optional<IndexChoice> choice =
+          ChooseIndex(*table, var, where, scope.params)) {
     stats_.index_scans.fetch_add(1, std::memory_order_relaxed);
     Metrics().index_scans->Increment();
     CALDB_RETURN_IF_ERROR(
@@ -417,6 +451,15 @@ Status Database::DefineRule(EventRule rule) {
                                            "' action does not parse");
     }
     rule.compiled_command = *std::move(compiled);
+  }
+  if (rule.compiled_command != nullptr &&
+      rule.compiled_command->param_count > 0) {
+    // Firings evaluate actions in a fresh NEW/CURRENT scope with no bind
+    // list; a placeholder could never be bound.  Reject at definition.
+    return Status::InvalidArgument(
+        "rule '" + rule.name + "' action uses placeholders " +
+        RenderParamSignature(*rule.compiled_command) +
+        "; event-rule actions cannot take parameters");
   }
   if (rule.event == DbEvent::kRetrieve) {
     retrieve_rules_.fetch_add(1, std::memory_order_release);
@@ -689,7 +732,8 @@ Result<QueryResult> Database::ExecuteRetrieve(const RetrieveStmt& stmt,
       return inner_status.ok();
     };
     if (std::optional<IndexChoice> choice =
-            ChooseIndex(*table, vars[level], stmt.where.get())) {
+            ChooseIndex(*table, vars[level], stmt.where.get(),
+                        scope.params)) {
       stats_.index_scans.fetch_add(1, std::memory_order_relaxed);
       Metrics().index_scans->Increment();
       CALDB_RETURN_IF_ERROR(

@@ -86,7 +86,18 @@ class Database {
 
   /// Executes a previously compiled statement.  The parse-once entry
   /// point: repeated executions of one handle never touch the parser.
+  /// Fails with InvalidArgument when `compiled` has placeholders and
+  /// neither this call nor `ambient` supplies a bind list.
   Result<QueryResult> ExecuteCompiled(const CompiledStatement& compiled,
+                                      const EvalScope* ambient = nullptr);
+  /// Executes a compiled statement with positional parameters bound to
+  /// its $n placeholders: params[0] binds $1, and so on.  The bind list
+  /// is validated against the compiled signature (arity and inferred
+  /// types, CheckParamList) before execution.  `params` must outlive the
+  /// call; values are read in place, never copied into the handle — one
+  /// compiled shape serves every binding concurrently.
+  Result<QueryResult> ExecuteCompiled(const CompiledStatement& compiled,
+                                      const ParamList& params,
                                       const EvalScope* ambient = nullptr);
   /// `text`, when provided, is the statement's source — it makes the
   /// slow-statement log line actionable for callers (the Engine) that
@@ -107,6 +118,10 @@ class Database {
   /// handles here, so replaying thousands of identical statement shapes
   /// parses each distinct shape once.
   Result<QueryResult> Replay(const CompiledStatement& compiled);
+  /// Replay of a parameterized WAL record: one compiled shape, the bound
+  /// values decoded from the record (storage/snapshot.h value codec).
+  Result<QueryResult> Replay(const CompiledStatement& compiled,
+                             const ParamList& params);
 
   /// Statements slower than this are logged ("db.slow_statement", warn)
   /// and counted in caldb.db.slow_statements.  Process-wide; initialized
@@ -167,9 +182,9 @@ class Database {
     int64_t lo = 0;
     int64_t hi = 0;
   };
-  static std::optional<IndexChoice> ChooseIndex(const Table& table,
-                                                const std::string& var,
-                                                const DbExpr* where);
+  static std::optional<IndexChoice> ChooseIndex(
+      const Table& table, const std::string& var, const DbExpr* where,
+      const std::vector<Value>* params = nullptr);
 
   // The dispatch body behind ExecuteParsed (which adds the slow-statement
   // timing envelope around it).

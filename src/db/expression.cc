@@ -52,6 +52,8 @@ std::string DbExpr::ToString() const {
       }
       return out + ")";
     }
+    case Kind::kParam:
+      return "$" + std::to_string(param_index);
   }
   return "?";
 }
@@ -167,6 +169,17 @@ Result<Value> EvalDbExpr(const DbExpr& expr, const EvalScope& scope) {
       }
       return scope.registry->Call(expr.fn_name, args);
     }
+
+    case DbExpr::Kind::kParam: {
+      if (scope.params == nullptr ||
+          static_cast<size_t>(expr.param_index) > scope.params->size() ||
+          expr.param_index < 1) {
+        return Status::EvalError("parameter $" +
+                                 std::to_string(expr.param_index) +
+                                 " is not bound");
+      }
+      return (*scope.params)[static_cast<size_t>(expr.param_index) - 1];
+    }
   }
   return Status::Internal("unknown expression kind");
 }
@@ -191,30 +204,47 @@ bool ContainsAggregate(const DbExpr& expr) {
 
 namespace {
 
+// Resolves an expression to an int key usable for index planning: an int
+// constant, or — when a bind list is present — a placeholder whose bound
+// value is an int.  Params make the plan per-execution: the same compiled
+// shape index-scans with one bind list and may full-scan with another.
+std::optional<int64_t> KeyFromExpr(const DbExpr& e,
+                                   const std::vector<Value>* params) {
+  const Value* v = nullptr;
+  if (e.kind == DbExpr::Kind::kConst) {
+    v = &e.constant;
+  } else if (e.kind == DbExpr::Kind::kParam && params != nullptr &&
+             e.param_index >= 1 &&
+             static_cast<size_t>(e.param_index) <= params->size()) {
+    v = &(*params)[e.param_index - 1];
+  } else {
+    return std::nullopt;
+  }
+  Result<int64_t> key = v->AsInt();
+  if (!key.ok()) return std::nullopt;
+  return *key;
+}
+
 // Narrows [lo, hi] using one comparison conjunct when it matches
-// var.column <op> int-const (either operand order).
+// var.column <op> key (either operand order), where key is an int constant
+// or a bound placeholder.
 void NarrowFromCompare(const DbExpr& cmp, const std::string& var,
-                       const std::string& column, int64_t* lo, int64_t* hi) {
-  const DbExpr* col = nullptr;
-  const DbExpr* constant = nullptr;
+                       const std::string& column,
+                       const std::vector<Value>* params, int64_t* lo,
+                       int64_t* hi) {
   bool flipped = false;
   auto is_col = [&](const DbExpr& e) {
     return e.kind == DbExpr::Kind::kColumnRef && e.column == column &&
            (e.var == var || e.var.empty());
   };
-  if (is_col(*cmp.lhs) && cmp.rhs->kind == DbExpr::Kind::kConst) {
-    col = cmp.lhs.get();
-    constant = cmp.rhs.get();
-  } else if (is_col(*cmp.rhs) && cmp.lhs->kind == DbExpr::Kind::kConst) {
-    col = cmp.rhs.get();
-    constant = cmp.lhs.get();
+  std::optional<int64_t> key;
+  if (is_col(*cmp.lhs) && (key = KeyFromExpr(*cmp.rhs, params))) {
+    // column on the left
+  } else if (is_col(*cmp.rhs) && (key = KeyFromExpr(*cmp.lhs, params))) {
     flipped = true;
   } else {
     return;
   }
-  (void)col;
-  Result<int64_t> key = constant->constant.AsInt();
-  if (!key.ok()) return;
   CmpOp op = cmp.cmp;
   if (flipped) {
     switch (op) {
@@ -257,17 +287,18 @@ void NarrowFromCompare(const DbExpr& cmp, const std::string& var,
 }
 
 void WalkConjuncts(const DbExpr& expr, const std::string& var,
-                   const std::string& column, int64_t* lo, int64_t* hi,
+                   const std::string& column,
+                   const std::vector<Value>* params, int64_t* lo, int64_t* hi,
                    bool* narrowed) {
   if (expr.kind == DbExpr::Kind::kLogical && expr.log == LogOp::kAnd) {
-    WalkConjuncts(*expr.lhs, var, column, lo, hi, narrowed);
-    WalkConjuncts(*expr.rhs, var, column, lo, hi, narrowed);
+    WalkConjuncts(*expr.lhs, var, column, params, lo, hi, narrowed);
+    WalkConjuncts(*expr.rhs, var, column, params, lo, hi, narrowed);
     return;
   }
   if (expr.kind == DbExpr::Kind::kCompare) {
     int64_t before_lo = *lo;
     int64_t before_hi = *hi;
-    NarrowFromCompare(expr, var, column, lo, hi);
+    NarrowFromCompare(expr, var, column, params, lo, hi);
     if (*lo != before_lo || *hi != before_hi) *narrowed = true;
   }
   // Other conjunct shapes are residual filters; they never widen the range.
@@ -276,11 +307,12 @@ void WalkConjuncts(const DbExpr& expr, const std::string& var,
 }  // namespace
 
 std::optional<std::pair<int64_t, int64_t>> ExtractIndexRange(
-    const DbExpr& expr, const std::string& var, const std::string& column) {
+    const DbExpr& expr, const std::string& var, const std::string& column,
+    const std::vector<Value>* params) {
   int64_t lo = INT64_MIN;
   int64_t hi = INT64_MAX;
   bool narrowed = false;
-  WalkConjuncts(expr, var, column, &lo, &hi, &narrowed);
+  WalkConjuncts(expr, var, column, params, &lo, &hi, &narrowed);
   if (!narrowed) return std::nullopt;
   return std::make_pair(lo, hi);
 }

@@ -23,7 +23,15 @@ enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
 enum class LogOp { kAnd, kOr, kNot };
 
 struct DbExpr {
-  enum class Kind { kConst, kColumnRef, kCompare, kLogical, kArith, kCall };
+  enum class Kind {
+    kConst,
+    kColumnRef,
+    kCompare,
+    kLogical,
+    kArith,
+    kCall,
+    kParam
+  };
 
   Kind kind = Kind::kConst;
   Value constant;                  // kConst
@@ -34,6 +42,7 @@ struct DbExpr {
   char arith = '+';                // kArith: + - * /
   std::string fn_name;             // kCall
   std::vector<DbExprPtr> args;     // kCall
+  int param_index = 0;             // kParam: 1-based ($1 is index 1)
   DbExprPtr lhs;
   DbExprPtr rhs;
 
@@ -50,6 +59,10 @@ struct TupleBinding {
 struct EvalScope {
   std::map<std::string, TupleBinding> tuples;
   const FunctionRegistry* registry = nullptr;
+  // Positional parameter values bound at execute time; $n evaluates to
+  // (*params)[n - 1].  Null when the statement was executed without
+  // parameters ($n then fails with an EvalError).
+  const std::vector<Value>* params = nullptr;
 };
 
 /// Evaluates an expression against bound tuples.
@@ -65,9 +78,12 @@ bool IsAggregateName(const std::string& name);
 /// Index-planning helper: when `expr` (a where clause) constrains
 /// `var.column` to a contiguous int range (via =, <, <=, >, >= conjuncts),
 /// returns that [lo, hi] range.  Conservative: returns nullopt when any
-/// disjunction or unsupported shape is involved.
+/// disjunction or unsupported shape is involved.  When `params` is
+/// non-null, bound placeholders count as constants — `t.x = $1` plans an
+/// index scan using the value bound at execute time.
 std::optional<std::pair<int64_t, int64_t>> ExtractIndexRange(
-    const DbExpr& expr, const std::string& var, const std::string& column);
+    const DbExpr& expr, const std::string& var, const std::string& column,
+    const std::vector<Value>* params = nullptr);
 
 }  // namespace caldb
 

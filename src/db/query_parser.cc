@@ -29,6 +29,7 @@ enum class QTok {
   kInt,
   kFloat,
   kString,
+  kParam,  // positional placeholder $n, index in `int_value`
   kPunct,  // single/double char operator, text in `text`
   kEnd,
 };
@@ -85,6 +86,30 @@ Result<std::vector<QToken>> QLex(std::string_view src) {
           tok.int_value = tok.int_value * 10 + (src[j] - '0');
         }
       }
+    } else if (c == '$') {
+      // Positional placeholder $n.  Strings are handled below, so a `$`
+      // inside a quoted literal never reaches this branch.
+      size_t start = ++i;
+      while (i < src.size() &&
+             std::isdigit(static_cast<unsigned char>(src[i]))) {
+        ++i;
+      }
+      if (i == start) {
+        return Status::ParseError(
+            "expected a parameter number after '$' (placeholders are $1, "
+            "$2, ...)");
+      }
+      tok.kind = QTok::kParam;
+      tok.int_value = 0;
+      for (size_t j = start; j < i && tok.int_value <= 1'000'000; ++j) {
+        tok.int_value = tok.int_value * 10 + (src[j] - '0');
+      }
+      if (tok.int_value < 1 || tok.int_value > 1'000'000) {
+        return Status::ParseError("parameter $" +
+                                  std::string(src.substr(start, i - start)) +
+                                  " out of range (placeholders start at $1)");
+      }
+      tok.text = "$" + std::to_string(tok.int_value);
     } else if (c == '\'' || c == '"') {
       char quote = c;
       ++i;
@@ -515,6 +540,10 @@ class QueryParser {
       case QTok::kString:
         node->kind = DbExpr::Kind::kConst;
         node->constant = Value::Text(Advance().text);
+        return node;
+      case QTok::kParam:
+        node->kind = DbExpr::Kind::kParam;
+        node->param_index = static_cast<int>(Advance().int_value);
         return node;
       case QTok::kIdent: {
         if (MatchKeyword("true")) {

@@ -279,6 +279,20 @@ Status Engine::Recover() {
         if (!st.ok()) note_replay_error(st, record);
         break;
       }
+      case storage::WalRecordType::kParamStatement: {
+        // One compiled shape per distinct statement text, one decoded
+        // bind list per record: a burst of value-only-varying executions
+        // replays with a single parse.
+        Result<QueryResult> r = [&]() -> Result<QueryResult> {
+          CALDB_ASSIGN_OR_RETURN(CompiledStatementPtr compiled,
+                                 stmt_cache_.GetOrCompile(record.a));
+          CALDB_ASSIGN_OR_RETURN(ParamList params,
+                                 storage::DecodeParamValues(record.b));
+          return db_.Replay(*compiled, params);
+        }();
+        if (!r.ok()) note_replay_error(r.status(), record);
+        break;
+      }
     }
   }
 
@@ -468,7 +482,7 @@ Result<QueryResult> Engine::ExecuteImpl(const std::string& statement,
   // each distinct statement shape is parsed once per cache residency.
   CALDB_ASSIGN_OR_RETURN(CompiledStatementPtr compiled,
                          stmt_cache_.GetOrCompile(statement));
-  return ExecuteCompiledImpl(*compiled, ambient);
+  return ExecuteCompiledImpl(*compiled, nullptr, ambient);
 }
 
 Result<CompiledStatementPtr> Engine::Prepare(const std::string& statement) {
@@ -488,7 +502,27 @@ Result<QueryResult> Engine::ExecuteCompiled(const CompiledStatementPtr& compiled
     return Status::InvalidArgument("null compiled statement");
   }
   try {
-    Result<QueryResult> result = ExecuteCompiledImpl(*compiled, ambient);
+    Result<QueryResult> result = ExecuteCompiledImpl(*compiled, nullptr,
+                                                     ambient);
+    MaybeCheckpoint();
+    return result;
+  } catch (const std::exception& e) {
+    return Status::Internal(
+        std::string("uncaught exception in ExecuteCompiled: ") + e.what());
+  } catch (...) {
+    return Status::Internal("uncaught non-exception throw in ExecuteCompiled");
+  }
+}
+
+Result<QueryResult> Engine::ExecuteCompiled(const CompiledStatementPtr& compiled,
+                                            const ParamList& params,
+                                            const EvalScope* ambient) {
+  if (compiled == nullptr || compiled->stmt == nullptr) {
+    return Status::InvalidArgument("null compiled statement");
+  }
+  try {
+    Result<QueryResult> result = ExecuteCompiledImpl(*compiled, &params,
+                                                     ambient);
     MaybeCheckpoint();
     return result;
   } catch (const std::exception& e) {
@@ -500,7 +534,28 @@ Result<QueryResult> Engine::ExecuteCompiled(const CompiledStatementPtr& compiled
 }
 
 Result<QueryResult> Engine::ExecuteCompiledImpl(const CompiledStatement& compiled,
+                                                const ParamList* params,
                                                 const EvalScope* ambient) {
+  // Bind-list validation happens before any lock or WAL traffic: a bad
+  // arity or type never reaches execution, and an unbound placeholder is
+  // an error here rather than deep inside evaluation.
+  if (params != nullptr) {
+    CALDB_RETURN_IF_ERROR(CheckParamList(compiled, *params));
+  } else if (compiled.param_count > 0 &&
+             (ambient == nullptr || ambient->params == nullptr)) {
+    return Status::InvalidArgument(
+        "statement expects " + std::to_string(compiled.param_count) +
+        " parameter(s) " + RenderParamSignature(compiled) +
+        "; bind them with the parameterized execute");
+  }
+  // Thread the bind list through the ambient scope — evaluation reads
+  // params in place, so one compiled shape serves every binding.
+  EvalScope bound_scope;
+  if (params != nullptr) {
+    if (ambient != nullptr) bound_scope = *ambient;
+    bound_scope.params = params;
+    ambient = &bound_scope;
+  }
   Metrics().statements->Increment();
   obs::Tracer::Span span = obs::StartSpan("engine.execute");
   // Stamp the statement into the thread's LogContext (keeping whatever
@@ -514,6 +569,13 @@ Result<QueryResult> Engine::ExecuteCompiledImpl(const CompiledStatement& compile
   // the next statement (same guarantee a probing daemon gives).
   if (StatementWrites(compiled, db_)) {
     span.AddAttr("lock", "write");
+    // Encode the bind list for the redo record before taking the lock
+    // (the values are immutable for the duration of the call).
+    std::string encoded_params;
+    if (wal_ != nullptr && params != nullptr && !params->empty()) {
+      CALDB_ASSIGN_OR_RETURN(encoded_params,
+                             storage::EncodeParamValues(*params));
+    }
     Result<QueryResult> result = [&] {
       WriteLock lock = AcquireWrite();
       Result<QueryResult> r = db_.ExecuteParsed(*compiled.stmt, ambient,
@@ -521,10 +583,18 @@ Result<QueryResult> Engine::ExecuteCompiledImpl(const CompiledStatement& compile
       // Redo-log the statement whatever its outcome: a failing statement
       // may have applied partial effects, and replaying it fails
       // identically — deterministic either way.  (Not reached for parse
-      // errors.)
+      // errors.)  A bound execution logs kParamStatement (text + encoded
+      // values); recovery recompiles the shape once and replays each
+      // record's own bind list.
       storage::WalRecord redo;
-      redo.type = storage::WalRecordType::kStatement;
-      redo.a = compiled.text;
+      if (params != nullptr && !params->empty()) {
+        redo.type = storage::WalRecordType::kParamStatement;
+        redo.a = compiled.text;
+        redo.b = std::move(encoded_params);
+      } else {
+        redo.type = storage::WalRecordType::kStatement;
+        redo.a = compiled.text;
+      }
       Status logged = LogDurable(std::move(redo));
       if (!logged.ok() && r.ok()) return Result<QueryResult>(logged);
       return r;

@@ -151,13 +151,34 @@ class Engine {
 
   /// Executes a compiled handle (from Prepare, or Database::Prepare).
   /// Lock classification comes from the handle's precomputed metadata —
-  /// no text sniffing, no parsing, on the hot path.  Never throws.
+  /// no text sniffing, no parsing, on the hot path.  Fails with
+  /// InvalidArgument when the handle has $n placeholders (bind them with
+  /// the ParamList overload).  Never throws.
+  ///
+  /// DEPRECATED as a public entry point: prefer Session::Prepare, which
+  /// returns a PreparedStatement handle wrapping this (engine/session.h).
   Result<QueryResult> ExecuteCompiled(const CompiledStatementPtr& compiled,
+                                      const EvalScope* ambient = nullptr);
+  /// Executes a compiled handle with a bind list: params[0] binds $1.
+  /// The list is validated against the handle's signature (arity +
+  /// inferred types) before any lock is taken.  On the durable path the
+  /// WAL gets one kParamStatement record — statement text plus the
+  /// encoded values — so recovery replays one compiled shape per distinct
+  /// statement no matter how many bindings ran.  Never throws.
+  Result<QueryResult> ExecuteCompiled(const CompiledStatementPtr& compiled,
+                                      const ParamList& params,
                                       const EvalScope* ambient = nullptr);
 
   /// Point-in-time accounting of the shared statement cache.
   StatementCache::Stats StatementCacheStats() const {
     return stmt_cache_.stats();
+  }
+
+  /// The cached entries themselves (MRU first), each with its live
+  /// compiled handle — the shell's \stmtcache renders normalized text and
+  /// parameter signature per row from this.
+  std::vector<StatementCache::EntryInfo> StatementCacheEntries() const {
+    return stmt_cache_.Entries();
   }
 
   /// Enqueues a statement on the pool; the future carries its result.
@@ -276,8 +297,10 @@ class Engine {
                                   const EvalScope* ambient);
   /// The shared execution body: classifies the lock from the compiled
   /// metadata, runs under it, WAL-logs writes, and invalidates the
-  /// statement cache after DDL.
+  /// statement cache after DDL.  `params` (nullable) is the bind list for
+  /// the handle's $n placeholders.
   Result<QueryResult> ExecuteCompiledImpl(const CompiledStatement& compiled,
+                                          const ParamList* params,
                                           const EvalScope* ambient);
   void CronLoop();
 

@@ -140,9 +140,44 @@ Status Session::DefineCalendar(const std::string& name,
   }
 }
 
-Result<CompiledStatementPtr> Session::Prepare(const std::string& text) {
+Result<QueryResult> PreparedStatement::Execute(const ParamList& params) const {
+  if (engine_ == nullptr || compiled_ == nullptr) {
+    return Status::InvalidArgument(
+        "invalid prepared statement (default-constructed or moved-from)");
+  }
+  try {
+    obs::ScopedLogContext log_scope{
+        obs::LogContext{session_id_, compiled_->text}};
+    // The empty bind list goes through the same path: CheckParamList
+    // enforces exact arity, so a 0-param handle accepts {} and a
+    // parameterized one reports the missing values up front.
+    return engine_->ExecuteCompiled(compiled_, params);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("uncaught exception in Execute: ") +
+                            e.what());
+  } catch (...) {
+    return Status::Internal("uncaught non-exception throw in Execute");
+  }
+}
+
+int PreparedStatement::param_count() const {
+  return compiled_ == nullptr ? 0 : compiled_->param_count;
+}
+
+std::string PreparedStatement::signature() const {
+  return compiled_ == nullptr ? "()" : RenderParamSignature(*compiled_);
+}
+
+const std::string& PreparedStatement::text() const {
+  static const std::string kEmpty;
+  return compiled_ == nullptr ? kEmpty : compiled_->text;
+}
+
+Result<PreparedStatement> Session::Prepare(const std::string& text) {
   // Engine::Prepare already carries the no-throw catch-all.
-  return engine_->Prepare(text);
+  CALDB_ASSIGN_OR_RETURN(CompiledStatementPtr compiled,
+                         engine_->Prepare(text));
+  return PreparedStatement(engine_, id_, std::move(compiled));
 }
 
 Result<QueryResult> Session::Execute(const CompiledStatementPtr& prepared) {

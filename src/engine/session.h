@@ -42,6 +42,65 @@ namespace caldb {
 
 class Engine;
 
+/// A bound-at-execute statement handle: the one prepared-execution path of
+/// the facade.  Session::Prepare compiles the text (through the engine's
+/// shared statement cache) into an immutable CompiledStatementPtr and wraps
+/// it with the originating session's identity, so log lines and audit
+/// records produced by Execute carry the right "session":N even though the
+/// underlying handle is shared engine-wide.
+///
+/// Placeholders: statement text may contain $1, $2, ... positional
+/// parameters (docs/LANGUAGE.md).  Execute binds one Value per placeholder,
+/// checked for arity and type against the compiled signature before any
+/// lock or WAL traffic.  A handle with no placeholders executes with the
+/// default empty bind list.
+///
+///   auto stmt = session->Prepare(
+///       "retrieve (a.balance) from a in accounts where a.id = $1");
+///   auto row = stmt->Execute({Value::Int(37)});
+///
+/// Handles are cheap to copy (shared_ptr + two scalars) and may outlive
+/// the Session that prepared them, but never the Engine.  Execute is safe
+/// to call from any thread; the handle itself is immutable after Prepare.
+class PreparedStatement {
+ public:
+  /// Default-constructed handles are invalid; Execute on one fails with
+  /// InvalidArgument instead of crashing.
+  PreparedStatement() = default;
+
+  /// Executes the statement with `params` bound to $1..$n (left to right).
+  /// Fails with InvalidArgument on arity or type mismatch, before any
+  /// side effect.  No exception escapes (common/result.h contract).
+  Result<QueryResult> Execute(const ParamList& params = {}) const;
+
+  /// Number of placeholders in the statement ($n with the largest n).
+  int param_count() const;
+
+  /// Human-readable parameter signature, e.g. "($1:int, $2:any)".
+  std::string signature() const;
+
+  /// The statement text this handle was compiled from (as written;
+  /// compiled()->normalized holds the cache-key spelling).
+  const std::string& text() const;
+
+  /// The shared compiled handle (null when invalid).
+  const CompiledStatementPtr& compiled() const { return compiled_; }
+
+  bool valid() const { return compiled_ != nullptr; }
+
+ private:
+  friend class Session;
+  PreparedStatement(Engine* engine, uint64_t session_id,
+                    CompiledStatementPtr compiled)
+      : engine_(engine),
+        session_id_(session_id),
+        compiled_(std::move(compiled)) {}
+
+  Engine* engine_ = nullptr;
+  uint64_t session_id_ = 0;
+  CompiledStatementPtr compiled_;
+};
+
 class Session {
  public:
   ~Session();
@@ -57,13 +116,24 @@ class Session {
   // --- prepared statements --------------------------------------------------
 
   /// Compiles a *database* statement (including explain/profile of one)
-  /// into an immutable handle through the engine's shared statement
-  /// cache.  Session-level verbs (cal, define calendar, declare rule,
-  /// advance to, ...) are not preparable — they fail to parse here.
-  Result<CompiledStatementPtr> Prepare(const std::string& text);
+  /// into a PreparedStatement handle through the engine's shared statement
+  /// cache.  The text may contain $1..$n placeholders, bound at
+  /// handle.Execute({...}).  Session-level verbs (cal, define calendar,
+  /// declare rule, advance to, ...) are not preparable — they fail to
+  /// parse here.
+  Result<PreparedStatement> Prepare(const std::string& text);
 
-  /// Executes a prepared handle: the parse-free hot path.  The handle may
-  /// come from this or any other session of the same engine.
+  /// DEPRECATED: executes a raw compiled handle.  This predates
+  /// PreparedStatement and cannot bind parameters — a handle with
+  /// placeholders fails with InvalidArgument.  Migrate:
+  ///
+  ///   before:  auto h = session->Prepare(text);       // raw ptr, old API
+  ///            session->Execute(*h);
+  ///   after:   auto stmt = session->Prepare(text);
+  ///            stmt->Execute();            // or stmt->Execute({v1, v2})
+  ///
+  /// Kept so code holding CompiledStatementPtr (e.g. from
+  /// Engine::Prepare) still runs; new code should not call this.
   Result<QueryResult> Execute(const CompiledStatementPtr& prepared);
 
   // --- typed calendar surface -----------------------------------------------

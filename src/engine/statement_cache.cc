@@ -117,4 +117,15 @@ StatementCache::Stats StatementCache::stats() const {
   return stats_;
 }
 
+std::vector<StatementCache::EntryInfo> StatementCache::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<EntryInfo> out;
+  out.reserve(entries_.size());
+  for (const std::string& key : lru_) {  // MRU first
+    auto it = entries_.find(key);
+    if (it != entries_.end()) out.push_back({key, it->second.compiled});
+  }
+  return out;
+}
+
 }  // namespace caldb

@@ -75,6 +75,15 @@ class StatementCache {
   };
   Stats stats() const;
 
+  /// One row per cached entry, most recently used first.  `compiled` is
+  /// the live shared handle — callers render param signatures etc. from
+  /// it without re-locking the cache.  For the shell's \stmtcache.
+  struct EntryInfo {
+    std::string normalized_text;
+    CompiledStatementPtr compiled;
+  };
+  std::vector<EntryInfo> Entries() const;
+
  private:
   struct Entry {
     CompiledStatementPtr compiled;

@@ -13,6 +13,23 @@ constexpr char kRuleTimeTable[] = "RULE_TIME";
 // declared or restored, filling the rule's handles.  Fail-fast contract:
 // an action or condition that does not parse (or a condition that is not
 // a retrieve) is an error at declaration time, never at first firing.
+//
+// Either statement may reference $1 — FireRule binds it to the firing day
+// (the parameterized sibling of the fire_day() function, and the path a
+// bind-at-execute client would take).  Higher placeholders are rejected
+// here: a firing supplies exactly one value.
+Status CheckRuleParams(const std::string& name, const char* part,
+                       const CompiledStatement& compiled) {
+  if (compiled.param_count > 1) {
+    return Status::InvalidArgument(
+        "temporal rule '" + name + "' " + part + " uses " +
+        RenderParamSignature(compiled) +
+        ": rule statements may use at most $1, which is bound to the firing "
+        "day");
+  }
+  return Status::OK();
+}
+
 Status CompileRuleStatements(const std::string& name, TemporalRule* rule) {
   if (!rule->action.command.empty()) {
     Result<CompiledStatementPtr> command =
@@ -21,6 +38,7 @@ Status CompileRuleStatements(const std::string& name, TemporalRule* rule) {
       return command.status().WithContext("temporal rule '" + name +
                                           "' action does not parse");
     }
+    CALDB_RETURN_IF_ERROR(CheckRuleParams(name, "action", **command));
     rule->compiled_command = *std::move(command);
   }
   if (!rule->condition_query.empty()) {
@@ -34,6 +52,7 @@ Status CompileRuleStatements(const std::string& name, TemporalRule* rule) {
       return Status::InvalidArgument("temporal rule '" + name +
                                      "' condition must be a retrieve");
     }
+    CALDB_RETURN_IF_ERROR(CheckRuleParams(name, "condition", **condition));
     rule->compiled_condition = *std::move(condition);
   }
   return Status::OK();
@@ -254,10 +273,20 @@ Result<std::optional<TimePoint>> TemporalRuleManager::FireRule(
   TemporalRule& rule = it->second;
   if (outcome != nullptr) outcome->rule_name = rule.name;
   current_fire_day_ = fire_day;
+  // The firing day, bound to $1 of any rule statement that declares it.
+  // Binding (not text splicing) keeps one compiled shape per rule across
+  // every firing — and the same bind list replays from the WAL.
+  const ParamList fire_params = {Value::Int(fire_day)};
+  auto run = [&](const CompiledStatement& stmt) -> Result<QueryResult> {
+    if (stmt.param_count == 1) {
+      return db_->ExecuteCompiled(stmt, fire_params);
+    }
+    return db_->ExecuteCompiled(stmt);
+  };
   bool condition_holds = true;
   if (rule.compiled_condition != nullptr) {
     // The pre-compiled condition (DeclareRule): firings never parse.
-    Result<QueryResult> cond = db_->ExecuteCompiled(*rule.compiled_condition);
+    Result<QueryResult> cond = run(*rule.compiled_condition);
     if (!cond.ok()) {
       return finish(cond.status().WithContext("temporal rule " + rule.name +
                                             " condition"));
@@ -273,7 +302,7 @@ Result<std::optional<TimePoint>> TemporalRuleManager::FireRule(
       }
     }
     if (rule.compiled_command != nullptr) {
-      Result<QueryResult> r = db_->ExecuteCompiled(*rule.compiled_command);
+      Result<QueryResult> r = run(*rule.compiled_command);
       if (!r.ok()) {
         return finish(r.status().WithContext("temporal rule " + rule.name +
                                            " action"));

@@ -24,9 +24,11 @@
 namespace caldb {
 
 /// What a temporal rule does when it fires.  Either (or both) of:
-///  - `command`: a query-language statement executed against the database
-///    (the fire day is readable through the registered fire_day()
-///    function);
+///  - `command`: a query-language statement executed against the database.
+///    The firing day is available two ways: the registered fire_day()
+///    function, or a $1 placeholder bound to it at each firing (at most
+///    $1 — higher placeholders are rejected at declaration).  The
+///    condition query may use either form too.
 ///  - `callback`: a C++ function receiving the fire day.
 struct TemporalAction {
   std::string command;

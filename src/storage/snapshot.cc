@@ -114,6 +114,33 @@ Result<Value> DecodeValue(Decoder* dec) {
 
 }  // namespace
 
+Result<std::string> EncodeParamValues(const ParamList& params) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(params.size()));
+  for (const Value& value : params) {
+    CALDB_RETURN_IF_ERROR(EncodeValue(value, &out));
+  }
+  return out;
+}
+
+Result<ParamList> DecodeParamValues(std::string_view blob) {
+  Decoder dec(blob);
+  CALDB_ASSIGN_OR_RETURN(uint32_t count, dec.ReadU32());
+  // A frame-level CRC has already vetted the blob, so a huge count means
+  // a logic bug, not corruption — but cap it anyway before reserving.
+  if (count > 1'000'000) {
+    return Status::ParseError("parameter list count " + std::to_string(count) +
+                              " is implausible");
+  }
+  ParamList params;
+  params.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    CALDB_ASSIGN_OR_RETURN(Value v, DecodeValue(&dec));
+    params.push_back(std::move(v));
+  }
+  return params;
+}
+
 Result<SnapshotImage> CaptureSnapshot(const Database& db,
                                       const CalendarCatalog& catalog,
                                       const TemporalRuleManager& rules,

@@ -101,6 +101,13 @@ Status RestoreTables(const SnapshotImage& image, Database* db);
 /// Restores the event-rule section (where clauses re-parsed from text).
 Status RestoreEventRules(const SnapshotImage& image, Database* db);
 
+/// Encodes a bind list with the snapshot value codec (count-prefixed,
+/// one-byte type tag per value).  The WAL's parameterized-statement
+/// records (kParamStatement) carry this blob, so bound executions replay
+/// byte-identically through the same codec that persists table cells.
+Result<std::string> EncodeParamValues(const ParamList& params);
+Result<ParamList> DecodeParamValues(std::string_view blob);
+
 }  // namespace caldb::storage
 
 #endif  // CALDB_STORAGE_SNAPSHOT_H_

@@ -42,7 +42,7 @@ constexpr uint32_t kMaxPayload = 64u << 20;
 
 bool ValidType(uint8_t tag) {
   return tag >= static_cast<uint8_t>(WalRecordType::kStatement) &&
-         tag <= static_cast<uint8_t>(WalRecordType::kDropCalendar);
+         tag <= static_cast<uint8_t>(WalRecordType::kParamStatement);
 }
 
 }  // namespace

@@ -52,6 +52,7 @@ enum class WalRecordType : uint8_t {
   kAdvance = 4,         // virtual-clock advance (rule firings replay from it)
   kDefineCalendar = 5,  // derived-calendar definition (name + script)
   kDropCalendar = 6,    // calendar drop
+  kParamStatement = 7,  // parameterized statement (text + encoded bind list)
 };
 
 /// One logical record.  The string fields a..d are typed per record kind:
@@ -62,6 +63,10 @@ enum class WalRecordType : uint8_t {
 ///   kAdvance:        day = target day
 ///   kDefineCalendar: a = name, b = script, c = lifespan ("" or "lo,hi")
 ///   kDropCalendar:   a = name
+///   kParamStatement: a = statement text, b = bound values encoded with the
+///                    snapshot value codec (storage/snapshot.h
+///                    EncodeParamValues) — replay recompiles `a` once per
+///                    shape and binds the decoded list per record
 struct WalRecord {
   WalRecordType type = WalRecordType::kStatement;
   uint64_t lsn = 0;  // assigned by WalWriter::Append

@@ -325,7 +325,7 @@ TEST(EngineConcurrencyTest, StatementCacheSharingRacesInvalidation) {
       return;
     }
     for (int i = 0; i < kIterations; ++i) {
-      auto rows = session->Execute(*prepared);
+      auto rows = prepared->Execute();
       if (!rows.ok() || rows->rows.empty()) failed.store(true);
     }
   });

@@ -126,21 +126,60 @@ TEST(EngineStatementCache, PreparedHandleCrossesSessions) {
 
   auto prepared = s1->Prepare("append t (x = 2)");
   ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  EXPECT_EQ(prepared->param_count(), 0);
 
   const int64_t parses_before = ParseCount();
-  ASSERT_TRUE(s2->Execute(*prepared).ok());
-  ASSERT_TRUE(s1->Execute(*prepared).ok());
+  ASSERT_TRUE(prepared->Execute().ok());
+  ASSERT_TRUE(prepared->Execute().ok());
+  // The deprecated raw-handle path still runs, from any session.
+  ASSERT_TRUE(s2->Execute(prepared->compiled()).ok());
   EXPECT_EQ(ParseCount(), parses_before);  // handle execution never parses
 
   // Preparing the same text from the other session returns the shared
   // cache entry, not a second compilation.
   auto again = s2->Prepare("append t (x = 2)");
   ASSERT_TRUE(again.ok());
-  EXPECT_EQ(prepared->get(), again->get());
+  EXPECT_EQ(prepared->compiled().get(), again->compiled().get());
 
-  // Null and unpreparable (session-verb) inputs fail as Status.
+  // Invalid handles and unpreparable (session-verb) inputs fail as Status.
   EXPECT_FALSE(s1->Execute(CompiledStatementPtr{}).ok());
+  EXPECT_FALSE(PreparedStatement{}.Execute().ok());
   EXPECT_FALSE(s1->Prepare("advance to 10").ok());
+}
+
+TEST(EngineStatementCache, PlaceholderShapesShareOneEntry) {
+  // The whole point of $n in the cache key: value-only variation is ONE
+  // shape — the cache holds one entry no matter how many distinct values
+  // execute through it.
+  auto engine = Engine::Create().value();
+  auto session = engine->CreateSession();
+  ASSERT_TRUE(session->Execute("create table t (x int)").ok());
+
+  auto insert = session->Prepare("append t (x = $1)");
+  ASSERT_TRUE(insert.ok()) << insert.status().ToString();
+  const StatementCache::Stats before = engine->StatementCacheStats();
+  const int64_t parses_before = ParseCount();
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(insert->Execute({Value::Int(i)}).ok());
+  }
+  EXPECT_EQ(ParseCount(), parses_before);
+  const StatementCache::Stats after = engine->StatementCacheStats();
+  EXPECT_EQ(after.size, before.size);  // no per-value entries
+  EXPECT_EQ(after.misses, before.misses);
+
+  // And the entry listing shows the one parameterized shape.
+  bool found = false;
+  for (const auto& entry : engine->StatementCacheEntries()) {
+    if (entry.normalized_text.find("$1") != std::string::npos) {
+      found = true;
+      EXPECT_EQ(entry.compiled->param_count, 1);
+    }
+  }
+  EXPECT_TRUE(found);
+
+  auto rows = session->Execute("retrieve (t.x) from t in t");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->rows.size(), 200u);
 }
 
 TEST(EngineStatementCache, DdlInvalidatesAffectedEntries) {
@@ -203,6 +242,32 @@ TEST(EngineStatementCache, TemporalRuleFiringsNeverParse) {
   auto rows = session->Execute("retrieve (f.day) from f in fires");
   ASSERT_TRUE(rows.ok());
   EXPECT_EQ(rows->rows.size(), 29u);
+}
+
+TEST(EngineStatementCache, TemporalRuleBindsFireDayAsParameter) {
+  auto engine = Engine::Create().value();
+  auto session = engine->CreateSession();
+  ASSERT_TRUE(session->Execute("create table fires (day int)").ok());
+  // $1 in a rule action binds the firing day — same values fire_day()
+  // would return, with one compiled shape across every firing.
+  ASSERT_TRUE(session
+                  ->Execute("declare rule daily on DAYS do "
+                            "append fires (day = $1)")
+                  .ok());
+  const int64_t parses_before = ParseCount();
+  ASSERT_TRUE(engine->AdvanceTo(5).ok());
+  EXPECT_EQ(ParseCount(), parses_before);
+  auto rows = session->Execute(
+      "retrieve (f.day) from f in fires order by day");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->rows.size(), 4u);  // fired on days 2..5
+  EXPECT_EQ(rows->rows.front()[0].AsInt().value(), 2);
+  EXPECT_EQ(rows->rows.back()[0].AsInt().value(), 5);
+
+  // $2 and up have nothing to bind to: rejected at declaration.
+  auto bad = session->Execute(
+      "declare rule broken on DAYS do append fires (day = $2)");
+  EXPECT_FALSE(bad.ok());
 }
 
 TEST(EngineStatementCache, TemporalRuleDeclarationFailsFastOnBadAction) {
