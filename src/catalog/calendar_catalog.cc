@@ -88,6 +88,10 @@ Status CalendarCatalog::DefineDerived(const std::string& name,
     CALDB_RETURN_IF_ERROR(CheckNameFreeLocked(name));
     defs_[name] = std::move(def);
   }
+  // Version bump before the clear: a racing miss that evaluated against
+  // the pre-define catalog inserts under the old version, where no
+  // post-define lookup can find it.
+  version_.fetch_add(1, std::memory_order_acq_rel);
   std::lock_guard<std::mutex> cache_lock(cache_mu_);
   eval_cache_.clear();
   return Status::OK();
@@ -104,9 +108,19 @@ Status CalendarCatalog::DefineValues(const std::string& name, Calendar values,
   def.granularity = values.granularity();
   def.values = std::move(values);
   def.lifespan_days = lifespan_days;
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  CALDB_RETURN_IF_ERROR(CheckNameFreeLocked(name));
-  defs_[name] = std::move(def);
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    CALDB_RETURN_IF_ERROR(CheckNameFreeLocked(name));
+    defs_[name] = std::move(def);
+  }
+  // A new values calendar changes what derived plans referencing the name
+  // evaluate to (the reference was dangling until now): same bump + clear
+  // discipline as the other mutators.  Pre-PR-10 this path cleared
+  // nothing, which left a Drop+DefineValues redefinition able to revive a
+  // stale racing insert.
+  version_.fetch_add(1, std::memory_order_acq_rel);
+  std::lock_guard<std::mutex> cache_lock(cache_mu_);
+  eval_cache_.clear();
   return Status::OK();
 }
 
@@ -117,6 +131,7 @@ Status CalendarCatalog::Drop(const std::string& name) {
       return Status::NotFound("calendar '" + name + "' does not exist");
     }
   }
+  version_.fetch_add(1, std::memory_order_acq_rel);
   std::lock_guard<std::mutex> cache_lock(cache_mu_);
   eval_cache_.clear();
   return Status::OK();
@@ -202,6 +217,11 @@ Result<ResolvedCalendar> CalendarCatalog::Resolve(const std::string& name) const
 Result<Calendar> CalendarCatalog::EvaluateCalendar(const std::string& name,
                                                    const EvalOptions& opts_in,
                                                    EvalStats* stats) const {
+  // Capture the catalog version BEFORE resolving: everything read from
+  // here on (the plan, the lifespan, the referenced calendars during the
+  // unlocked evaluation) is at-or-after this version, so caching the
+  // result under it can never mark stale content current.
+  const uint64_t version_at_resolve = version();
   CALDB_ASSIGN_OR_RETURN(ResolvedCalendar resolved, Resolve(name));
   // A calendar has no values outside its lifespan: clamp the window.
   EvalOptions opts = opts_in;
@@ -234,7 +254,14 @@ Result<Calendar> CalendarCatalog::EvaluateCalendar(const std::string& name,
                              /*strict=*/false);
     }
     case ResolvedCalendar::Kind::kDerived: {
-      auto key = std::make_tuple(name, opts.window_days.lo, opts.window_days.hi);
+      // Keyed by the version captured at the top: if a Define*/Drop lands
+      // mid-evaluation (bumping the version and clearing the cache), this
+      // miss's insert files under the captured — now old — version,
+      // unreachable by any post-mutation lookup.  Without the version key
+      // a racing insert could land after the clear and serve stale
+      // content to every later caller.
+      auto key = std::make_tuple(name, version_at_resolve, opts.window_days.lo,
+                                 opts.window_days.hi);
       {
         std::lock_guard<std::mutex> cache_lock(cache_mu_);
         auto cached = eval_cache_.find(key);

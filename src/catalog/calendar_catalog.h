@@ -11,6 +11,8 @@
 #ifndef CALDB_CATALOG_CALENDAR_CATALOG_H_
 #define CALDB_CATALOG_CALENDAR_CATALOG_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -45,6 +47,14 @@ class CalendarCatalog : public CalendarSource {
       : time_system_(std::move(time_system)) {}
 
   const TimeSystem& time_system() const { return time_system_; }
+
+  /// Monotonic definition version: bumped by every DefineDerived /
+  /// DefineValues / Drop.  Caches of evaluated calendar content — the
+  /// catalog's own eval-cache and each Session evaluator's gen-cache —
+  /// key or invalidate on this, so no session can serve generations of a
+  /// calendar another session has since redefined.  Starts at 1 (0 is the
+  /// "unversioned" sentinel in EvalOptions).
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
 
   /// Defines a derived calendar.  The script is parsed, analyzed against
   /// this catalog, factorized, and compiled; its granularity is inferred
@@ -148,11 +158,18 @@ class CalendarCatalog : public CalendarSource {
   // happens — the catalog does not call into the database.
   mutable std::shared_mutex mu_;
   std::map<std::string, CalendarDef> defs_;
-  // Evaluated values of derived calendars, keyed by (name, window) — the
-  // caching role of the CALENDARS row's `values` column.  Invalidated on
-  // Define/Drop.
+  // See version().  Bumped *before* the mutator's cache clear, so an
+  // insert racing the clear (its unlocked evaluation started pre-mutation)
+  // lands under the old version and is unreachable by post-mutation
+  // lookups — the clear alone could not guarantee that.
+  std::atomic<uint64_t> version_{1};
+  // Evaluated values of derived calendars, keyed by (name, catalog
+  // version, window) — the caching role of the CALENDARS row's `values`
+  // column.  Cleared on Define*/Drop; the version key component is what
+  // makes a stale racing insert harmless (see version_ above).
   mutable std::mutex cache_mu_;
-  mutable std::map<std::tuple<std::string, TimePoint, TimePoint>, Calendar>
+  mutable std::map<std::tuple<std::string, uint64_t, TimePoint, TimePoint>,
+                   Calendar>
       eval_cache_;
 };
 

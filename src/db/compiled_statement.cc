@@ -31,22 +31,26 @@ void ComputeMetadata(const Statement& stmt, CompiledStatement* out) {
       out->is_ddl = true;
     } else {
       out->write_class = CompiledStatement::WriteClass::kReadUnlessRetrieveRules;
+      out->footprint_exact = true;
     }
     return;
   }
   if (const auto* append = std::get_if<AppendStmt>(&stmt)) {
     AddTable(&out->tables, append->table);
     out->write_class = CompiledStatement::WriteClass::kWrite;
+    out->footprint_exact = true;
     return;
   }
   if (const auto* replace = std::get_if<ReplaceStmt>(&stmt)) {
     AddTable(&out->tables, replace->table);
     out->write_class = CompiledStatement::WriteClass::kWrite;
+    out->footprint_exact = true;
     return;
   }
   if (const auto* del = std::get_if<DeleteStmt>(&stmt)) {
     AddTable(&out->tables, del->table);
     out->write_class = CompiledStatement::WriteClass::kWrite;
+    out->footprint_exact = true;
     return;
   }
   if (const auto* create = std::get_if<CreateTableStmt>(&stmt)) {
@@ -84,6 +88,7 @@ void ComputeMetadata(const Statement& stmt, CompiledStatement* out) {
   if (const auto* explain = std::get_if<ExplainStmt>(&stmt)) {
     if (explain->inner != nullptr) {
       out->tables = explain->inner->tables;
+      out->footprint_exact = explain->inner->footprint_exact;
       if (explain->profile) {
         // PROFILE executes the inner statement; inherit its classification.
         out->write_class = explain->inner->write_class;

@@ -58,6 +58,15 @@ struct CompiledStatement {
   /// table, create index, define/drop rule): executing it must invalidate
   /// cached statements that reference the affected tables.
   bool is_ddl = false;
+  /// Whether `tables` is the statement's *complete* lock footprint: every
+  /// table the execution can touch is in the list.  True for plain
+  /// retrieves and single-table DML; false for anything that can reach
+  /// tables not nameable at compile time (retrieve-into creates one, rule
+  /// DDL re-arms firing paths, a hand-built explain has no metadata).
+  /// The Engine's per-table lock path requires this — a statement without
+  /// an exact footprint falls back to the global exclusive lock
+  /// (engine/lock_manager.h).
+  bool footprint_exact = false;
   /// Number of positional placeholders ($1..$param_count).  Placeholder
   /// numbering must be contiguous from $1; a gap ($1, $3) fails
   /// compilation.  0 for a statement without placeholders.

@@ -464,6 +464,7 @@ Status Database::DefineRule(EventRule rule) {
   if (rule.event == DbEvent::kRetrieve) {
     retrieve_rules_.fetch_add(1, std::memory_order_release);
   }
+  total_rules_.fetch_add(1, std::memory_order_release);
   rules_.push_back(std::move(rule));
   return Status::OK();
 }
@@ -474,6 +475,7 @@ Status Database::DropRule(const std::string& name) {
       if (it->event == DbEvent::kRetrieve) {
         retrieve_rules_.fetch_sub(1, std::memory_order_release);
       }
+      total_rules_.fetch_sub(1, std::memory_order_release);
       rules_.erase(it);
       return Status::OK();
     }

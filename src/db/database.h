@@ -145,6 +145,15 @@ class Database {
     return retrieve_rules_.load(std::memory_order_acquire) > 0;
   }
 
+  /// Whether ANY event rule is armed, whatever its event.  An atomic
+  /// read: the Engine's per-table lock path requires this to be false for
+  /// DML — a firing's action may touch tables outside the statement's
+  /// compiled footprint, so any armed rule forces the global exclusive
+  /// fallback (engine/lock_manager.h).
+  bool HasEventRules() const {
+    return total_rules_.load(std::memory_order_acquire) > 0;
+  }
+
   // --- instrumentation (used by benches) -------------------------------
 
   /// Thin per-database view of the scan counters; the same events also
@@ -229,6 +238,8 @@ class Database {
   std::vector<EventRule> rules_;
   // Count of armed kRetrieve rules; see HasRetrieveRules().
   std::atomic<int> retrieve_rules_{0};
+  // Count of all armed rules; see HasEventRules().
+  std::atomic<int> total_rules_{0};
   AtomicStats stats_;
   // Cascade depth.  Only touched when a rule matching (event, table)
   // exists, which forces the statement onto the exclusive path.

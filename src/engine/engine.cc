@@ -151,6 +151,10 @@ Status Engine::Init() {
 }
 
 Engine::~Engine() {
+  // Flip the liveness token before any teardown: a PreparedStatement
+  // executed from here on fails with a clean Status instead of touching a
+  // dying engine (engine/session.h).
+  alive_->store(false, std::memory_order_release);
   Stop();
   // Stop() is idempotent and only checkpoints on its first call; post-Stop
   // single-threaded statements still append, so push their tail to disk.
@@ -331,20 +335,32 @@ Status Engine::Recover() {
   return Status::OK();
 }
 
-Engine::ReadLock Engine::AcquireRead() const {
+LockManager::Guard Engine::AcquireRead() const {
   Metrics().read_locks->Increment();
   const int64_t t0 = obs::Enabled() ? obs::NowNs() : 0;
-  ReadLock lock(db_mu_);
+  LockManager::Guard lock = lock_mgr_.AcquireGlobalShared();
   if (t0 != 0) Metrics().read_wait_ns->Record(obs::NowNs() - t0);
   return lock;
 }
 
-Engine::WriteLock Engine::AcquireWrite() const {
+LockManager::Guard Engine::AcquireWrite() const {
   Metrics().write_locks->Increment();
   const int64_t t0 = obs::Enabled() ? obs::NowNs() : 0;
-  WriteLock lock(db_mu_);
+  LockManager::Guard lock = lock_mgr_.AcquireGlobalExclusive();
   if (t0 != 0) Metrics().write_wait_ns->Record(obs::NowNs() - t0);
   return lock;
+}
+
+LockManager::Guard Engine::AcquireStatementTables(
+    const std::vector<std::string>& tables, bool exclusive) const {
+  if (exclusive) {
+    Metrics().write_locks->Increment();
+  } else {
+    Metrics().read_locks->Increment();
+  }
+  // The table_locks.{acquired,wait_ns} instruments are recorded inside
+  // the manager itself (engine/lock_manager.cc).
+  return lock_mgr_.AcquireTables(tables, exclusive);
 }
 
 std::unique_ptr<Session> Engine::CreateSession() {
@@ -409,7 +425,7 @@ Status Engine::Checkpoint() {
     return Status::InvalidArgument("engine has no data dir to checkpoint to");
   }
   try {
-    WriteLock lock = AcquireWrite();
+    LockManager::Guard lock = AcquireWrite();
     return CheckpointLocked();
   } catch (const std::exception& e) {
     return Status::Internal(std::string("uncaught exception in Checkpoint: ") +
@@ -444,7 +460,7 @@ Status Engine::DefineCalendar(const std::string& name,
   try {
     // The exclusive lock serializes the WAL append with statement/rule
     // records (lock order: db_mu_ before catalog internals).
-    WriteLock lock = AcquireWrite();
+    LockManager::Guard lock = AcquireWrite();
     CALDB_RETURN_IF_ERROR(catalog_.DefineDerived(name, script, lifespan_days));
     storage::WalRecord record;
     record.type = storage::WalRecordType::kDefineCalendar;
@@ -462,7 +478,7 @@ Status Engine::DefineCalendar(const std::string& name,
 
 Status Engine::DropCalendar(const std::string& name) {
   try {
-    WriteLock lock = AcquireWrite();
+    LockManager::Guard lock = AcquireWrite();
     CALDB_RETURN_IF_ERROR(catalog_.Drop(name));
     storage::WalRecord record;
     record.type = storage::WalRecordType::kDropCalendar;
@@ -564,11 +580,23 @@ Result<QueryResult> Engine::ExecuteCompiledImpl(const CompiledStatement& compile
   obs::LogContext log_ctx = obs::CurrentLogContext();
   log_ctx.statement = compiled.text;
   obs::ScopedLogContext log_scope{std::move(log_ctx)};
-  // HasRetrieveRules is an atomic read, so classification needs no lock;
-  // rules armed between classification and acquisition are picked up by
-  // the next statement (same guarantee a probing daemon gives).
-  if (StatementWrites(compiled, db_)) {
-    span.AddAttr("lock", "write");
+  // HasRetrieveRules / HasEventRules are atomic reads, so classification
+  // needs no lock; rules armed between classification and acquisition are
+  // picked up by the next statement (same guarantee a probing daemon
+  // gives) — arming itself is rule DDL, which takes the global exclusive
+  // lock and so cannot interleave with a statement already running.
+  const bool writes = StatementWrites(compiled, db_);
+  // The per-table path needs an exact footprint.  For writes it further
+  // needs no armed event rules (a firing's action may touch tables
+  // outside the footprint) and no DDL (schema changes must exclude
+  // everything).  Note armed *retrieve* rules reclassify the retrieve as
+  // a write above, and HasRetrieveRules implies HasEventRules — so that
+  // case falls back too, as required.
+  const bool per_table =
+      opts_.per_table_locks && compiled.footprint_exact && !compiled.is_ddl &&
+      (!writes || !db_.HasEventRules());
+  if (writes) {
+    span.AddAttr("lock", per_table ? "table-write" : "write");
     // Encode the bind list for the redo record before taking the lock
     // (the values are immutable for the duration of the call).
     std::string encoded_params;
@@ -577,7 +605,15 @@ Result<QueryResult> Engine::ExecuteCompiledImpl(const CompiledStatement& compile
                              storage::EncodeParamValues(*params));
     }
     Result<QueryResult> result = [&] {
-      WriteLock lock = AcquireWrite();
+      // Per-table DML holds exclusive locks on exactly its tables (under
+      // the shared intent layer); the fallback holds the global exclusive
+      // lock.  Either way the WAL append happens before release, so WAL
+      // order matches execution order per table — concurrent appends from
+      // disjoint-table writers interleave, but those records commute, and
+      // the WalWriter's own mutex keeps each record atomic.
+      LockManager::Guard lock =
+          per_table ? AcquireStatementTables(compiled.tables, true)
+                    : AcquireWrite();
       Result<QueryResult> r = db_.ExecuteParsed(*compiled.stmt, ambient,
                                                 compiled.text);
       // Redo-log the statement whatever its outcome: a failing statement
@@ -602,14 +638,34 @@ Result<QueryResult> Engine::ExecuteCompiledImpl(const CompiledStatement& compile
     // DDL changed schema or rule state: drop cached statements whose
     // precomputed metadata could now be stale.  Outside the db lock (the
     // cache mutex is a leaf); statements racing this drop re-compile on
-    // their next miss.
+    // their next miss.  (DDL is never per-table, so the fallback lock
+    // covered the execution.)
     if (compiled.is_ddl && result.ok()) {
       stmt_cache_.InvalidateTables(compiled.tables);
     }
     return result;
   }
+  if (per_table) {
+    // Shared locks on exactly the retrieve's tables: readers of table A
+    // are oblivious to a writer hammering table B.
+    span.AddAttr("lock", "table-read");
+    LockManager::Guard lock = AcquireStatementTables(compiled.tables, false);
+    return db_.ExecuteParsed(*compiled.stmt, ambient, compiled.text);
+  }
+  if (opts_.per_table_locks) {
+    // A read that did not qualify for the footprint path (hand-built
+    // explain, or any shape without exact metadata) may touch tables it
+    // cannot name: under the per-table scheme only the global exclusive
+    // lock excludes per-table writers from all of them.  The global
+    // *shared* layer alone would not.
+    span.AddAttr("lock", "write");
+    LockManager::Guard lock = AcquireWrite();
+    return db_.ExecuteParsed(*compiled.stmt, ambient, compiled.text);
+  }
+  // Legacy discipline (per_table_locks = false): every read shares the
+  // one global lock, every write excludes — the single-mutex baseline.
   span.AddAttr("lock", "read");
-  ReadLock lock = AcquireRead();
+  LockManager::Guard lock = AcquireRead();
   return db_.ExecuteParsed(*compiled.stmt, ambient, compiled.text);
 }
 
@@ -656,7 +712,7 @@ Result<int64_t> Engine::DeclareRule(const std::string& name,
                                     TemporalAction action,
                                     const std::string& condition_query) {
   try {
-    WriteLock lock = AcquireWrite();
+    LockManager::Guard lock = AcquireWrite();
     const TimePoint declared_at = Now();
     const std::string command = action.command;
     const bool has_callback = static_cast<bool>(action.callback);
@@ -686,7 +742,7 @@ Result<int64_t> Engine::DeclareRule(const std::string& name,
 }
 
 Status Engine::DropTemporalRule(const std::string& name) {
-  WriteLock lock = AcquireWrite();
+  LockManager::Guard lock = AcquireWrite();
   CALDB_RETURN_IF_ERROR(rules_->DropRule(name));
   storage::WalRecord record;
   record.type = storage::WalRecordType::kDropRule;
@@ -719,7 +775,7 @@ Status Engine::AdvanceToCivil(const CivilDate& date) {
 DbCron::CronStats Engine::CronStats() const {
   // Firings mutate the stats under the exclusive lock (CronLoop), so a
   // shared lock makes this snapshot race-free.
-  ReadLock lock = AcquireRead();
+  LockManager::Guard lock = AcquireRead();
   return cron_->stats();
 }
 
@@ -750,7 +806,7 @@ void Engine::CronLoop() {
         // one tree per clock advance on the daemon thread.
         obs::Tracer::Span span = obs::StartSpan("cron.advance");
         span.AddAttr("to_day", std::to_string(chunk));
-        WriteLock db_lock = AcquireWrite();
+        LockManager::Guard db_lock = AcquireWrite();
         st = cron_->AdvanceTo(chunk);
         // Redo-log the advance whatever its status: firings before an
         // error already applied, and replaying the advance reproduces

@@ -6,9 +6,14 @@
 // behind one thread-safe object, hands out per-client Session handles
 // (see session.h), and executes statements from any number of threads:
 //
-//  - Database statements are serialized through a std::shared_mutex:
-//    retrieves run under a shared (reader) lock and scale across cores;
-//    DDL/DML, rule definitions and rule firings take the exclusive lock.
+//  - Database statements run under a per-table lock manager
+//    (engine/lock_manager.h): a statement with an exact compiled
+//    footprint locks just its tables — shared for retrieves, exclusive
+//    for DML — so writers on disjoint tables proceed in parallel.
+//    Statements whose footprint is unknowable (DDL, retrieve-into, rule
+//    definitions, any DML while event rules are armed, rule firings,
+//    checkpoints) fall back to a global exclusive lock that excludes
+//    every footprint statement at once.
 //  - The CALENDARS catalog carries its own internal locks (readers
 //    scale; DefineDerived/DefineValues/Drop are exclusive), so calendar
 //    evaluation never contends with table scans.
@@ -23,13 +28,15 @@
 // deprecated for servers: embed an Engine and use its accessors (the
 // parts remain public for single-threaded library use and tests).
 //
-// Lock ordering (to stay deadlock-free): db_mu_ before any catalog
+// Lock ordering (to stay deadlock-free): the lock manager's intent
+// layer, then per-table mutexes in sorted-name order, then any catalog
 // internal mutex.  The catalog never calls into the database, so the
 // reverse edge cannot occur.
 //
 // Observability: "caldb.engine.*" (docs/OBSERVABILITY.md) — active
 // session count, pool queue depth, per-mode lock wait histograms,
-// statement/script counters.
+// per-table lock counters (caldb.engine.table_locks.*), statement/script
+// counters.
 
 #ifndef CALDB_ENGINE_ENGINE_H_
 #define CALDB_ENGINE_ENGINE_H_
@@ -49,6 +56,7 @@
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "db/database.h"
+#include "engine/lock_manager.h"
 #include "engine/statement_cache.h"
 #include "obs/snapshot.h"
 #include "rules/clock.h"
@@ -80,6 +88,12 @@ struct EngineOptions {
   /// session, rule firing and WAL replay share it).  0 disables caching —
   /// each execution compiles fresh.  See engine/statement_cache.h.
   size_t stmt_cache_entries = 512;
+  /// When true (the default), statements with an exact compiled footprint
+  /// lock only their tables (engine/lock_manager.h); when false, every
+  /// write takes the global exclusive lock and every read the global
+  /// shared lock — the pre-PR-10 single-mutex discipline, kept for the
+  /// bench baseline and for bisecting locking regressions.
+  bool per_table_locks = true;
 
   // --- durability -----------------------------------------------------------
 
@@ -249,25 +263,30 @@ class Engine {
 
   // --- locked access to the parts -------------------------------------------
 
-  /// Runs `fn(const Database&)` under the shared lock.
+  /// Runs `fn(const Database&)` with every writer excluded.  Under the
+  /// per-table scheme this is the global exclusive lock: a whole-database
+  /// read has no statement footprint, and the global *shared* layer alone
+  /// would not exclude per-table writers.
   template <typename F>
   auto WithDbRead(F&& fn) const {
-    ReadLock lock = AcquireRead();
+    LockManager::Guard lock = AcquireWrite();
     return fn(static_cast<const Database&>(db_));
   }
 
-  /// Runs `fn(Database&)` under the exclusive lock.
+  /// Runs `fn(Database&)` under the global exclusive lock.
   template <typename F>
   auto WithDbWrite(F&& fn) {
-    WriteLock lock = AcquireWrite();
+    LockManager::Guard lock = AcquireWrite();
     return fn(db_);
   }
 
-  /// Runs `fn(const TemporalRuleManager&)` under the shared lock (rule
-  /// metadata lives both in the manager and in RULE-INFO/RULE-TIME rows).
+  /// Runs `fn(const TemporalRuleManager&)` under the global shared lock
+  /// (rule metadata lives both in the manager and in RULE-INFO/RULE-TIME
+  /// rows; it is only ever mutated under the global exclusive lock, so
+  /// the shared intent layer suffices).
   template <typename F>
   auto WithRulesRead(F&& fn) const {
-    ReadLock lock = AcquireRead();
+    LockManager::Guard lock = AcquireRead();
     return fn(static_cast<const TemporalRuleManager&>(*rules_));
   }
 
@@ -282,16 +301,22 @@ class Engine {
   bool stopped() const { return stopped_.load(std::memory_order_acquire); }
 
  private:
-  using ReadLock = std::shared_lock<std::shared_mutex>;
-  using WriteLock = std::unique_lock<std::shared_mutex>;
-
   explicit Engine(EngineOptions opts);
   Status Init();
   // Bookkeeping for the active_sessions gauge (called by ~Session).
   void ReleaseSession();
 
-  ReadLock AcquireRead() const;
-  WriteLock AcquireWrite() const;
+  /// Global shared (intent) lock: excludes global-exclusive holders but
+  /// NOT per-table writers — safe for state mutated only under the
+  /// exclusive path (cron counters, rule metadata), never for table data.
+  LockManager::Guard AcquireRead() const;
+  /// Global exclusive lock — the fallback path every footprint statement
+  /// and every other global holder yields to.
+  LockManager::Guard AcquireWrite() const;
+  /// Footprint acquisition: the statement's tables, shared or exclusive,
+  /// under the shared intent layer.
+  LockManager::Guard AcquireStatementTables(
+      const std::vector<std::string>& tables, bool exclusive) const;
 
   Result<QueryResult> ExecuteImpl(const std::string& statement,
                                   const EvalScope* ambient);
@@ -338,10 +363,20 @@ class Engine {
   RecoveryStats recovery_stats_;
   std::atomic<bool> checkpoint_due_{false};
 
-  // Reader/writer lock over the database (tables, event rules, the rule
-  // manager's in-memory state, and DBCRON's heap — everything the firing
-  // path touches).  mutable: const snapshot methods take the shared side.
-  mutable std::shared_mutex db_mu_;
+  // Two-layer lock over the database (engine/lock_manager.h): per-table
+  // shared_mutexes under a global intent layer.  Footprint statements
+  // lock just their tables; DDL, rule firings and checkpoints take the
+  // global exclusive fallback.  mutable: const snapshot methods take the
+  // shared intent side.
+  mutable LockManager lock_mgr_;
+
+  // Liveness token shared with PreparedStatement handles: flipped false
+  // at the top of ~Engine, so a handle executed after destruction fails
+  // with a clean Status instead of dereferencing a dangling Engine*.
+  // (A *concurrent* destruction is still the caller's race to lose; the
+  // token makes sequential misuse safe and diagnosable.)
+  std::shared_ptr<std::atomic<bool>> alive_ =
+      std::make_shared<std::atomic<bool>>(true);
 
   // DBCRON thread coordination.  cron_target_ only grows; cron_reached_
   // trails it; both are guarded by cron_mu_.

@@ -1,0 +1,134 @@
+#include "engine/lock_manager.h"
+
+#include <algorithm>
+
+#include "obs/obs.h"
+
+namespace caldb {
+
+namespace {
+
+struct LockMetrics {
+  obs::Counter* acquired =
+      obs::Metrics().counter("caldb.engine.table_locks.acquired");
+  obs::Counter* fallbacks =
+      obs::Metrics().counter("caldb.engine.table_locks.fallbacks");
+  obs::Histogram* wait_ns =
+      obs::Metrics().histogram("caldb.engine.table_locks.wait_ns");
+};
+
+LockMetrics& Metrics() {
+  static LockMetrics* m = new LockMetrics();
+  return *m;
+}
+
+}  // namespace
+
+LockManager::Guard& LockManager::Guard::operator=(Guard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    mgr_ = other.mgr_;
+    mode_ = other.mode_;
+    tables_exclusive_ = other.tables_exclusive_;
+    table_locks_ = std::move(other.table_locks_);
+    other.mgr_ = nullptr;
+    other.mode_ = Mode::kNone;
+    other.table_locks_.clear();
+  }
+  return *this;
+}
+
+void LockManager::Guard::Release() {
+  if (mode_ == Mode::kNone) return;
+  // Reverse acquisition order: tables (last to first), then the intent
+  // layer.  Unlock order does not affect correctness for mutexes, but
+  // keeping it LIFO makes the guard read like nested scopes.
+  for (auto it = table_locks_.rbegin(); it != table_locks_.rend(); ++it) {
+    if (tables_exclusive_) {
+      (*it)->unlock();
+    } else {
+      (*it)->unlock_shared();
+    }
+  }
+  table_locks_.clear();
+  if (mode_ == Mode::kGlobalExclusive) {
+    mgr_->global_mu_.unlock();
+  } else {
+    mgr_->global_mu_.unlock_shared();
+  }
+  mode_ = Mode::kNone;
+  mgr_ = nullptr;
+}
+
+std::shared_mutex* LockManager::TableMutex(const std::string& name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(registry_mu_);
+    auto it = table_mu_.find(name);
+    if (it != table_mu_.end()) return it->second.get();
+  }
+  std::unique_lock<std::shared_mutex> lock(registry_mu_);
+  std::unique_ptr<std::shared_mutex>& slot = table_mu_[name];
+  if (slot == nullptr) slot = std::make_unique<std::shared_mutex>();
+  return slot.get();
+}
+
+LockManager::Guard LockManager::AcquireTables(
+    const std::vector<std::string>& tables, bool exclusive) {
+  Metrics().acquired->Increment();
+  const int64_t t0 = obs::Enabled() ? obs::NowNs() : 0;
+  Guard guard;
+  guard.mgr_ = this;
+  guard.tables_exclusive_ = exclusive;
+  global_mu_.lock_shared();
+  guard.mode_ = Guard::Mode::kTables;
+  auto lock_one = [&guard, exclusive](std::shared_mutex* mu) {
+    // Resolution happened under the registry leaf lock; block on the
+    // table lock with the registry released — a blocked acquisition must
+    // never stall other statements' name resolution.
+    if (exclusive) {
+      mu->lock();
+    } else {
+      mu->lock_shared();
+    }
+    guard.table_locks_.push_back(mu);
+  };
+  if (tables.size() == 1) {
+    // The dominant case (point retrieves, single-table DML): no copy, no
+    // sort — a one-element set is trivially in sorted order.
+    guard.table_locks_.reserve(1);
+    lock_one(TableMutex(tables[0]));
+  } else {
+    // Sorted-name order keeps concurrent footprint statements acquiring
+    // any overlapping table sets in one global order — the
+    // deadlock-freedom invariant.  Compiled metadata deduplicates but
+    // does not sort.
+    std::vector<std::string> sorted(tables);
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    guard.table_locks_.reserve(sorted.size());
+    for (const std::string& name : sorted) lock_one(TableMutex(name));
+  }
+  if (t0 != 0) Metrics().wait_ns->Record(obs::NowNs() - t0);
+  return guard;
+}
+
+LockManager::Guard LockManager::AcquireGlobalExclusive() {
+  Metrics().fallbacks->Increment();
+  const int64_t t0 = obs::Enabled() ? obs::NowNs() : 0;
+  Guard guard;
+  guard.mgr_ = this;
+  global_mu_.lock();
+  guard.mode_ = Guard::Mode::kGlobalExclusive;
+  if (t0 != 0) Metrics().wait_ns->Record(obs::NowNs() - t0);
+  return guard;
+}
+
+LockManager::Guard LockManager::AcquireGlobalShared() {
+  Guard guard;
+  guard.mgr_ = this;
+  global_mu_.lock_shared();
+  guard.mode_ = Guard::Mode::kGlobalShared;
+  return guard;
+}
+
+}  // namespace caldb

@@ -78,6 +78,10 @@ TimePoint Session::Today() const {
 EvalOptions Session::EffectiveOptions() const {
   EvalOptions opts = opts_;
   opts.today_day = Today();
+  // Stamp the catalog's current definition version so this session's
+  // evaluator invalidates its gen-cache across another session's
+  // define/drop (the two-session staleness bug PR 10 fixes).
+  opts.catalog_version = engine_->catalog().version();
   return opts;
 }
 
@@ -145,6 +149,19 @@ Result<QueryResult> PreparedStatement::Execute(const ParamList& params) const {
     return Status::InvalidArgument(
         "invalid prepared statement (default-constructed or moved-from)");
   }
+  // Liveness first, before engine_ is dereferenced at all: a handle that
+  // outlived its engine must fail cleanly, not read freed memory.  Then
+  // the stop flag — after Engine::Stop() the pool and DBCRON are gone,
+  // and a handle's execution contract ends with them.
+  if (engine_alive_ == nullptr ||
+      !engine_alive_->load(std::memory_order_acquire)) {
+    return Status::InvalidArgument(
+        "prepared statement outlived its engine (the Engine was destroyed)");
+  }
+  if (engine_->stopped()) {
+    return Status::InvalidArgument(
+        "cannot execute a prepared statement after Engine::Stop()");
+  }
   try {
     obs::ScopedLogContext log_scope{
         obs::LogContext{session_id_, compiled_->text}};
@@ -177,7 +194,7 @@ Result<PreparedStatement> Session::Prepare(const std::string& text) {
   // Engine::Prepare already carries the no-throw catch-all.
   CALDB_ASSIGN_OR_RETURN(CompiledStatementPtr compiled,
                          engine_->Prepare(text));
-  return PreparedStatement(engine_, id_, std::move(compiled));
+  return PreparedStatement(engine_, engine_->alive_, id_, std::move(compiled));
 }
 
 Result<QueryResult> Session::Execute(const CompiledStatementPtr& prepared) {

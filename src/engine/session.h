@@ -30,6 +30,7 @@
 #ifndef CALDB_ENGINE_SESSION_H_
 #define CALDB_ENGINE_SESSION_H_
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -59,9 +60,14 @@ class Engine;
 ///       "retrieve (a.balance) from a in accounts where a.id = $1");
 ///   auto row = stmt->Execute({Value::Int(37)});
 ///
-/// Handles are cheap to copy (shared_ptr + two scalars) and may outlive
-/// the Session that prepared them, but never the Engine.  Execute is safe
-/// to call from any thread; the handle itself is immutable after Prepare.
+/// Handles are cheap to copy (two shared_ptrs + two scalars) and may
+/// outlive the Session that prepared them — and, since PR 10, even the
+/// Engine: the handle carries the engine's liveness token, so Execute
+/// after Engine::Stop() or ~Engine fails with a clean InvalidArgument
+/// instead of undefined behavior.  (Destroying the engine *concurrently
+/// with* an in-flight Execute is still a caller race; the token makes
+/// sequential misuse safe and diagnosable.)  Execute is safe to call from
+/// any thread; the handle itself is immutable after Prepare.
 class PreparedStatement {
  public:
   /// Default-constructed handles are invalid; Execute on one fails with
@@ -90,13 +96,19 @@ class PreparedStatement {
 
  private:
   friend class Session;
-  PreparedStatement(Engine* engine, uint64_t session_id,
-                    CompiledStatementPtr compiled)
+  PreparedStatement(Engine* engine,
+                    std::shared_ptr<const std::atomic<bool>> engine_alive,
+                    uint64_t session_id, CompiledStatementPtr compiled)
       : engine_(engine),
+        engine_alive_(std::move(engine_alive)),
         session_id_(session_id),
         compiled_(std::move(compiled)) {}
 
   Engine* engine_ = nullptr;
+  // The engine's liveness token (engine/engine.h): flipped false at the
+  // top of ~Engine.  Checked before engine_ is ever dereferenced, so a
+  // handle that outlived its engine fails cleanly.
+  std::shared_ptr<const std::atomic<bool>> engine_alive_;
   uint64_t session_id_ = 0;
   CompiledStatementPtr compiled_;
 };

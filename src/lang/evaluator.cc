@@ -133,6 +133,16 @@ struct Evaluator::Frame {
 Result<ScriptValue> Evaluator::Run(const Plan& plan, const EvalOptions& opts,
                                    EvalStats* stats) {
   stats_ = stats;
+  // The catalog was redefined since the cache was filled: drop everything.
+  // Cheap insurance today (only catalog-independent base generations are
+  // cached), load-bearing the moment any catalog-derived value lands in
+  // the gen-cache — and it pins the Session-facing guarantee that one
+  // session's cache never outlives another session's redefinition.
+  if (opts.catalog_version != 0 &&
+      opts.catalog_version != gen_cache_version_) {
+    gen_cache_.Clear();
+    gen_cache_version_ = opts.catalog_version;
+  }
   gen_cache_.SetBudget(opts.gen_cache_max_entries, opts.gen_cache_max_bytes);
   obs::ScopedLatency latency(Metrics().run_ns);
   obs::Tracer::Span span = obs::StartSpan("eval.run");

@@ -70,6 +70,14 @@ struct EvalOptions {
   /// limit, so long DBCRON sessions cannot grow the cache without bound.
   size_t gen_cache_max_entries = 64;
   size_t gen_cache_max_bytes = 16u << 20;  // 16 MiB of interval payload
+  /// The CalendarCatalog definition version this evaluation runs against
+  /// (CalendarCatalog::version()).  A persistent Evaluator (each Session
+  /// keeps one) clears its gen-cache when the version changes between
+  /// runs, so cached generations never outlive a DefineDerived /
+  /// DefineValues / Drop in another session.  0 (the default) means
+  /// "unversioned": the cache is kept across runs unconditionally —
+  /// correct for catalog-free use and throwaway evaluators.
+  uint64_t catalog_version = 0;
 };
 
 /// Size/byte-budget LRU over generated base calendars, keyed by
@@ -163,6 +171,9 @@ class Evaluator {
   // hand out shared reps, so they cost a pointer copy regardless of the
   // calendar's interval count.
   GenCache gen_cache_;
+  // The catalog version gen_cache_ content was computed against; Run
+  // clears the cache when EvalOptions::catalog_version moves past it.
+  uint64_t gen_cache_version_ = 0;
 };
 
 /// Converts a DAYS window to a covering window in `unit` points.

@@ -1,0 +1,132 @@
+// Regression tests for cached calendar content surviving a redefinition
+// (PR 10).
+//
+// Two caches can hold evaluated calendar content: the CalendarCatalog's
+// eval-cache (shared, keyed by name/window) and each Session evaluator's
+// gen-cache (private, keyed by granularity/window).  Both now carry the
+// catalog's monotonic definition version — CalendarCatalog::version() —
+// in their keys/validity checks, so content computed against an old
+// definition can never be served after a DefineDerived / DefineValues /
+// Drop, even when the redefinition races an in-flight evaluation in
+// another session.
+
+#include "caldb.h"
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "gtest/gtest.h"
+
+namespace caldb {
+namespace {
+
+TEST(StaleCacheTest, RedefinitionIsVisibleAcrossSessions) {
+  auto engine = Engine::Create().value();
+  ASSERT_TRUE(engine->catalog()
+                  .DefineValues("E", Calendar::Order1(Granularity::kDays,
+                                                      {{10, 10}}))
+                  .ok());
+  ASSERT_TRUE(engine->catalog().DefineDerived("D", "E").ok());
+
+  auto writer = engine->CreateSession();
+  auto reader = engine->CreateSession();
+
+  // Warm both cache layers from the reader's side.
+  auto before = reader->EvalCalendar("D");
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  EXPECT_EQ(before->ToString(), "{(10,10)}");
+  auto again = reader->EvalCalendar("D");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->ToString(), "{(10,10)}");
+
+  // Another session redefines the values calendar D is built from.
+  ASSERT_TRUE(engine->catalog().Drop("E").ok());
+  ASSERT_TRUE(engine->catalog()
+                  .DefineValues("E", Calendar::Order1(Granularity::kDays,
+                                                      {{20, 20}}))
+                  .ok());
+
+  // The reader must see the new content, not its cached evaluation.
+  auto after = reader->EvalCalendar("D");
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->ToString(), "{(20,20)}");
+  (void)writer;
+}
+
+// The racing variant: before the version key, an evaluation in flight when
+// the redefinition cleared the catalog's eval-cache could insert its
+// (stale) result *after* the clear, and every later caller would hit it.
+// The version captured before Resolve files such an insert under the old
+// version, unreachable by post-redefinition lookups.
+TEST(StaleCacheTest, RacingRedefinitionNeverServesStaleContent) {
+  auto engine = Engine::Create().value();
+  ASSERT_TRUE(engine->catalog()
+                  .DefineValues("E", Calendar::Order1(Granularity::kDays,
+                                                      {{1, 1}}))
+                  .ok());
+  ASSERT_TRUE(engine->catalog().DefineDerived("D", "E").ok());
+
+  std::atomic<bool> done{false};
+  std::thread evaluator([&] {
+    auto session = engine->CreateSession();
+    while (!done.load(std::memory_order_acquire)) {
+      // Mid-redefinition the reference can dangle (E briefly dropped);
+      // errors are fine — served *stale* content is the bug.
+      auto value = session->EvalCalendar("D");
+      if (value.ok()) {
+        EXPECT_EQ(value->TotalIntervals(), 1u) << value->ToString();
+      }
+    }
+  });
+
+  constexpr int kRounds = 200;
+  for (int day = 2; day <= kRounds; ++day) {
+    ASSERT_TRUE(engine->catalog().Drop("E").ok());
+    ASSERT_TRUE(engine->catalog()
+                    .DefineValues("E", Calendar::Order1(Granularity::kDays,
+                                                        {{day, day}}))
+                    .ok());
+  }
+  done.store(true, std::memory_order_release);
+  evaluator.join();
+
+  // A fresh evaluation after the dust settles must reflect the final
+  // definition — the one observable that the pre-fix race broke.
+  auto session = engine->CreateSession();
+  auto final_value = session->EvalCalendar("D");
+  ASSERT_TRUE(final_value.ok()) << final_value.status().ToString();
+  EXPECT_EQ(final_value->ToString(),
+            "{(" + std::to_string(kRounds) + "," + std::to_string(kRounds) +
+                ")}");
+}
+
+// The session-evaluator side: a Session's private gen-cache persists
+// across EvalScript calls, and before PR 10 nothing invalidated it when
+// the catalog changed underneath.  The stamped catalog_version now clears
+// it on mismatch — visible as generate_calls going 0 (warm) -> nonzero
+// (after a definition bumps the version).
+TEST(StaleCacheTest, SessionGenCacheInvalidatesOnCatalogVersionBump) {
+  auto engine = Engine::Create().value();
+  auto session = engine->CreateSession();
+  const std::string script = "[n]/DAYS:during:MONTHS";
+
+  auto cold = session->EvalScript(script);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_GT(session->last_eval_stats().generate_calls, 0);
+
+  auto warm = session->EvalScript(script);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(session->last_eval_stats().generate_calls, 0);
+  EXPECT_GT(session->last_eval_stats().cache_hits, 0);
+
+  // Any definition bumps CalendarCatalog::version(); the next run on this
+  // session sees the new version in its EvalOptions and drops the cache.
+  ASSERT_TRUE(session->DefineCalendar("bump", "DAYS:during:days{(1,5)}").ok());
+  auto after_bump = session->EvalScript(script);
+  ASSERT_TRUE(after_bump.ok());
+  EXPECT_GT(session->last_eval_stats().generate_calls, 0);
+}
+
+}  // namespace
+}  // namespace caldb

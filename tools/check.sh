@@ -3,14 +3,29 @@
 # UBSan build over the rep/sweep surface, then a TSan build over the
 # engine's concurrency stress tests.
 #
-#   tools/check.sh [build-dir]
+#   tools/check.sh [--no-tsan | --tsan-only] [build-dir]
 #
-# Uses build-asan/ (and build-ubsan/) by default so it never disturbs the
-# regular build/.
+# --no-tsan    lints + ASan suite + UBSan sweep, skip the TSan leg
+# --tsan-only  just the TSan leg (plus the cheap lints)
+#
+# The two flags exist so CI can run the sanitizer legs as separate jobs
+# (.github/workflows/ci.yml): the TSan build shares nothing with the
+# ASan/UBSan trees, so splitting it halves the critical path.  With no
+# flag, everything runs — the pre-push default.
+#
+# Uses build-asan/ (and build-ubsan/, build-tsan/) by default so it never
+# disturbs the regular build/.
 
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+run_asan=1
+run_tsan=1
+case "${1:-}" in
+  --no-tsan)   run_tsan=0; shift ;;
+  --tsan-only) run_asan=0; shift ;;
+esac
 build_dir="${1:-$repo_root/build-asan}"
 
 # Cheap static checks first: every registered metric must be documented,
@@ -18,38 +33,44 @@ build_dir="${1:-$repo_root/build-asan}"
 "$repo_root/tools/lint_metrics.sh"
 "$repo_root/tools/lint_wal.sh"
 
-cmake -B "$build_dir" -S "$repo_root" -DCALDB_SANITIZE=address
-cmake --build "$build_dir" -j "$(nproc)"
+if [[ "$run_asan" == 1 ]]; then
+  cmake -B "$build_dir" -S "$repo_root" -DCALDB_SANITIZE=address
+  cmake --build "$build_dir" -j "$(nproc)"
 
-# The randomized differential harness (sweep kernels vs their naive
-# references, ~18k operator applications) is the densest memory-error
-# surface — run it by name first so a failure there is attributed clearly.
-ctest --test-dir "$build_dir" -R 'sweep_test' --output-on-failure
+  # The randomized differential harness (sweep kernels vs their naive
+  # references, ~18k operator applications) is the densest memory-error
+  # surface — run it by name first so a failure there is attributed clearly.
+  ctest --test-dir "$build_dir" -R 'sweep_test' --output-on-failure
 
-# Durability fault injection under ASan: a child engine (fsync=always) is
-# SIGKILLed mid-burst and recovered; every acknowledged statement must
-# survive, torn tails truncate, missed rule firings happen exactly once.
-ctest --test-dir "$build_dir" -R '^wal_fault_test$' --output-on-failure
+  # Durability fault injection under ASan: a child engine (fsync=always) is
+  # SIGKILLed mid-burst and recovered; every acknowledged statement must
+  # survive, torn tails truncate, missed rule firings happen exactly once.
+  ctest --test-dir "$build_dir" -R '^wal_fault_test$' --output-on-failure
 
-ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 
-# Standalone UBSan pass over the shared-rep machinery: the CSR offset
-# arithmetic and span views in calendar_rep/sweep are where a stale index
-# turns into UB before it turns into a crash.
-ubsan_dir="$repo_root/build-ubsan"
-cmake -B "$ubsan_dir" -S "$repo_root" -DCALDB_SANITIZE=undefined
-cmake --build "$ubsan_dir" -j "$(nproc)" --target sweep_test calendar_rep_test
-ctest --test-dir "$ubsan_dir" -R '^(sweep_test|calendar_rep_test)$' \
-      --output-on-failure
+  # Standalone UBSan pass over the shared-rep machinery: the CSR offset
+  # arithmetic and span views in calendar_rep/sweep are where a stale index
+  # turns into UB before it turns into a crash.
+  ubsan_dir="$repo_root/build-ubsan"
+  cmake -B "$ubsan_dir" -S "$repo_root" -DCALDB_SANITIZE=undefined
+  cmake --build "$ubsan_dir" -j "$(nproc)" --target sweep_test calendar_rep_test
+  ctest --test-dir "$ubsan_dir" -R '^(sweep_test|calendar_rep_test)$' \
+        --output-on-failure
+fi
 
-# TSan pass over the concurrent engine: N writer + M reader sessions
-# racing DBCRON (tests/engine/engine_concurrency_test.cc).  TSan cannot
-# combine with ASan, so it gets its own tree; any data race in the
-# Engine/Session/ThreadPool/catalog locking shows up here as a hard
-# failure.
-tsan_dir="$repo_root/build-tsan"
-cmake -B "$tsan_dir" -S "$repo_root" -DCALDB_SANITIZE=thread
-cmake --build "$tsan_dir" -j "$(nproc)" --target engine_concurrency_test
-TSAN_OPTIONS="halt_on_error=1" \
-    ctest --test-dir "$tsan_dir" -R '^engine_concurrency_test$' \
-          --output-on-failure
+if [[ "$run_tsan" == 1 ]]; then
+  # TSan pass over the concurrent engine: N writer + M reader sessions
+  # racing DBCRON, plus the per-table lock stress tests (readers on one
+  # table progressing under a writer hammering another —
+  # tests/engine/engine_concurrency_test.cc).  TSan cannot combine with
+  # ASan, so it gets its own tree; any data race in the
+  # Engine/LockManager/Session/ThreadPool/catalog locking shows up here
+  # as a hard failure.
+  tsan_dir="$repo_root/build-tsan"
+  cmake -B "$tsan_dir" -S "$repo_root" -DCALDB_SANITIZE=thread
+  cmake --build "$tsan_dir" -j "$(nproc)" --target engine_concurrency_test
+  TSAN_OPTIONS="halt_on_error=1" \
+      ctest --test-dir "$tsan_dir" -R '^engine_concurrency_test$' \
+            --output-on-failure
+fi
